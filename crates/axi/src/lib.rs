@@ -1,0 +1,578 @@
+//! # nmpic-axi — AXI4 and AXI-Pack protocol model
+//!
+//! AXI-Pack ([Zhang et al., DATE 2023]) extends Arm's AXI4 with *packed*
+//! burst semantics: many narrow elements are transported densely on a wide
+//! (here 512 b) data bus, and bursts may be **contiguous**, **strided**, or
+//! **indirect** (gather through an index array). This crate provides the
+//! protocol-level types shared by the adapter (`nmpic-core`) and the
+//! processor system (`nmpic-system`):
+//!
+//! * [`PackRequest`] — the three AXI-Pack burst flavours with their
+//!   element/index geometry.
+//! * [`Beat`] — one 512 b densely packed data beat.
+//! * [`Packer`] / [`Unpacker`] — lossless element ↔ beat conversion, the
+//!   function the AXI-Pack *element packer* performs at the upstream port.
+//! * [`ElemSize`] — legal narrow element widths.
+//!
+//! The on-chip bus efficiency argument of AXI-Pack is exactly this packing:
+//! a 512 b bus moving 64 b elements carries 8 elements per beat instead of
+//! one response per element.
+//!
+//! # Example
+//!
+//! ```
+//! use nmpic_axi::{Packer, ElemSize, BUS_BYTES};
+//!
+//! let mut p = Packer::new(ElemSize::B8);
+//! for v in 0..8u64 { p.push(v); }
+//! let beat = p.pop_beat().expect("8×8 B fills one beat");
+//! assert_eq!(beat.elems, 8);
+//! assert_eq!(beat.data.len(), BUS_BYTES);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Width of the wide on-chip data bus in bytes (512 b).
+pub const BUS_BYTES: usize = 64;
+
+/// Legal element widths for packed transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElemSize {
+    /// 8-bit elements.
+    B1,
+    /// 16-bit elements.
+    B2,
+    /// 32-bit elements (the paper's index width).
+    B4,
+    /// 64-bit elements (the paper's value width).
+    B8,
+}
+
+impl ElemSize {
+    /// The width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            ElemSize::B1 => 1,
+            ElemSize::B2 => 2,
+            ElemSize::B4 => 4,
+            ElemSize::B8 => 8,
+        }
+    }
+
+    /// Elements that fit in one 512 b beat.
+    pub fn per_beat(self) -> usize {
+        BUS_BYTES / self.bytes()
+    }
+
+    /// Constructs from a byte width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::BadElemSize`] for widths other than 1, 2,
+    /// 4 or 8 bytes.
+    pub fn try_from_bytes(bytes: usize) -> Result<Self, ProtocolError> {
+        match bytes {
+            1 => Ok(ElemSize::B1),
+            2 => Ok(ElemSize::B2),
+            4 => Ok(ElemSize::B4),
+            8 => Ok(ElemSize::B8),
+            other => Err(ProtocolError::BadElemSize(other)),
+        }
+    }
+}
+
+impl fmt::Display for ElemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.bytes() * 8)
+    }
+}
+
+/// Errors raised by protocol-level validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Element width not in {1, 2, 4, 8} bytes.
+    BadElemSize(usize),
+    /// A burst described zero elements.
+    EmptyBurst,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadElemSize(b) => write!(f, "unsupported element size of {b} bytes"),
+            ProtocolError::EmptyBurst => write!(f, "burst describes zero elements"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A plain AXI4 incrementing read burst (for completeness and for the
+/// baseline system, which uses vanilla AXI4 to its LLC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Axi4ReadBurst {
+    /// Start byte address.
+    pub addr: u64,
+    /// Number of beats.
+    pub beats: u32,
+    /// Bytes per beat (bus width for full-width bursts).
+    pub beat_bytes: u32,
+}
+
+impl Axi4ReadBurst {
+    /// Total bytes transferred by the burst.
+    pub fn bytes(&self) -> u64 {
+        self.beats as u64 * self.beat_bytes as u64
+    }
+}
+
+/// An AXI-Pack burst request, issued by a manager (e.g. the L2 prefetcher)
+/// to an AXI-Pack subordinate (the adapter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackRequest {
+    /// Densely packed contiguous stream: `count` elements of `elem_size`
+    /// starting at `base`.
+    Contiguous {
+        /// Start byte address.
+        base: u64,
+        /// Element width.
+        elem_size: ElemSize,
+        /// Number of elements.
+        count: u64,
+    },
+    /// Strided gather: element `k` lives at `base + k * stride`.
+    Strided {
+        /// Start byte address.
+        base: u64,
+        /// Stride between consecutive elements in bytes.
+        stride: u64,
+        /// Element width.
+        elem_size: ElemSize,
+        /// Number of elements.
+        count: u64,
+    },
+    /// Indirect gather: element `k` lives at
+    /// `elem_base + index[k] * elem_size`, with the index array itself
+    /// streamed from `idx_base`.
+    ///
+    /// This is the burst type the paper's indirect stream unit accelerates.
+    Indirect {
+        /// Byte address of the index array.
+        idx_base: u64,
+        /// Index width.
+        idx_size: ElemSize,
+        /// Number of indices (= number of gathered elements).
+        count: u64,
+        /// Base byte address of the element array.
+        elem_base: u64,
+        /// Element width.
+        elem_size: ElemSize,
+    },
+}
+
+impl PackRequest {
+    /// Number of elements the burst delivers upstream.
+    pub fn count(&self) -> u64 {
+        match *self {
+            PackRequest::Contiguous { count, .. }
+            | PackRequest::Strided { count, .. }
+            | PackRequest::Indirect { count, .. } => count,
+        }
+    }
+
+    /// Element width delivered upstream.
+    pub fn elem_size(&self) -> ElemSize {
+        match *self {
+            PackRequest::Contiguous { elem_size, .. }
+            | PackRequest::Strided { elem_size, .. }
+            | PackRequest::Indirect { elem_size, .. } => elem_size,
+        }
+    }
+
+    /// Payload bytes delivered upstream (excluding index traffic).
+    pub fn payload_bytes(&self) -> u64 {
+        self.count() * self.elem_size().bytes() as u64
+    }
+
+    /// Number of full-or-partial 512 b beats needed upstream.
+    pub fn beats(&self) -> u64 {
+        let per = self.elem_size().per_beat() as u64;
+        self.count().div_ceil(per)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::EmptyBurst`] when `count` is zero.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        if self.count() == 0 {
+            return Err(ProtocolError::EmptyBurst);
+        }
+        Ok(())
+    }
+}
+
+/// One 512 b packed data beat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Beat {
+    /// Bus-width data, elements packed densely from byte 0.
+    pub data: Vec<u8>,
+    /// Number of valid elements in this beat.
+    pub elems: usize,
+    /// Element width used for packing.
+    pub elem_size: ElemSize,
+}
+
+impl Beat {
+    /// Extracts element `i` as a little-endian bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.elems`.
+    pub fn element(&self, i: usize) -> u64 {
+        assert!(i < self.elems, "element index {i} out of {}", self.elems);
+        let w = self.elem_size.bytes();
+        let mut buf = [0u8; 8];
+        buf[..w].copy_from_slice(&self.data[i * w..(i + 1) * w]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Iterates over the valid elements as bit patterns.
+    pub fn elements(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.elems).map(move |i| self.element(i))
+    }
+}
+
+/// Packs narrow elements densely into 512 b beats — the element packer of
+/// the AXI-Pack adapter.
+///
+/// Elements are supplied as little-endian bit patterns (low `elem_size`
+/// bytes significant). [`Packer::pop_beat`] yields a beat once full;
+/// [`Packer::flush`] emits a final partial beat.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_axi::{Packer, ElemSize};
+/// let mut p = Packer::new(ElemSize::B4);
+/// for v in 0..20u64 { p.push(v); }
+/// assert_eq!(p.pop_beat().unwrap().elems, 16); // 16 × 32 b per beat
+/// assert!(p.pop_beat().is_none());             // only 4 left
+/// assert_eq!(p.flush().unwrap().elems, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Packer {
+    elem_size: ElemSize,
+    pending: VecDeque<u64>,
+    beats_emitted: u64,
+    elems_packed: u64,
+}
+
+impl Packer {
+    /// Creates a packer for the given element width.
+    pub fn new(elem_size: ElemSize) -> Self {
+        Self {
+            elem_size,
+            pending: VecDeque::new(),
+            beats_emitted: 0,
+            elems_packed: 0,
+        }
+    }
+
+    /// Queues one element (low `elem_size` bytes of `value`).
+    pub fn push(&mut self, value: u64) {
+        self.pending.push_back(value);
+        self.elems_packed += 1;
+    }
+
+    /// Number of queued elements not yet emitted.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Emits a full beat if enough elements are queued.
+    pub fn pop_beat(&mut self) -> Option<Beat> {
+        let per = self.elem_size.per_beat();
+        if self.pending.len() >= per {
+            Some(self.emit(per))
+        } else {
+            None
+        }
+    }
+
+    /// Emits a final, possibly partial beat; `None` if nothing is queued.
+    pub fn flush(&mut self) -> Option<Beat> {
+        let n = self.pending.len().min(self.elem_size.per_beat());
+        if n == 0 {
+            None
+        } else {
+            Some(self.emit(n))
+        }
+    }
+
+    /// Total beats emitted so far.
+    pub fn beats_emitted(&self) -> u64 {
+        self.beats_emitted
+    }
+
+    /// Total elements accepted so far.
+    pub fn elems_packed(&self) -> u64 {
+        self.elems_packed
+    }
+
+    fn emit(&mut self, n: usize) -> Beat {
+        let w = self.elem_size.bytes();
+        let mut data = vec![0u8; BUS_BYTES];
+        for i in 0..n {
+            let v = self.pending.pop_front().expect("n <= pending");
+            data[i * w..(i + 1) * w].copy_from_slice(&v.to_le_bytes()[..w]);
+        }
+        self.beats_emitted += 1;
+        Beat {
+            data,
+            elems: n,
+            elem_size: self.elem_size,
+        }
+    }
+}
+
+/// Unpacks beats back into an element stream (the manager-side inverse of
+/// [`Packer`]).
+///
+/// # Example
+///
+/// ```
+/// use nmpic_axi::{Packer, Unpacker, ElemSize};
+/// let mut p = Packer::new(ElemSize::B8);
+/// for v in [7u64, 8, 9] { p.push(v); }
+/// let beat = p.flush().unwrap();
+///
+/// let mut u = Unpacker::new(ElemSize::B8);
+/// u.push_beat(&beat);
+/// assert_eq!(u.pop(), Some(7));
+/// assert_eq!(u.drain(), vec![8, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Unpacker {
+    elem_size: ElemSize,
+    pending: VecDeque<u64>,
+}
+
+impl Unpacker {
+    /// Creates an unpacker for the given element width.
+    pub fn new(elem_size: ElemSize) -> Self {
+        Self {
+            elem_size,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Accepts one beat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the beat was packed with a different element width.
+    pub fn push_beat(&mut self, beat: &Beat) {
+        assert_eq!(
+            beat.elem_size, self.elem_size,
+            "beat width {} != unpacker width {}",
+            beat.elem_size, self.elem_size
+        );
+        self.pending.extend(beat.elements());
+    }
+
+    /// Pops the oldest element, if any.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.pending.pop_front()
+    }
+
+    /// Drains all remaining elements in order.
+    pub fn drain(&mut self) -> Vec<u64> {
+        self.pending.drain(..).collect()
+    }
+
+    /// Number of buffered elements.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when no elements are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Computes the sequence of element byte addresses a [`PackRequest`]
+/// implies, given access to the index array for indirect bursts.
+///
+/// The index lookup closure receives the flat index position `k` and must
+/// return `index[k]` — in the simulator this reads the backing store, so
+/// address generation is checked against real memory contents.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_axi::{element_addresses, PackRequest, ElemSize};
+/// let req = PackRequest::Strided { base: 100, stride: 16, elem_size: ElemSize::B4, count: 3 };
+/// let addrs = element_addresses(&req, |_| unreachable!("no indices needed"));
+/// assert_eq!(addrs, vec![100, 116, 132]);
+/// ```
+pub fn element_addresses<F: FnMut(u64) -> u64>(req: &PackRequest, mut index_at: F) -> Vec<u64> {
+    match *req {
+        PackRequest::Contiguous {
+            base,
+            elem_size,
+            count,
+        } => (0..count)
+            .map(|k| base + k * elem_size.bytes() as u64)
+            .collect(),
+        PackRequest::Strided {
+            base,
+            stride,
+            count,
+            ..
+        } => (0..count).map(|k| base + k * stride).collect(),
+        PackRequest::Indirect {
+            count,
+            elem_base,
+            elem_size,
+            ..
+        } => (0..count)
+            .map(|k| elem_base + index_at(k) * elem_size.bytes() as u64)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_size_geometry() {
+        assert_eq!(ElemSize::B4.per_beat(), 16);
+        assert_eq!(ElemSize::B8.per_beat(), 8);
+        assert_eq!(ElemSize::B1.per_beat(), 64);
+        assert_eq!(ElemSize::try_from_bytes(4), Ok(ElemSize::B4));
+        assert_eq!(
+            ElemSize::try_from_bytes(3),
+            Err(ProtocolError::BadElemSize(3))
+        );
+    }
+
+    #[test]
+    fn pack_request_beat_math() {
+        let r = PackRequest::Contiguous {
+            base: 0,
+            elem_size: ElemSize::B8,
+            count: 17,
+        };
+        assert_eq!(r.beats(), 3); // 8 + 8 + 1
+        assert_eq!(r.payload_bytes(), 136);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_burst_invalid() {
+        let r = PackRequest::Contiguous {
+            base: 0,
+            elem_size: ElemSize::B8,
+            count: 0,
+        };
+        assert_eq!(r.validate(), Err(ProtocolError::EmptyBurst));
+    }
+
+    #[test]
+    fn packer_roundtrip_all_widths() {
+        for size in [ElemSize::B1, ElemSize::B2, ElemSize::B4, ElemSize::B8] {
+            let mask = if size.bytes() == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (size.bytes() * 8)) - 1
+            };
+            let values: Vec<u64> = (0..37u64).map(|v| (v * 0x9E3779B9) & mask).collect();
+            let mut p = Packer::new(size);
+            let mut u = Unpacker::new(size);
+            for &v in &values {
+                p.push(v);
+                while let Some(b) = p.pop_beat() {
+                    u.push_beat(&b);
+                }
+            }
+            if let Some(b) = p.flush() {
+                u.push_beat(&b);
+            }
+            assert_eq!(u.drain(), values, "width {size}");
+        }
+    }
+
+    #[test]
+    fn packer_counts_beats_for_dense_utilization() {
+        let mut p = Packer::new(ElemSize::B8);
+        for v in 0..64u64 {
+            p.push(v);
+            while p.pop_beat().is_some() {}
+        }
+        assert!(p.flush().is_none());
+        assert_eq!(p.beats_emitted(), 8); // 64 elems / 8 per beat — fully dense
+        assert_eq!(p.elems_packed(), 64);
+    }
+
+    #[test]
+    fn beat_element_extraction() {
+        let mut p = Packer::new(ElemSize::B4);
+        p.push(0xAABB);
+        p.push(0xCCDD);
+        let b = p.flush().unwrap();
+        assert_eq!(b.element(0), 0xAABB);
+        assert_eq!(b.element(1), 0xCCDD);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn beat_element_out_of_range_panics() {
+        let mut p = Packer::new(ElemSize::B8);
+        p.push(1);
+        let b = p.flush().unwrap();
+        let _ = b.element(1);
+    }
+
+    #[test]
+    fn indirect_addresses_use_index_array() {
+        let idx = [5u64, 0, 2];
+        let req = PackRequest::Indirect {
+            idx_base: 0,
+            idx_size: ElemSize::B4,
+            count: 3,
+            elem_base: 1000,
+            elem_size: ElemSize::B8,
+        };
+        let addrs = element_addresses(&req, |k| idx[k as usize]);
+        assert_eq!(addrs, vec![1040, 1000, 1016]);
+    }
+
+    #[test]
+    fn contiguous_addresses() {
+        let req = PackRequest::Contiguous {
+            base: 64,
+            elem_size: ElemSize::B8,
+            count: 4,
+        };
+        let addrs = element_addresses(&req, |_| 0);
+        assert_eq!(addrs, vec![64, 72, 80, 88]);
+    }
+
+    #[test]
+    fn axi4_burst_bytes() {
+        let b = Axi4ReadBurst {
+            addr: 0,
+            beats: 4,
+            beat_bytes: 64,
+        };
+        assert_eq!(b.bytes(), 256);
+    }
+}

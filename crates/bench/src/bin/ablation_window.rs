@@ -1,0 +1,93 @@
+//! Ablation: coalescer design choices called out in DESIGN.md — the
+//! cross-window CSHR carry-over, the regulator fill timeout, the watchdog
+//! timeout, and the number of parallel index lanes.
+//!
+//! Run with: `cargo run --release -p nmpic-bench --bin ablation_window`
+
+use nmpic_bench::{f, ExperimentOpts, Table};
+use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions};
+use nmpic_sparse::{by_name, Sell};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let spec = by_name("af_shell10").expect("suite matrix");
+    let csr = spec.build_capped(opts.max_nnz.min(80_000));
+    let sell = Sell::from_csr_default(&csr);
+    let stream_opts = StreamOptions::default();
+    let run = |cfg: &AdapterConfig| {
+        let r = run_indirect_stream(cfg, sell.col_idx(), csr.cols(), &stream_opts);
+        assert!(r.verified);
+        r
+    };
+
+    println!(
+        "ablations on af_shell10 ({} nnz, {} SELL entries)\n",
+        csr.nnz(),
+        sell.padded_len()
+    );
+
+    // --- Cross-window coalescing on/off.
+    let mut t = Table::new(vec!["window", "cross-window", "BW GB/s", "coal-rate", "wide-reads"]);
+    for w in [64usize, 256] {
+        for cross in [true, false] {
+            let mut cfg = AdapterConfig::mlp(w);
+            cfg.cross_window = cross;
+            let r = run(&cfg);
+            t.row(vec![
+                w.to_string(),
+                cross.to_string(),
+                f(r.indir_gbps, 2),
+                f(r.coalesce_rate, 2),
+                r.adapter.elem_wide_reads.to_string(),
+            ]);
+        }
+    }
+    println!("cross-window CSHR carry-over:\n{}", t.render());
+    t.write_csv("ablation_cross_window").expect("csv");
+
+    // --- Regulator fill timeout.
+    let mut t = Table::new(vec!["regulator-timeout", "BW GB/s", "coal-rate"]);
+    for timeout in [1u32, 4, 16, 64, 256] {
+        let mut cfg = AdapterConfig::mlp(256);
+        cfg.regulator_timeout = timeout;
+        let r = run(&cfg);
+        t.row(vec![
+            timeout.to_string(),
+            f(r.indir_gbps, 2),
+            f(r.coalesce_rate, 2),
+        ]);
+    }
+    println!("regulator fill timeout (W=256):\n{}", t.render());
+    t.write_csv("ablation_regulator").expect("csv");
+
+    // --- Watchdog timeout.
+    let mut t = Table::new(vec!["watchdog-timeout", "BW GB/s", "coal-rate"]);
+    for timeout in [4u32, 16, 32, 128, 512] {
+        let mut cfg = AdapterConfig::mlp(256);
+        cfg.watchdog_timeout = timeout;
+        let r = run(&cfg);
+        t.row(vec![
+            timeout.to_string(),
+            f(r.indir_gbps, 2),
+            f(r.coalesce_rate, 2),
+        ]);
+    }
+    println!("watchdog timeout (W=256):\n{}", t.render());
+    t.write_csv("ablation_watchdog").expect("csv");
+
+    // --- Parallel index lanes (memory-level parallelism).
+    let mut t = Table::new(vec!["lanes", "BW GB/s", "index GB/s"]);
+    for lanes in [1usize, 2, 4, 8, 16] {
+        let mut cfg = AdapterConfig::mlp(256);
+        cfg.lanes = lanes;
+        let r = run(&cfg);
+        t.row(vec![
+            lanes.to_string(),
+            f(r.indir_gbps, 2),
+            f(r.index_gbps, 2),
+        ]);
+    }
+    println!("index lanes (W=256):\n{}", t.render());
+    println!("(the paper's insight: parallel request generation is required to feed the window)");
+    t.write_csv("ablation_lanes").expect("csv");
+}

@@ -1,0 +1,17 @@
+//! Runs every experiment in sequence (Table I + Figs. 3, 4, 5a, 5b, 6a,
+//! 6b), printing each table and writing CSVs under `results/`.
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in ["table1", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b"] {
+        println!("==================== {bin} ====================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+    println!("all experiments complete; CSVs under results/");
+}

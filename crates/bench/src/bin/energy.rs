@@ -1,0 +1,52 @@
+//! Extension: data-movement energy of the Fig. 5 SpMV systems — the
+//! quantitative version of the paper's remark that pack0's redundant
+//! traffic "significantly increases the energy waste on off-chip data
+//! movement".
+//!
+//! Run with: `cargo run --release -p nmpic-bench --bin energy`
+
+use nmpic_bench::{f, fig5_matrix, ExperimentOpts, Table};
+use nmpic_model::EnergyModel;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let model = EnergyModel::default();
+    let mut table = Table::new(vec![
+        "matrix",
+        "system",
+        "offchip-MB",
+        "dram-uJ",
+        "onchip-uJ",
+        "pJ/nnz",
+        "vs-pack256",
+    ]);
+    for name in ["af_shell10", "HPCG", "G3_circuit"] {
+        let rows = fig5_matrix(name, &opts);
+        let p256 = rows
+            .iter()
+            .find(|r| r.report.label == "pack256")
+            .expect("pack256 present");
+        let e256 = model.spmv_energy(
+            p256.report.offchip_bytes,
+            model.pack_onchip_bytes(p256.report.entries),
+        );
+        for r in &rows {
+            let onchip = model.pack_onchip_bytes(r.report.entries);
+            let e = model.spmv_energy(r.report.offchip_bytes, onchip);
+            table.row(vec![
+                name.to_string(),
+                r.report.label.clone(),
+                f(r.report.offchip_bytes as f64 / 1e6, 2),
+                f(e.dram_nj / 1e3, 1),
+                f(e.onchip_nj / 1e3, 1),
+                f(e.pj_per_nnz(r.report.nnz), 1),
+                f(e.total_nj() / e256.total_nj(), 2),
+            ]);
+        }
+    }
+    println!("data-movement energy of the SpMV systems");
+    println!("{}", table.render());
+    println!("(pack0 wastes energy in proportion to its ~5.8x redundant traffic;");
+    println!(" the 256-window coalescer recovers nearly all of it)");
+    table.write_csv("energy").expect("csv");
+}

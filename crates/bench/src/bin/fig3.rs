@@ -1,0 +1,62 @@
+//! Regenerates Fig. 3: indirect stream bandwidth (SELL and CSR) for the
+//! twenty-matrix suite across all adapter variants.
+use nmpic_bench::{f, fig3, ExperimentOpts, Table};
+use nmpic_sim::stats::GeoMean;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    eprintln!("fig3: cap {} nnz per matrix (set NMPIC_MAX_NNZ to change)", opts.max_nnz);
+    let rows = fig3(&opts);
+
+    for format in ["SELL", "CSR"] {
+        let variants: Vec<String> = nmpic_bench::fig3_variants()
+            .iter()
+            .map(|v| v.variant_name())
+            .collect();
+        let mut headers = vec!["matrix".to_string()];
+        headers.extend(variants.iter().cloned());
+        let mut table = Table::new(headers);
+        let matrices: Vec<String> = {
+            let mut seen = Vec::new();
+            for r in rows.iter().filter(|r| r.format == format) {
+                if !seen.contains(&r.matrix) {
+                    seen.push(r.matrix.clone());
+                }
+            }
+            seen
+        };
+        let mut speedup = GeoMean::new();
+        for m in &matrices {
+            let mut cells = vec![m.clone()];
+            let mut nc = 0.0;
+            let mut best = 0.0;
+            for v in &variants {
+                let r = rows
+                    .iter()
+                    .find(|r| r.format == format && &r.matrix == m && &r.result.variant == v)
+                    .expect("complete sweep");
+                cells.push(f(r.result.indir_gbps, 2));
+                if v == "MLPnc" {
+                    nc = r.result.indir_gbps;
+                }
+                if v == "MLP256" {
+                    best = r.result.indir_gbps;
+                }
+            }
+            if nc > 0.0 {
+                speedup.add(best / nc);
+            }
+            table.row(cells);
+        }
+        println!("Fig. 3 — {format} indirect stream bandwidth (GB/s)");
+        println!("{}", table.render());
+        println!(
+            "geomean MLP256/MLPnc speedup: {:.2}x (paper: ~8x)\n",
+            speedup.mean()
+        );
+        let path = table
+            .write_csv(&format!("fig3_{}", format.to_lowercase()))
+            .expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 4: downstream bandwidth breakdown (indir/loss/elem/
+//! index) and coalesce rate for six representative matrices.
+use nmpic_bench::{f, fig4, ExperimentOpts, Table};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    eprintln!("fig4: cap {} nnz per matrix", opts.max_nnz);
+    let rows = fig4(&opts);
+    let mut table = Table::new(vec![
+        "matrix", "variant", "indir", "index", "elem", "loss", "coal-rate",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.matrix.clone(),
+            r.result.variant.clone(),
+            f(r.result.indir_gbps, 2),
+            f(r.result.index_gbps, 2),
+            f(r.result.elem_gbps, 2),
+            f(r.result.loss_gbps, 2),
+            f(r.result.coalesce_rate, 2),
+        ]);
+    }
+    println!("Fig. 4 — bandwidth breakdown (GB/s) and coalesce rate (SELL)");
+    println!("{}", table.render());
+    let path = table.write_csv("fig4").expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

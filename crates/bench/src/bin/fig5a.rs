@@ -1,0 +1,56 @@
+//! Regenerates Fig. 5a: SpMV normalized runtime (indir vs rest) and
+//! speedup over the baseline system.
+use nmpic_bench::{f, fig5, ExperimentOpts, Table};
+use nmpic_sim::stats::GeoMean;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    eprintln!("fig5a: cap {} nnz per matrix", opts.max_nnz);
+    let rows = fig5(&opts);
+    let mut table = Table::new(vec![
+        "matrix", "system", "cycles", "norm-runtime", "indir-frac", "speedup",
+    ]);
+    let mut sp0 = GeoMean::new();
+    let mut sp256 = GeoMean::new();
+    let matrices: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in &rows {
+            if !seen.contains(&r.matrix) {
+                seen.push(r.matrix.clone());
+            }
+        }
+        seen
+    };
+    for m in &matrices {
+        let base = rows
+            .iter()
+            .find(|r| &r.matrix == m && r.report.label == "base")
+            .expect("base run");
+        for r in rows.iter().filter(|r| &r.matrix == m) {
+            let speedup = base.report.cycles as f64 / r.report.cycles as f64;
+            match r.report.label.as_str() {
+                "pack0" => sp0.add(speedup),
+                "pack256" => sp256.add(speedup),
+                _ => {}
+            }
+            table.row(vec![
+                m.clone(),
+                r.report.label.clone(),
+                r.report.cycles.to_string(),
+                f(r.report.cycles as f64 / base.report.cycles as f64, 3),
+                f(r.report.indir_fraction(), 3),
+                f(speedup, 2),
+            ]);
+        }
+    }
+    println!("Fig. 5a — SpMV normalized runtime and speedup vs base");
+    println!("{}", table.render());
+    println!(
+        "geomean speedup: pack0 {:.2}x (paper ~2.7x), pack256 {:.2}x (paper ~10x), pack256/pack0 {:.2}x (paper ~3x)",
+        sp0.mean(),
+        sp256.mean(),
+        sp256.mean() / sp0.mean()
+    );
+    let path = table.write_csv("fig5a").expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,45 @@
+//! Regenerates Fig. 5b: SpMV off-chip traffic vs ideal and HBM bandwidth
+//! utilization.
+use nmpic_bench::{f, fig5, ExperimentOpts, Table};
+use nmpic_sim::stats::RunningMean;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    eprintln!("fig5b: cap {} nnz per matrix", opts.max_nnz);
+    let rows = fig5(&opts);
+    let mut table = Table::new(vec![
+        "matrix",
+        "system",
+        "traffic-vs-ideal",
+        "bw-utilization-%",
+    ]);
+    let mut util: std::collections::BTreeMap<String, RunningMean> = Default::default();
+    let mut traffic: std::collections::BTreeMap<String, RunningMean> = Default::default();
+    for r in &rows {
+        table.row(vec![
+            r.matrix.clone(),
+            r.report.label.clone(),
+            f(r.report.traffic_ratio(), 2),
+            f(100.0 * r.report.bw_utilization(32.0), 1),
+        ]);
+        util.entry(r.report.label.clone())
+            .or_default()
+            .add(r.report.bw_utilization(32.0));
+        traffic
+            .entry(r.report.label.clone())
+            .or_default()
+            .add(r.report.traffic_ratio());
+    }
+    println!("Fig. 5b — off-chip traffic (vs ideal) and bandwidth utilization");
+    println!("{}", table.render());
+    for label in ["base", "pack0", "pack64", "pack256"] {
+        println!(
+            "avg {label:8}: traffic {:.2}x, utilization {:.1}%",
+            traffic[label].mean(),
+            100.0 * util[label].mean()
+        );
+    }
+    println!("(paper: base 5.9% util ~1x traffic; pack0 65.8% util 5.6x; pack256 61% util 1.29x)");
+    let path = table.write_csv("fig5b").expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 6a: adapter area breakdown in kGE and mm².
+use nmpic_bench::{f, fig6a, Table};
+
+fn main() {
+    let mut table = Table::new(vec![
+        "variant", "others", "ele_gen", "idx_que", "coal", "total-kGE", "mm2", "util-%",
+    ]);
+    for (name, a) in fig6a() {
+        table.row(vec![
+            name,
+            f(a.others_kge, 0),
+            f(a.ele_gen_kge, 0),
+            f(a.idx_que_kge, 0),
+            f(a.coal_kge, 0),
+            f(a.total_kge(), 0),
+            f(a.area_mm2(), 3),
+            f(100.0 * a.utilization, 1),
+        ]);
+    }
+    println!("Fig. 6a — AXI-Pack adapter area breakdown (GF 12 nm model)");
+    println!("{}", table.render());
+    println!("(paper: coal 307/617/1035 kGE; 0.19/0.26/0.34 mm2 at 60.5/56.5/56.4% util)");
+    let path = table.write_csv("fig6a").expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

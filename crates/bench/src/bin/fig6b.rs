@@ -1,0 +1,37 @@
+//! Regenerates Fig. 6b: on-chip cost and SpMV performance efficiency vs
+//! A64FX and SX-Aurora.
+use nmpic_bench::{f, fig6b, ExperimentOpts, Table};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    eprintln!("fig6b: cap {} nnz per matrix", opts.max_nnz);
+    let points = fig6b(&opts);
+    let mut table = Table::new(vec![
+        "platform",
+        "onchip-kB",
+        "stream-GB/s",
+        "spmv-GFLOP/s",
+        "kB/(GB/s)",
+        "GFLOPs/(GB/s)",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.name.clone(),
+            f(p.onchip_kb, 0),
+            f(p.stream_gbps, 0),
+            f(p.spmv_gflops, 1),
+            f(p.onchip_cost(), 1),
+            f(p.perf_efficiency(), 3),
+        ]);
+    }
+    println!("Fig. 6b — on-chip cost and SpMV efficiency");
+    println!("{}", table.render());
+    let tw = &points[2];
+    println!(
+        "on-chip efficiency vs SX-Aurora: {:.2}x (paper 1.4x); vs A64FX: {:.2}x (paper 2.6x)",
+        points[1].onchip_cost() / tw.onchip_cost(),
+        points[0].onchip_cost() / tw.onchip_cost()
+    );
+    let path = table.write_csv("fig6b").expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

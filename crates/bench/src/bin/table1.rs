@@ -1,0 +1,26 @@
+//! Regenerates Table I: adapter and vector processor system parameters.
+use nmpic_core::AdapterConfig;
+use nmpic_mem::HbmConfig;
+
+fn main() {
+    print!(
+        "{}",
+        nmpic_model::render_table1(&AdapterConfig::mlp(256), &HbmConfig::default())
+    );
+    println!();
+    println!("Derived storage per variant:");
+    for w in [8usize, 16, 32, 64, 128, 256] {
+        let cfg = AdapterConfig::mlp(w);
+        println!(
+            "  {:8}  {:6.1} kB",
+            cfg.variant_name(),
+            cfg.storage_bytes() as f64 / 1024.0
+        );
+    }
+    let nc = AdapterConfig::mlp_nc();
+    println!(
+        "  {:8}  {:6.1} kB",
+        nc.variant_name(),
+        nc.storage_bytes() as f64 / 1024.0
+    );
+}

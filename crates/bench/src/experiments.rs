@@ -1,0 +1,319 @@
+//! Experiment drivers: one function per paper table/figure. Each returns
+//! structured rows so binaries can render text tables and CSVs, and
+//! integration tests can assert the paper's headline shapes.
+
+use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions, StreamResult};
+use nmpic_mem::{ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
+use nmpic_model::{adapter_area, AreaBreakdown, EfficiencyPoint};
+use nmpic_sparse::{suite, MatrixSpec, Sell, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
+use nmpic_system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig, SpmvReport};
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentOpts {
+    /// Cap on nonzeros per matrix; specs are scaled down to fit (the
+    /// paper runs full-size matrices on RTL farms — cycle-accurate Rust
+    /// runs scale them, preserving structure; see EXPERIMENTS.md).
+    pub max_nnz: u64,
+}
+
+impl ExperimentOpts {
+    /// Reads options from the environment: `NMPIC_MAX_NNZ` overrides the
+    /// nonzero cap, `NMPIC_QUICK=1` selects a fast smoke-test scale.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("NMPIC_QUICK").is_ok_and(|v| v == "1");
+        let default = if quick { 20_000 } else { 150_000 };
+        let max_nnz = std::env::var("NMPIC_MAX_NNZ")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default);
+        Self { max_nnz }
+    }
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        Self { max_nnz: 150_000 }
+    }
+}
+
+/// The adapter variants swept in Fig. 3.
+pub fn fig3_variants() -> Vec<AdapterConfig> {
+    vec![
+        AdapterConfig::mlp_nc(),
+        AdapterConfig::mlp(8),
+        AdapterConfig::mlp(16),
+        AdapterConfig::mlp(32),
+        AdapterConfig::mlp(64),
+        AdapterConfig::mlp(128),
+        AdapterConfig::mlp(256),
+        AdapterConfig::seq(256),
+    ]
+}
+
+/// The adapter variants shown in Fig. 4.
+pub fn fig4_variants() -> Vec<AdapterConfig> {
+    vec![
+        AdapterConfig::mlp_nc(),
+        AdapterConfig::mlp(16),
+        AdapterConfig::mlp(64),
+        AdapterConfig::mlp(256),
+        AdapterConfig::seq(256),
+    ]
+}
+
+/// One Fig. 3 / Fig. 4 measurement.
+#[derive(Debug, Clone)]
+pub struct StreamRow {
+    /// Matrix name.
+    pub matrix: String,
+    /// `SELL` or `CSR`.
+    pub format: &'static str,
+    /// Full stream measurement.
+    pub result: StreamResult,
+}
+
+/// Runs the Fig. 3 sweep: indirect stream bandwidth for every suite
+/// matrix, both formats, all variants.
+///
+/// # Panics
+///
+/// Panics if any run fails verification — that is a simulator bug, not a
+/// measurement.
+pub fn fig3(opts: &ExperimentOpts) -> Vec<StreamRow> {
+    let mut rows = Vec::new();
+    for spec in suite() {
+        rows.extend(stream_rows(&spec, opts, &fig3_variants()));
+    }
+    rows
+}
+
+/// Runs the Fig. 4 subset: the six representative matrices in SELL format
+/// with the bandwidth-breakdown variants.
+pub fn fig4(opts: &ExperimentOpts) -> Vec<StreamRow> {
+    let mut rows = Vec::new();
+    for name in REPRESENTATIVE_SIX {
+        let spec = nmpic_sparse::by_name(name).expect("suite matrix");
+        let csr = spec.build_capped(opts.max_nnz);
+        let sell = Sell::from_csr_default(&csr);
+        for cfg in fig4_variants() {
+            let result =
+                run_indirect_stream(&cfg, sell.col_idx(), csr.cols(), &StreamOptions::default());
+            assert!(result.verified, "{name}/{}: gather mismatch", result.variant);
+            rows.push(StreamRow {
+                matrix: name.to_string(),
+                format: "SELL",
+                result,
+            });
+        }
+    }
+    rows
+}
+
+fn stream_rows(
+    spec: &MatrixSpec,
+    opts: &ExperimentOpts,
+    variants: &[AdapterConfig],
+) -> Vec<StreamRow> {
+    let csr = spec.build_capped(opts.max_nnz);
+    let sell = Sell::from_csr_default(&csr);
+    let mut rows = Vec::new();
+    for (format, indices) in [("SELL", sell.col_idx()), ("CSR", csr.col_idx())] {
+        for cfg in variants {
+            let result =
+                run_indirect_stream(cfg, indices, csr.cols(), &StreamOptions::default());
+            assert!(
+                result.verified,
+                "{}/{format}/{}: gather mismatch",
+                spec.name, result.variant
+            );
+            rows.push(StreamRow {
+                matrix: spec.name.to_string(),
+                format,
+                result,
+            });
+        }
+    }
+    rows
+}
+
+/// One Fig. 5 measurement: a full SpMV system run.
+#[derive(Debug, Clone)]
+pub struct SystemRow {
+    /// Matrix name.
+    pub matrix: String,
+    /// Full system report (`base`, `pack0`, `pack64`, `pack256`).
+    pub report: SpmvReport,
+}
+
+/// The pack-system adapter variants of Fig. 5.
+pub fn fig5_adapters() -> Vec<AdapterConfig> {
+    vec![
+        AdapterConfig::mlp_nc(),
+        AdapterConfig::mlp(64),
+        AdapterConfig::mlp(256),
+    ]
+}
+
+/// Runs the Fig. 5 sweep (both 5a and 5b derive from these rows): the six
+/// representative matrices on the baseline and the three pack systems.
+///
+/// # Panics
+///
+/// Panics if a pack run fails its golden-model verification.
+pub fn fig5(opts: &ExperimentOpts) -> Vec<SystemRow> {
+    let mut rows = Vec::new();
+    for name in REPRESENTATIVE_SIX {
+        rows.extend(fig5_matrix(name, opts));
+    }
+    rows
+}
+
+/// Runs the Fig. 5 systems for one named matrix.
+pub fn fig5_matrix(name: &str, opts: &ExperimentOpts) -> Vec<SystemRow> {
+    let spec = nmpic_sparse::by_name(name).expect("suite matrix");
+    let csr = spec.build_capped(opts.max_nnz);
+    let sell = Sell::from_csr_default(&csr);
+    let mut rows = Vec::new();
+    let base = run_base_spmv(&csr, &BaseConfig::default());
+    assert!(base.verified);
+    rows.push(SystemRow {
+        matrix: name.to_string(),
+        report: base,
+    });
+    for adapter in fig5_adapters() {
+        let report = run_pack_spmv(&sell, &PackConfig::with_adapter(adapter));
+        assert!(report.verified, "{name}/{}: datapath mismatch", report.label);
+        rows.push(SystemRow {
+            matrix: name.to_string(),
+            report,
+        });
+    }
+    rows
+}
+
+/// Fig. 6a rows: area breakdowns for AP64, AP128, AP256.
+pub fn fig6a() -> Vec<(String, AreaBreakdown)> {
+    [64usize, 128, 256]
+        .into_iter()
+        .map(|w| (format!("AP{w}"), adapter_area(&AdapterConfig::mlp(w))))
+        .collect()
+}
+
+/// Measures the channel's achievable streaming (STREAM-copy-like)
+/// bandwidth in GB/s by reading a long contiguous region.
+pub fn measure_stream_gbps() -> f64 {
+    let blocks: u64 = 8192;
+    let mut chan = HbmChannel::new(
+        HbmConfig::default(),
+        Memory::new((blocks as usize * 64).next_power_of_two()),
+    );
+    let mut issued = 0u64;
+    let mut received = 0u64;
+    let mut now = 0u64;
+    while received < blocks {
+        if issued < blocks
+            && chan
+                .try_request(now, WideRequest::read(issued * 64, 0))
+                .is_ok()
+            {
+                issued += 1;
+            }
+        chan.tick(now);
+        while chan.pop_response(now).is_some() {
+            received += 1;
+        }
+        now += 1;
+        assert!(now < blocks * 64, "stream measurement stalled");
+    }
+    blocks as f64 * 64.0 / now as f64
+}
+
+/// Fig. 6b rows: the efficiency comparison. Runs pack256 SpMV on the
+/// three Fig. 6b matrices to obtain this work's sustained GFLOP/s.
+pub fn fig6b(opts: &ExperimentOpts) -> Vec<EfficiencyPoint> {
+    let adapter = AdapterConfig::mlp(256);
+    let mut gflops_sum = 0.0;
+    let mut n = 0.0;
+    for name in EFFICIENCY_THREE {
+        let spec = nmpic_sparse::by_name(name).expect("suite matrix");
+        let sell = Sell::from_csr_default(&spec.build_capped(opts.max_nnz));
+        let report = run_pack_spmv(&sell, &PackConfig::with_adapter(adapter.clone()));
+        assert!(report.verified);
+        gflops_sum += report.gflops();
+        n += 1.0;
+    }
+    let stream = measure_stream_gbps();
+    vec![
+        nmpic_model::a64fx(),
+        nmpic_model::sx_aurora(),
+        nmpic_model::this_work(&adapter, gflops_sum / n, stream),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentOpts {
+        ExperimentOpts { max_nnz: 4_000 }
+    }
+
+    #[test]
+    fn fig4_produces_six_by_five_rows() {
+        let rows = fig4(&tiny());
+        assert_eq!(rows.len(), 6 * 5);
+        assert!(rows.iter().all(|r| r.result.verified));
+    }
+
+    #[test]
+    fn fig5_single_matrix_has_four_systems() {
+        let rows = fig5_matrix("pwtk", &tiny());
+        let labels: Vec<&str> = rows.iter().map(|r| r.report.label.as_str()).collect();
+        assert_eq!(labels, vec!["base", "pack0", "pack64", "pack256"]);
+    }
+
+    #[test]
+    fn fig6a_has_three_variants() {
+        let rows = fig6a();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[2].1.total_kge() > rows[0].1.total_kge());
+    }
+
+    #[test]
+    fn stream_bandwidth_is_near_peak() {
+        let gbps = measure_stream_gbps();
+        assert!(gbps > 24.0 && gbps <= 32.0, "got {gbps:.1}");
+    }
+
+    #[test]
+    fn fig6b_this_work_wins_onchip_cost() {
+        let points = fig6b(&tiny());
+        assert_eq!(points.len(), 3);
+        let tw = &points[2];
+        assert!(tw.onchip_cost() < points[0].onchip_cost());
+        assert!(tw.onchip_cost() < points[1].onchip_cost());
+    }
+}
+
+#[cfg(test)]
+mod opts_tests {
+    use super::*;
+
+    #[test]
+    fn default_cap_is_experiment_scale() {
+        assert_eq!(ExperimentOpts::default().max_nnz, 150_000);
+    }
+
+    #[test]
+    fn variant_lists_match_paper_figures() {
+        let names: Vec<String> = fig3_variants().iter().map(|v| v.variant_name()).collect();
+        assert_eq!(
+            names,
+            vec!["MLPnc", "MLP8", "MLP16", "MLP32", "MLP64", "MLP128", "MLP256", "SEQ256"]
+        );
+        let names4: Vec<String> = fig4_variants().iter().map(|v| v.variant_name()).collect();
+        assert_eq!(names4, vec!["MLPnc", "MLP16", "MLP64", "MLP256", "SEQ256"]);
+        assert_eq!(fig5_adapters().len(), 3);
+    }
+}

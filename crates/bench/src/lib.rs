@@ -1,0 +1,30 @@
+//! # nmpic-bench — experiment harness regenerating every paper table and
+//! figure
+//!
+//! One binary per artifact (see DESIGN.md's experiment index):
+//!
+//! | Artifact | Binary | What it reproduces |
+//! |----------|--------|--------------------|
+//! | Table I  | `table1` | adapter/system parameters incl. 27 kB storage |
+//! | Fig. 3   | `fig3`   | indirect stream bandwidth, 20 matrices × 8 variants × 2 formats |
+//! | Fig. 4   | `fig4`   | bandwidth breakdown + coalesce rate |
+//! | Fig. 5a  | `fig5a`  | SpMV runtime split and speedup vs base |
+//! | Fig. 5b  | `fig5b`  | off-chip traffic vs ideal + bandwidth utilization |
+//! | Fig. 6a  | `fig6a`  | adapter area breakdown (kGE, mm²) |
+//! | Fig. 6b  | `fig6b`  | on-chip cost and SpMV efficiency vs A64FX / SX-Aurora |
+//! | all      | `all_experiments` | everything above, CSVs under `results/` |
+//!
+//! Scale control: experiments cap matrix size with
+//! `NMPIC_MAX_NNZ=<nnz>` (default 150 000) or `NMPIC_QUICK=1`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+
+pub use experiments::{
+    fig3, fig3_variants, fig4, fig4_variants, fig5, fig5_adapters, fig5_matrix, fig6a, fig6b,
+    measure_stream_gbps, ExperimentOpts, StreamRow, SystemRow,
+};
+pub use output::{f, Table};

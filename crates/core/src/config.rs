@@ -1,0 +1,260 @@
+//! Adapter configuration: the paper's Table I parameters and variants.
+
+use std::fmt;
+
+use nmpic_axi::ElemSize;
+
+/// Coalescer operating mode, matching the paper's three adapter variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoalescerMode {
+    /// `MLPnc`: no coalescer; every narrow element request issues its own
+    /// wide DRAM access.
+    None,
+    /// `MLPx`: parallel coalescer — N request ports feed a W-entry window
+    /// scanned in parallel against the CSHR.
+    Parallel,
+    /// `SEQx`: the same W-entry window but requests serialized to one per
+    /// cycle through a single input port.
+    Sequential,
+}
+
+impl fmt::Display for CoalescerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoalescerMode::None => write!(f, "MLPnc"),
+            CoalescerMode::Parallel => write!(f, "MLP"),
+            CoalescerMode::Sequential => write!(f, "SEQ"),
+        }
+    }
+}
+
+/// Configuration of the AXI-Pack adapter (indirect stream unit + request
+/// coalescer).
+///
+/// Defaults reproduce the paper's Table I: index queue depth 256,
+/// up/downsizer queues 2, hitmap queue 128, offsets queues `2048 / W`,
+/// with N = 8 index lanes and a 256-entry parallel window.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_core::AdapterConfig;
+/// let cfg = AdapterConfig::mlp(256);
+/// assert_eq!(cfg.variant_name(), "MLP256");
+/// // Table I: ~27 kB of on-chip storage at W=256.
+/// let kb = cfg.storage_bytes() as f64 / 1024.0;
+/// assert!(kb > 20.0 && kb < 32.0, "got {kb}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdapterConfig {
+    /// Number of parallel index lanes (N). Must be a power of two.
+    pub lanes: usize,
+    /// Coalescing window size (W). Must be a power of two ≥ `lanes`.
+    /// Ignored in [`CoalescerMode::None`].
+    pub window: usize,
+    /// Coalescer variant.
+    pub mode: CoalescerMode,
+    /// Index width (32 b in the paper).
+    pub idx_size: ElemSize,
+    /// Element width (64 b in the paper).
+    pub elem_size: ElemSize,
+    /// Depth of each per-lane index queue.
+    pub idx_queue_depth: usize,
+    /// Depth of each upsizer request queue.
+    pub req_queue_depth: usize,
+    /// Depth of each downsizer element queue.
+    pub elem_queue_depth: usize,
+    /// Depth of the deep hitmap metadata queue.
+    pub hitmap_queue_depth: usize,
+    /// Depth of each of the W shallow offsets queues.
+    pub offsets_queue_depth: usize,
+    /// Cycles the regulator waits for a full window before forwarding a
+    /// partial one.
+    pub regulator_timeout: u32,
+    /// Cycles without watcher progress before the watchdog force-issues
+    /// the current CSHR.
+    pub watchdog_timeout: u32,
+    /// Maximum outstanding wide element reads in [`CoalescerMode::None`].
+    pub nocoal_outstanding: usize,
+    /// Whether the CSHR survives window boundaries (cross-window
+    /// coalescing, the paper's watchdog-guarded behaviour). Disabling it
+    /// forces an issue at every window boundary — an ablation of the
+    /// cache-less data-reuse mechanism.
+    pub cross_window: bool,
+}
+
+impl AdapterConfig {
+    /// The paper's `MLPx` parallel-coalescer variant with window `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two ≥ 8 (the lane count).
+    pub fn mlp(w: usize) -> Self {
+        let cfg = Self {
+            lanes: 8,
+            window: w,
+            mode: CoalescerMode::Parallel,
+            idx_size: ElemSize::B4,
+            elem_size: ElemSize::B8,
+            idx_queue_depth: 256,
+            req_queue_depth: 2,
+            elem_queue_depth: 2,
+            hitmap_queue_depth: 128,
+            offsets_queue_depth: (2048 / w).max(2),
+            regulator_timeout: 16,
+            watchdog_timeout: 32,
+            nocoal_outstanding: 64,
+            cross_window: true,
+        };
+        cfg.assert_valid();
+        cfg
+    }
+
+    /// The paper's `SEQx` sequential-coalescer variant with window `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two ≥ 8.
+    pub fn seq(w: usize) -> Self {
+        let mut cfg = Self::mlp(w);
+        cfg.mode = CoalescerMode::Sequential;
+        cfg
+    }
+
+    /// The paper's `MLPnc` variant (no coalescer).
+    pub fn mlp_nc() -> Self {
+        let mut cfg = Self::mlp(8);
+        cfg.mode = CoalescerMode::None;
+        cfg
+    }
+
+    /// Number of coalescer input/output ports: N for parallel, 1 for
+    /// sequential.
+    pub fn ports(&self) -> usize {
+        match self.mode {
+            CoalescerMode::Sequential => 1,
+            _ => self.lanes,
+        }
+    }
+
+    /// Display name in the paper's convention (`MLP256`, `SEQ256`, `MLPnc`).
+    pub fn variant_name(&self) -> String {
+        match self.mode {
+            CoalescerMode::None => "MLPnc".to_string(),
+            CoalescerMode::Parallel => format!("MLP{}", self.window),
+            CoalescerMode::Sequential => format!("SEQ{}", self.window),
+        }
+    }
+
+    /// Validates the structural constraints from the paper ("both N and W
+    /// must be powers of two and W ≥ N").
+    ///
+    /// # Panics
+    ///
+    /// Panics on violation — a misconfigured adapter must not silently run.
+    pub fn assert_valid(&self) {
+        assert!(self.lanes.is_power_of_two(), "lanes must be a power of two");
+        if self.mode != CoalescerMode::None {
+            assert!(
+                self.window.is_power_of_two(),
+                "window must be a power of two"
+            );
+            assert!(self.window >= self.lanes, "window must be >= lanes");
+        }
+        assert!(self.idx_queue_depth > 0 && self.req_queue_depth > 0);
+        assert!(self.elem_queue_depth > 0 && self.hitmap_queue_depth > 0);
+        assert!(self.offsets_queue_depth > 0);
+    }
+
+    /// Total on-chip storage of the adapter's queues in bytes — the
+    /// figure the paper reports as 27 kB for W = 256.
+    ///
+    /// Accounting per structure:
+    /// * index queues: `lanes × idx_queue_depth × idx_size` (8 kB);
+    /// * upsizer request queues: `W × req_queue_depth × 12 B`
+    ///   (48 b address + sequence/valid bookkeeping, 6 kB);
+    /// * hitmap queue: `hitmap_queue_depth × W / 8` (4 kB);
+    /// * offsets queues: `W × offsets_queue_depth × 1 B` (2 kB);
+    /// * element queues: `W × elem_queue_depth × 9 B` (64 b data + tag,
+    ///   4.5 kB);
+    /// * response staging, splitter block register and packer beat
+    ///   buffers: 2.5 kB fixed.
+    pub fn storage_bytes(&self) -> u64 {
+        let idx = (self.lanes * self.idx_queue_depth * self.idx_size.bytes()) as u64;
+        if self.mode == CoalescerMode::None {
+            // Index queues, the outstanding-request tracker, and the same
+            // fixed staging/stream-control state.
+            return idx + (self.nocoal_outstanding * 12) as u64 + 512;
+        }
+        let req = (self.window * self.req_queue_depth * 12) as u64;
+        let hitmap = (self.hitmap_queue_depth * self.window / 8) as u64;
+        let offsets = (self.window * self.offsets_queue_depth) as u64;
+        let elems = (self.window * self.elem_queue_depth * 9) as u64;
+        let staging = 2560;
+        idx + req + hitmap + offsets + elems + staging
+    }
+}
+
+impl Default for AdapterConfig {
+    /// The paper's headline configuration: `MLP256`.
+    fn default() -> Self {
+        Self::mlp(256)
+    }
+}
+
+impl fmt::Display for AdapterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.variant_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_match_paper() {
+        assert_eq!(AdapterConfig::mlp_nc().variant_name(), "MLPnc");
+        assert_eq!(AdapterConfig::mlp(64).variant_name(), "MLP64");
+        assert_eq!(AdapterConfig::seq(256).variant_name(), "SEQ256");
+    }
+
+    #[test]
+    fn table1_storage_is_about_27kb() {
+        let cfg = AdapterConfig::mlp(256);
+        let kb = cfg.storage_bytes() as f64 / 1024.0;
+        assert!((20.0..32.0).contains(&kb), "storage {kb:.1} kB");
+    }
+
+    #[test]
+    fn offsets_depth_follows_table1_formula() {
+        assert_eq!(AdapterConfig::mlp(256).offsets_queue_depth, 8); // 2048/256
+        assert_eq!(AdapterConfig::mlp(64).offsets_queue_depth, 32); // 2048/64
+    }
+
+    #[test]
+    fn seq_has_one_port() {
+        assert_eq!(AdapterConfig::seq(64).ports(), 1);
+        assert_eq!(AdapterConfig::mlp(64).ports(), 8);
+        assert_eq!(AdapterConfig::mlp_nc().ports(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= lanes")]
+    fn window_smaller_than_lanes_panics() {
+        let _ = AdapterConfig::mlp(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_window_panics() {
+        let _ = AdapterConfig::mlp(48);
+    }
+
+    #[test]
+    fn storage_scales_with_window() {
+        let s64 = AdapterConfig::mlp(64).storage_bytes();
+        let s256 = AdapterConfig::mlp(256).storage_bytes();
+        assert!(s256 > s64);
+    }
+}

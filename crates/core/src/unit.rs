@@ -1,0 +1,1266 @@
+//! The AXI-Pack indirect stream unit (Fig. 2a): index fetcher, index
+//! splitter, element request generator, request coalescer, element packer,
+//! and the DRAM request arbiter.
+//!
+//! The unit executes one AXI-Pack burst at a time. For an indirect burst:
+//!
+//! 1. the **index fetcher** issues wide DRAM reads covering the index
+//!    array, throttled by index-queue credits;
+//! 2. the **index splitter** deals arriving indices element-round-robin
+//!    into the N lane queues (stream position `k` → lane `k mod N`);
+//! 3. the **element request generator** turns lane-queue indices into
+//!    narrow element requests (`elem_base + idx × elem_size`);
+//! 4. the **request coalescer** merges them into wide DRAM accesses
+//!    ([`crate::Coalescer`]); in `MLPnc` each request issues its own wide
+//!    access instead;
+//! 5. the **element packer** restores stream order and packs elements
+//!    densely into 512 b beats.
+//!
+//! Contiguous and strided bursts reuse the same downstream machinery
+//! (strided requests feed the coalescer directly, with no index fetch).
+
+use std::collections::VecDeque;
+
+use nmpic_axi::{Beat, ElemSize, PackRequest, Packer};
+use nmpic_mem::{block_addr, block_offset, Block, ChannelPort, WideRequest, BLOCK_BYTES};
+use nmpic_sim::{Cycle, Fifo};
+
+use crate::coalescer::{Coalescer, CoalescerStats};
+use crate::config::{AdapterConfig, CoalescerMode};
+use crate::request::{ElemOut, ElemRequest};
+
+/// Routing tag for index-fetch wide reads.
+const TAG_IDX: u64 = 1;
+/// Routing tag for element-fetch wide reads.
+const TAG_ELEM: u64 = 2;
+/// Routing tag for contiguous-burst wide reads.
+const TAG_CONTIG: u64 = 3;
+
+/// Error returned by [`IndirectStreamUnit::begin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginError {
+    /// A burst is still in flight; wait for [`IndirectStreamUnit::is_done`].
+    Busy,
+    /// The burst geometry is invalid (zero elements).
+    EmptyBurst,
+}
+
+impl std::fmt::Display for BeginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeginError::Busy => write!(f, "a burst is already in flight"),
+            BeginError::EmptyBurst => write!(f, "burst describes zero elements"),
+        }
+    }
+}
+
+impl std::error::Error for BeginError {}
+
+/// Cumulative traffic and delivery statistics of the unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdapterStats {
+    /// Elements delivered upstream (packed into beats).
+    pub elements_delivered: u64,
+    /// Upstream payload bytes (elements × element width).
+    pub payload_bytes: u64,
+    /// Wide reads issued for index fetching.
+    pub idx_wide_reads: u64,
+    /// Wide reads issued for element fetching (coalesced or not).
+    pub elem_wide_reads: u64,
+    /// Wide reads issued for contiguous bursts.
+    pub contig_wide_reads: u64,
+    /// 512 b beats emitted upstream.
+    pub beats_emitted: u64,
+}
+
+impl AdapterStats {
+    /// Downstream bytes spent fetching indices.
+    pub fn idx_bytes(&self) -> u64 {
+        self.idx_wide_reads * BLOCK_BYTES as u64
+    }
+
+    /// Downstream bytes spent fetching elements.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_wide_reads * BLOCK_BYTES as u64
+    }
+
+    /// The paper's *coalesce rate*: effective indirect payload over the
+    /// data requested downstream for elements. 0.125 for `MLPnc`
+    /// (8 B useful per 64 B access); above 1.0 when blocks are reused.
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.elem_wide_reads == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.elem_bytes() as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ActiveBurst {
+    Indirect {
+        elem_base: u64,
+        elem_size: ElemSize,
+    },
+    Contiguous {
+        elem_size: ElemSize,
+    },
+    Strided {
+        base: u64,
+        stride: u64,
+        elem_size: ElemSize,
+        count: u64,
+        next: u64,
+    },
+}
+
+/// The AXI-Pack adapter's indirect stream unit.
+///
+/// Drive with [`IndirectStreamUnit::begin`], then call
+/// [`IndirectStreamUnit::tick`] once per cycle with the DRAM channel, and
+/// drain beats with [`IndirectStreamUnit::pop_beat`].
+///
+/// # Example
+///
+/// ```
+/// use nmpic_core::{AdapterConfig, IndirectStreamUnit};
+/// use nmpic_axi::{PackRequest, ElemSize, Unpacker};
+/// use nmpic_mem::{ChannelPort, IdealChannel, Memory};
+///
+/// let mut mem = Memory::new(1 << 16);
+/// let idx_base = mem.alloc(4 * 4, 64);
+/// let elem_base = mem.alloc(8 * 16, 64);
+/// mem.write_u32_slice(idx_base, &[3, 0, 2, 3]);
+/// for i in 0..16u64 { mem.write_u64(elem_base + 8 * i, 100 + i); }
+///
+/// let mut chan = IdealChannel::new(mem, 10, 2);
+/// let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(8));
+/// unit.begin(PackRequest::Indirect {
+///     idx_base, idx_size: ElemSize::B4, count: 4, elem_base, elem_size: ElemSize::B8,
+/// }).unwrap();
+///
+/// let mut got = Unpacker::new(ElemSize::B8);
+/// let mut now = 0;
+/// while !unit.is_done() {
+///     unit.tick(now, &mut chan);
+///     chan.tick(now);
+///     while let Some(beat) = unit.pop_beat() { got.push_beat(&beat); }
+///     now += 1;
+///     assert!(now < 10_000);
+/// }
+/// assert_eq!(got.drain(), vec![103, 100, 102, 103]);
+/// ```
+#[derive(Debug)]
+pub struct IndirectStreamUnit {
+    cfg: AdapterConfig,
+    burst: Option<ActiveBurst>,
+    burst_target: u64,
+    burst_delivered: u64,
+
+    // Index fetcher.
+    idx_next_block: u64,
+    idx_blocks_left: u64,
+    idx_elems_left: u64,
+    idx_cursor: u64,
+    idx_outstanding: usize,
+    idx_req_q: Fifo<WideRequest>,
+    idx_block_meta: VecDeque<(usize, usize)>,
+    idx_staging: VecDeque<Block>,
+
+    // Index splitter.
+    split_cur: Option<(Block, usize, usize)>,
+    next_split_seq: u64,
+    lane_q: Vec<Fifo<(u64, u32)>>,
+
+    // Element request generation.
+    next_gen_seq: u64,
+
+    // Coalesced path.
+    coal: Option<Coalescer>,
+    coal_held: Option<u64>,
+    elem_staging: VecDeque<Block>,
+
+    // Non-coalesced (MLPnc) path.
+    nocoal_meta: VecDeque<(u64, u8)>,
+    nocoal_req_q: Fifo<WideRequest>,
+    nocoal_outstanding: usize,
+    nocoal_out: Fifo<ElemOut>,
+
+    // Contiguous path.
+    contig_req_q: Fifo<WideRequest>,
+    contig_block_meta: VecDeque<(usize, usize)>,
+    contig_staging: VecDeque<Block>,
+    contig_outstanding: usize,
+
+    // Element packer.
+    next_pack_seq: u64,
+    packer: Packer,
+    beats: Fifo<Beat>,
+
+    // DRAM arbiter.
+    arb_rr: usize,
+    held_req: Option<(WideRequest, u64)>,
+
+    stats: AdapterStats,
+}
+
+impl IndirectStreamUnit {
+    /// Creates an idle unit with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: AdapterConfig) -> Self {
+        cfg.assert_valid();
+        let lanes = cfg.lanes;
+        let coal = (cfg.mode != CoalescerMode::None).then(|| Coalescer::new(&cfg));
+        let elem_size = cfg.elem_size;
+        Self {
+            burst: None,
+            burst_target: 0,
+            burst_delivered: 0,
+            idx_next_block: 0,
+            idx_blocks_left: 0,
+            idx_elems_left: 0,
+            idx_cursor: 0,
+            idx_outstanding: 0,
+            idx_req_q: Fifo::new("idx_req_q", 2),
+            idx_block_meta: VecDeque::new(),
+            idx_staging: VecDeque::new(),
+            split_cur: None,
+            next_split_seq: 0,
+            lane_q: (0..lanes)
+                .map(|_| Fifo::new("lane_idx_q", cfg.idx_queue_depth))
+                .collect(),
+            next_gen_seq: 0,
+            coal,
+            coal_held: None,
+            elem_staging: VecDeque::new(),
+            nocoal_meta: VecDeque::new(),
+            nocoal_req_q: Fifo::new("nocoal_req_q", 4),
+            nocoal_outstanding: 0,
+            nocoal_out: Fifo::new("nocoal_out", 4),
+            contig_req_q: Fifo::new("contig_req_q", 2),
+            contig_block_meta: VecDeque::new(),
+            contig_staging: VecDeque::new(),
+            contig_outstanding: 0,
+            next_pack_seq: 0,
+            packer: Packer::new(elem_size),
+            beats: Fifo::new("beats", 2),
+            arb_rr: 0,
+            held_req: None,
+            stats: AdapterStats::default(),
+            cfg,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &AdapterConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> AdapterStats {
+        self.stats
+    }
+
+    /// Coalescer statistics, when a coalescer is present.
+    pub fn coalescer_stats(&self) -> Option<CoalescerStats> {
+        self.coal.as_ref().map(Coalescer::stats)
+    }
+
+    /// Starts a new AXI-Pack burst.
+    ///
+    /// # Errors
+    ///
+    /// [`BeginError::Busy`] if the previous burst has not drained;
+    /// [`BeginError::EmptyBurst`] for zero-element bursts.
+    pub fn begin(&mut self, req: PackRequest) -> Result<(), BeginError> {
+        if !self.is_done_internal() {
+            return Err(BeginError::Busy);
+        }
+        if req.count() == 0 {
+            return Err(BeginError::EmptyBurst);
+        }
+        self.burst_target = req.count();
+        self.burst_delivered = 0;
+        // The packer adopts the burst's element width (e.g. 32 b slice
+        // pointers vs 64 b values); it is empty here because the previous
+        // burst fully drained.
+        debug_assert_eq!(self.packer.pending(), 0);
+        self.packer = Packer::new(req.elem_size());
+        match req {
+            PackRequest::Indirect {
+                idx_base,
+                idx_size,
+                count,
+                elem_base,
+                elem_size,
+            } => {
+                let idx_bytes = idx_size.bytes() as u64;
+                let first = block_addr(idx_base);
+                let last = block_addr(idx_base + count * idx_bytes - 1);
+                self.idx_next_block = first;
+                self.idx_blocks_left = (last - first) / BLOCK_BYTES as u64 + 1;
+                self.idx_elems_left = count;
+                self.idx_cursor = (idx_base - first) / idx_bytes;
+                self.burst = Some(ActiveBurst::Indirect {
+                    elem_base,
+                    elem_size,
+                });
+            }
+            PackRequest::Contiguous {
+                base,
+                elem_size,
+                count,
+            } => {
+                let e = elem_size.bytes() as u64;
+                let first = block_addr(base);
+                let last = block_addr(base + count * e - 1);
+                self.idx_next_block = first;
+                self.idx_blocks_left = (last - first) / BLOCK_BYTES as u64 + 1;
+                self.idx_elems_left = count;
+                self.idx_cursor = (base - first) / e;
+                self.burst = Some(ActiveBurst::Contiguous { elem_size });
+            }
+            PackRequest::Strided {
+                base,
+                stride,
+                elem_size,
+                count,
+            } => {
+                self.burst = Some(ActiveBurst::Strided {
+                    base,
+                    stride,
+                    elem_size,
+                    count,
+                    next: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when the current burst has fully drained (all elements
+    /// packed into beats and all beats consumed).
+    pub fn is_done(&self) -> bool {
+        self.is_done_internal()
+    }
+
+    fn is_done_internal(&self) -> bool {
+        self.burst_delivered == self.burst_target
+            && self.beats.is_empty()
+            && self.packer.pending() == 0
+    }
+
+    /// Pops the next packed 512 b beat, if one is ready.
+    pub fn pop_beat(&mut self) -> Option<Beat> {
+        self.beats.pop()
+    }
+
+    /// Advances the unit by one cycle against the given DRAM channel.
+    pub fn tick(&mut self, now: Cycle, chan: &mut dyn ChannelPort) {
+        self.route_responses(now, chan);
+        self.tick_packer();
+        self.tick_output_pull();
+        self.tick_contiguous_responses();
+        if let Some(coal) = self.coal.as_mut() {
+            coal.tick(now);
+        }
+        self.tick_elem_responses();
+        self.tick_request_gen();
+        self.tick_splitter();
+        self.tick_fetcher();
+        self.tick_arbiter(now, chan);
+    }
+
+    /// Routes channel read responses into the per-class staging queues.
+    /// Staging occupancy is bounded by the credit/queue limits of each
+    /// request class, so these queues never grow beyond the configured
+    /// outstanding counts.
+    fn route_responses(&mut self, now: Cycle, chan: &mut dyn ChannelPort) {
+        while let Some(resp) = chan.pop_response(now) {
+            match resp.tag {
+                TAG_IDX => self.idx_staging.push_back(*resp.data),
+                TAG_ELEM => self.elem_staging.push_back(*resp.data),
+                TAG_CONTIG => self.contig_staging.push_back(*resp.data),
+                other => unreachable!("unknown response tag {other}"),
+            }
+        }
+    }
+
+    /// Index fetcher: one wide index read per cycle, credit-limited by
+    /// lane-queue capacity.
+    fn tick_fetcher(&mut self) {
+        if !matches!(self.burst, Some(ActiveBurst::Indirect { .. })) {
+            // Contiguous bursts reuse the fetch state but a different tag
+            // and queue.
+            if matches!(self.burst, Some(ActiveBurst::Contiguous { .. })) {
+                self.tick_contig_fetcher();
+            }
+            return;
+        }
+        if self.idx_blocks_left == 0 || self.idx_req_q.is_full() {
+            return;
+        }
+        let idx_per_block = BLOCK_BYTES / self.cfg.idx_size.bytes();
+        let start = self.idx_cursor as usize;
+        let cnt = ((idx_per_block - start) as u64).min(self.idx_elems_left) as usize;
+        let capacity = self.cfg.lanes * self.cfg.idx_queue_depth;
+        if self.idx_outstanding + cnt > capacity {
+            return;
+        }
+        self.idx_req_q
+            .try_push(WideRequest::read(self.idx_next_block, TAG_IDX))
+            .expect("checked not full");
+        self.idx_block_meta.push_back((start, cnt));
+        self.idx_outstanding += cnt;
+        self.idx_next_block += BLOCK_BYTES as u64;
+        self.idx_blocks_left -= 1;
+        self.idx_elems_left -= cnt as u64;
+        self.idx_cursor = 0;
+        self.stats.idx_wide_reads += 1;
+    }
+
+    /// Contiguous-burst fetcher: one wide read per cycle, bounded
+    /// outstanding.
+    fn tick_contig_fetcher(&mut self) {
+        if self.idx_blocks_left == 0 || self.contig_req_q.is_full() || self.contig_outstanding >= 16
+        {
+            return;
+        }
+        let Some(ActiveBurst::Contiguous { elem_size }) = &self.burst else {
+            return;
+        };
+        let per_block = BLOCK_BYTES / elem_size.bytes();
+        let start = self.idx_cursor as usize;
+        let cnt = ((per_block - start) as u64).min(self.idx_elems_left) as usize;
+        self.contig_req_q
+            .try_push(WideRequest::read(self.idx_next_block, TAG_CONTIG))
+            .expect("checked not full");
+        self.contig_block_meta.push_back((start, cnt));
+        self.contig_outstanding += 1;
+        self.idx_next_block += BLOCK_BYTES as u64;
+        self.idx_blocks_left -= 1;
+        self.idx_elems_left -= cnt as u64;
+        self.idx_cursor = 0;
+        self.stats.contig_wide_reads += 1;
+    }
+
+    /// Index splitter: deals up to one wide block of indices per cycle
+    /// into the lane queues, element-round-robin.
+    fn tick_splitter(&mut self) {
+        if self.split_cur.is_none() {
+            if let Some(block) = self.idx_staging.pop_front() {
+                let (start, cnt) = self
+                    .idx_block_meta
+                    .pop_front()
+                    .expect("meta pushed at issue");
+                self.split_cur = Some((block, start, cnt));
+            } else {
+                return;
+            }
+        }
+        let lanes = self.cfg.lanes as u64;
+        let idx_bytes = self.cfg.idx_size.bytes();
+        let (block, start, cnt) = self.split_cur.as_mut().expect("set above");
+        while *cnt > 0 {
+            let lane = (self.next_split_seq % lanes) as usize;
+            if self.lane_q[lane].is_full() {
+                return; // stall mid-block; resume next cycle
+            }
+            let lo = *start * idx_bytes;
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&block[lo..lo + idx_bytes.min(4)]);
+            let idx = u32::from_le_bytes(buf);
+            self.lane_q[lane]
+                .try_push((self.next_split_seq, idx))
+                .expect("checked space");
+            self.next_split_seq += 1;
+            *start += 1;
+            *cnt -= 1;
+        }
+        self.split_cur = None;
+    }
+
+    /// Element request generator: lane indices → narrow element requests.
+    fn tick_request_gen(&mut self) {
+        let (elem_base, elem_bytes) = match &self.burst {
+            Some(ActiveBurst::Indirect {
+                elem_base,
+                elem_size,
+            }) => (*elem_base, elem_size.bytes() as u64),
+            Some(ActiveBurst::Strided { .. }) => {
+                self.tick_strided_gen();
+                return;
+            }
+            _ => return,
+        };
+        match self.cfg.mode {
+            CoalescerMode::Parallel => {
+                let coal = self.coal.as_mut().expect("parallel mode has coalescer");
+                for lane in 0..self.cfg.lanes {
+                    if self.lane_q[lane].is_empty() || !coal.can_accept(lane) {
+                        continue;
+                    }
+                    let (seq, idx) = self.lane_q[lane].pop().expect("nonempty");
+                    let addr = elem_base + idx as u64 * elem_bytes;
+                    let ok = coal.try_push_request(lane, ElemRequest { seq, addr });
+                    debug_assert!(ok, "can_accept checked");
+                    self.idx_outstanding -= 1;
+                }
+            }
+            CoalescerMode::Sequential => {
+                // One request per cycle, in stream order, through port 0.
+                let coal = self.coal.as_mut().expect("seq mode has coalescer");
+                let lane = (self.next_gen_seq % self.cfg.lanes as u64) as usize;
+                if !self.lane_q[lane].is_empty() && coal.can_accept(0) {
+                    let (seq, idx) = self.lane_q[lane].pop().expect("nonempty");
+                    debug_assert_eq!(seq, self.next_gen_seq);
+                    let addr = elem_base + idx as u64 * elem_bytes;
+                    let ok = coal.try_push_request(0, ElemRequest { seq, addr });
+                    debug_assert!(ok, "can_accept checked");
+                    self.next_gen_seq += 1;
+                    self.idx_outstanding -= 1;
+                }
+            }
+            CoalescerMode::None => {
+                // Each narrow request becomes its own wide read, in stream
+                // order, bounded by the outstanding-request credit.
+                while !self.nocoal_req_q.is_full()
+                    && self.nocoal_outstanding < self.cfg.nocoal_outstanding
+                {
+                    let lane = (self.next_gen_seq % self.cfg.lanes as u64) as usize;
+                    let Some(&(seq, idx)) = self.lane_q[lane].peek() else {
+                        break;
+                    };
+                    debug_assert_eq!(seq, self.next_gen_seq);
+                    self.lane_q[lane].pop();
+                    let addr = elem_base + idx as u64 * elem_bytes;
+                    let offset = (block_offset(addr) / elem_bytes as usize) as u8;
+                    self.nocoal_req_q
+                        .try_push(WideRequest::read(addr, TAG_ELEM))
+                        .expect("checked not full");
+                    self.nocoal_meta.push_back((seq, offset));
+                    self.nocoal_outstanding += 1;
+                    self.next_gen_seq += 1;
+                    self.idx_outstanding -= 1;
+                    self.stats.elem_wide_reads += 1;
+                }
+            }
+        }
+    }
+
+    /// Strided bursts synthesize element requests directly (no index
+    /// fetch) and stream through the same coalescer/no-coalescer path.
+    fn tick_strided_gen(&mut self) {
+        let Some(ActiveBurst::Strided {
+            base,
+            stride,
+            elem_size,
+            count,
+            next,
+        }) = &mut self.burst
+        else {
+            return;
+        };
+        let elem_size = *elem_size;
+        match self.cfg.mode {
+            CoalescerMode::None => {
+                while *next < *count
+                    && !self.nocoal_req_q.is_full()
+                    && self.nocoal_outstanding < self.cfg.nocoal_outstanding
+                {
+                    let seq = *next;
+                    let addr = *base + seq * *stride;
+                    let elem_bytes = elem_size.bytes();
+                    let offset = (block_offset(addr) / elem_bytes) as u8;
+                    self.nocoal_req_q
+                        .try_push(WideRequest::read(addr, TAG_ELEM))
+                        .expect("checked not full");
+                    self.nocoal_meta.push_back((seq, offset));
+                    self.nocoal_outstanding += 1;
+                    self.stats.elem_wide_reads += 1;
+                    *next += 1;
+                }
+            }
+            _ => {
+                let coal = self.coal.as_mut().expect("coalescer present");
+                let ports = coal.ports() as u64;
+                for _ in 0..ports {
+                    if *next >= *count {
+                        break;
+                    }
+                    let seq = *next;
+                    let port = (seq % ports) as usize;
+                    if !coal.can_accept(port) {
+                        break;
+                    }
+                    let addr = *base + seq * *stride;
+                    let ok = coal.try_push_request(port, ElemRequest { seq, addr });
+                    debug_assert!(ok);
+                    *next += 1;
+                }
+            }
+        }
+    }
+
+    /// MLPnc response handling: one element per wide response.
+    fn tick_elem_responses(&mut self) {
+        if self.cfg.mode != CoalescerMode::None {
+            // Coalesced path: offer the head response to the splitter.
+            if let Some(block) = self.elem_staging.front() {
+                let coal = self.coal.as_mut().expect("coalescer present");
+                if coal.offer_response(*block) {
+                    self.elem_staging.pop_front();
+                }
+            }
+            return;
+        }
+        if self.nocoal_out.is_full() {
+            return;
+        }
+        let Some(block) = self.elem_staging.pop_front() else {
+            return;
+        };
+        let (seq, offset) = self
+            .nocoal_meta
+            .pop_front()
+            .expect("meta pushed at request");
+        let e = self.cfg.elem_size.bytes();
+        let lo = offset as usize * e;
+        let mut buf = [0u8; 8];
+        buf[..e].copy_from_slice(&block[lo..lo + e]);
+        self.nocoal_out
+            .try_push(ElemOut {
+                seq,
+                value: u64::from_le_bytes(buf),
+            })
+            .expect("checked space");
+        self.nocoal_outstanding -= 1;
+    }
+
+    /// Contiguous responses: extract in-order elements straight into the
+    /// packer (budget: one block per cycle).
+    fn tick_contiguous_responses(&mut self) {
+        let Some(ActiveBurst::Contiguous { elem_size }) = self.burst else {
+            return;
+        };
+        if self.packer.pending() >= elem_size.per_beat() {
+            return; // let the packer drain first
+        }
+        let Some(block) = self.contig_staging.pop_front() else {
+            return;
+        };
+        let (start, cnt) = self
+            .contig_block_meta
+            .pop_front()
+            .expect("meta pushed at issue");
+        let e = elem_size.bytes();
+        for k in 0..cnt {
+            let lo = (start + k) * e;
+            let mut buf = [0u8; 8];
+            buf[..e].copy_from_slice(&block[lo..lo + e]);
+            self.packer.push(u64::from_le_bytes(buf));
+            self.burst_delivered += 1;
+            self.stats.elements_delivered += 1;
+            self.stats.payload_bytes += e as u64;
+        }
+        self.contig_outstanding -= 1;
+    }
+
+    /// Pulls coalescer/no-coalescer outputs into the packer in stream
+    /// order, up to one element per output port per cycle.
+    fn tick_output_pull(&mut self) {
+        if matches!(self.burst, Some(ActiveBurst::Contiguous { .. })) || self.burst.is_none() {
+            return;
+        }
+        let e = self.cfg.elem_size.bytes() as u64;
+        match self.cfg.mode {
+            CoalescerMode::None => {
+                if let Some(out) = self.nocoal_out.pop() {
+                    debug_assert_eq!(out.seq, self.next_pack_seq);
+                    self.packer.push(out.value);
+                    self.next_pack_seq += 1;
+                    self.burst_delivered += 1;
+                    self.stats.elements_delivered += 1;
+                    self.stats.payload_bytes += e;
+                }
+            }
+            _ => {
+                let coal = self.coal.as_mut().expect("coalescer present");
+                let ports = coal.ports() as u64;
+                for _ in 0..ports {
+                    let port = (self.next_pack_seq % ports) as usize;
+                    match coal.pop_output(port) {
+                        Some(out) => {
+                            debug_assert_eq!(out.seq, self.next_pack_seq, "stream order");
+                            self.packer.push(out.value);
+                            self.next_pack_seq += 1;
+                            self.burst_delivered += 1;
+                            self.stats.elements_delivered += 1;
+                            self.stats.payload_bytes += e;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits at most one beat per cycle upstream (the 512 b R channel).
+    fn tick_packer(&mut self) {
+        if self.beats.is_full() {
+            return;
+        }
+        if let Some(beat) = self.packer.pop_beat() {
+            self.stats.beats_emitted += 1;
+            self.beats.try_push(beat).expect("checked not full");
+        } else if self.burst_delivered == self.burst_target && self.packer.pending() > 0 {
+            let beat = self.packer.flush().expect("pending > 0");
+            self.stats.beats_emitted += 1;
+            self.beats.try_push(beat).expect("checked not full");
+        }
+    }
+
+    /// Round-robin arbiter: one wide request per cycle to the channel,
+    /// among {index fetch, element fetch, contiguous fetch}.
+    fn tick_arbiter(&mut self, now: Cycle, chan: &mut dyn ChannelPort) {
+        if self.held_req.is_none() {
+            // Stage a coalescer wide request into the common slot first.
+            if self.coal_held.is_none() {
+                if let Some(coal) = self.coal.as_mut() {
+                    self.coal_held = coal.pop_wide_request();
+                }
+            }
+            // Round-robin over the three sources.
+            for i in 0..3 {
+                let src = (self.arb_rr + i) % 3;
+                let req = match src {
+                    0 => self.idx_req_q.pop(),
+                    1 => match self.cfg.mode {
+                        CoalescerMode::None => self.nocoal_req_q.pop(),
+                        _ => self.coal_held.take().map(|blk| {
+                            self.stats.elem_wide_reads += 1;
+                            WideRequest::read(blk, TAG_ELEM)
+                        }),
+                    },
+                    _ => self.contig_req_q.pop(),
+                };
+                if let Some(req) = req {
+                    self.held_req = Some((req, 0));
+                    self.arb_rr = (src + 1) % 3;
+                    break;
+                }
+            }
+        }
+        if let Some((req, _)) = self.held_req.take() {
+            if let Err(back) = chan.try_request(now, req) {
+                self.held_req = Some((back, 0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmpic_mem::{HbmChannel, HbmConfig, IdealChannel, Memory};
+
+    /// Runs a full indirect burst and returns (values, cycles).
+    fn gather<C: ChannelPort>(
+        chan: &mut C,
+        cfg: AdapterConfig,
+        indices: &[u32],
+        elem_base: u64,
+        idx_base: u64,
+    ) -> (Vec<u64>, u64) {
+        let mut unit = IndirectStreamUnit::new(cfg);
+        unit.begin(PackRequest::Indirect {
+            idx_base,
+            idx_size: ElemSize::B4,
+            count: indices.len() as u64,
+            elem_base,
+            elem_size: ElemSize::B8,
+        })
+        .unwrap();
+        let mut got = nmpic_axi::Unpacker::new(ElemSize::B8);
+        let mut now = 0;
+        while !unit.is_done() {
+            unit.tick(now, chan);
+            chan.tick(now);
+            while let Some(beat) = unit.pop_beat() {
+                got.push_beat(&beat);
+            }
+            now += 1;
+            assert!(
+                now < 200_000 + indices.len() as u64 * 200,
+                "adapter deadlock"
+            );
+        }
+        (got.drain(), now)
+    }
+
+    fn setup(indices: &[u32], vec_len: usize) -> (Memory, u64, u64) {
+        let need = 4 * indices.len() + 8 * vec_len + 4096;
+        let size = need.next_multiple_of(64).next_power_of_two();
+        let mut mem = Memory::new(size);
+        let idx_base = mem.alloc_array(indices.len() as u64, 4);
+        let elem_base = mem.alloc_array(vec_len as u64, 8);
+        mem.write_u32_slice(idx_base, indices);
+        for i in 0..vec_len as u64 {
+            mem.write_u64(elem_base + 8 * i, golden(i));
+        }
+        (mem, idx_base, elem_base)
+    }
+
+    fn golden(i: u64) -> u64 {
+        i.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xABCD
+    }
+
+    fn check_all(cfg: AdapterConfig, indices: &[u32], vec_len: usize) -> (AdapterStats, u64) {
+        let (mem, idx_base, elem_base) = setup(indices, vec_len);
+        let mut chan = IdealChannel::new(mem, 20, 2);
+        let unit_stats;
+        let (values, cycles) = {
+            let mut unit = IndirectStreamUnit::new(cfg);
+            unit.begin(PackRequest::Indirect {
+                idx_base,
+                idx_size: ElemSize::B4,
+                count: indices.len() as u64,
+                elem_base,
+                elem_size: ElemSize::B8,
+            })
+            .unwrap();
+            let mut got = nmpic_axi::Unpacker::new(ElemSize::B8);
+            let mut now = 0;
+            while !unit.is_done() {
+                unit.tick(now, &mut chan);
+                chan.tick(now);
+                while let Some(beat) = unit.pop_beat() {
+                    got.push_beat(&beat);
+                }
+                now += 1;
+                assert!(now < 100_000 + indices.len() as u64 * 300, "deadlock");
+            }
+            unit_stats = unit.stats();
+            (got.drain(), now)
+        };
+        assert_eq!(values.len(), indices.len());
+        for (k, &v) in values.iter().enumerate() {
+            assert_eq!(v, golden(indices[k] as u64), "element {k}");
+        }
+        (unit_stats, cycles)
+    }
+
+    #[test]
+    fn mlp_gathers_correctly_sequential_indices() {
+        let indices: Vec<u32> = (0..200u32).collect();
+        check_all(AdapterConfig::mlp(8), &indices, 256);
+    }
+
+    #[test]
+    fn mlp_gathers_correctly_random_indices() {
+        let indices: Vec<u32> = (0..500u32)
+            .map(|k| ((k as u64).wrapping_mul(2654435761) % 1000) as u32)
+            .collect();
+        for cfg in [
+            AdapterConfig::mlp(8),
+            AdapterConfig::mlp(64),
+            AdapterConfig::mlp(256),
+        ] {
+            check_all(cfg, &indices, 1000);
+        }
+    }
+
+    #[test]
+    fn seq_and_nocoal_gather_correctly() {
+        let indices: Vec<u32> = (0..300u32)
+            .map(|k| ((k as u64 * 48271) % 512) as u32)
+            .collect();
+        check_all(AdapterConfig::seq(64), &indices, 512);
+        check_all(AdapterConfig::mlp_nc(), &indices, 512);
+    }
+
+    #[test]
+    fn unaligned_index_base_handled() {
+        // idx_base not block-aligned: first block is partial.
+        let indices: Vec<u32> = (0..100u32).map(|k| k % 64).collect();
+        let (mut mem, _, _) = setup(&indices, 64);
+        // Rewrite indices at an offset 20 bytes into a block.
+        let idx_base = mem.alloc(4 * indices.len() as u64 + 20, 64) + 20;
+        mem.write_u32_slice(idx_base, &indices);
+        let elem_base = {
+            // Elements already written by setup at their base; find them by
+            // writing again at a fresh region for clarity.
+            let base = mem.alloc_array(64, 8);
+            for i in 0..64u64 {
+                mem.write_u64(base + 8 * i, golden(i));
+            }
+            base
+        };
+        let mut chan = IdealChannel::new(mem, 10, 2);
+        let (values, _) = gather(
+            &mut chan,
+            AdapterConfig::mlp(16),
+            &indices,
+            elem_base,
+            idx_base,
+        );
+        for (k, &v) in values.iter().enumerate() {
+            assert_eq!(v, golden(indices[k] as u64));
+        }
+    }
+
+    #[test]
+    fn coalescing_reduces_elem_traffic_on_local_stream() {
+        // All indices inside one 8-element block region.
+        let indices: Vec<u32> = (0..256u32).map(|k| k % 8).collect();
+        let (nc, _) = check_all(AdapterConfig::mlp_nc(), &indices, 64);
+        let (mlp, _) = check_all(AdapterConfig::mlp(64), &indices, 64);
+        assert_eq!(nc.elem_wide_reads, 256, "MLPnc: one wide read per element");
+        assert!(
+            mlp.elem_wide_reads <= 8,
+            "coalescer must merge, got {}",
+            mlp.elem_wide_reads
+        );
+        assert!(mlp.coalesce_rate() > 1.0);
+        assert!((nc.coalesce_rate() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_window_is_faster_on_local_stream() {
+        let indices: Vec<u32> = (0..2000u32)
+            .map(|k| (k / 4) % 512) // runs of 4 identical indices
+            .collect();
+        let (_, c_nc) = check_all(AdapterConfig::mlp_nc(), &indices, 512);
+        let (_, c_256) = check_all(AdapterConfig::mlp(256), &indices, 512);
+        assert!(
+            c_256 * 2 < c_nc,
+            "MLP256 ({c_256}) should beat MLPnc ({c_nc}) by >2x on local streams"
+        );
+    }
+
+    #[test]
+    fn seq_is_slower_than_parallel_same_window() {
+        // Local pattern (runs of 8 consecutive indices) so the stream is
+        // not DRAM-bound: the parallel coalescer can exceed one element
+        // per cycle while SEQ is port-limited to one.
+        let indices: Vec<u32> = (0..3000u32).map(|k| (k / 8) * 8 % 2048 + k % 8).collect();
+        let (_, c_mlp) = check_all(AdapterConfig::mlp(64), &indices, 2048);
+        let (_, c_seq) = check_all(AdapterConfig::seq(64), &indices, 2048);
+        assert!(
+            c_seq as f64 > c_mlp as f64 * 1.3,
+            "SEQ ({c_seq}) must be clearly slower than MLP ({c_mlp}) on local streams"
+        );
+    }
+
+    #[test]
+    fn works_against_hbm_channel() {
+        let indices: Vec<u32> = (0..400u32)
+            .map(|k| ((k as u64 * 1103515245 + 12345) % 4096) as u32)
+            .collect();
+        let (mem, idx_base, elem_base) = setup(&indices, 4096);
+        let mut chan = HbmChannel::new(HbmConfig::default(), mem);
+        let (values, _) = gather(
+            &mut chan,
+            AdapterConfig::mlp(256),
+            &indices,
+            elem_base,
+            idx_base,
+        );
+        for (k, &v) in values.iter().enumerate() {
+            assert_eq!(v, golden(indices[k] as u64), "element {k}");
+        }
+    }
+
+    #[test]
+    fn contiguous_burst_streams_in_order() {
+        let mut mem = Memory::new(1 << 16);
+        let base = mem.alloc_array(100, 8);
+        for i in 0..100u64 {
+            mem.write_u64(base + 8 * i, 1000 + i);
+        }
+        let mut chan = IdealChannel::new(mem, 10, 2);
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(8));
+        unit.begin(PackRequest::Contiguous {
+            base,
+            elem_size: ElemSize::B8,
+            count: 100,
+        })
+        .unwrap();
+        let mut got = nmpic_axi::Unpacker::new(ElemSize::B8);
+        let mut now = 0;
+        while !unit.is_done() {
+            unit.tick(now, &mut chan);
+            chan.tick(now);
+            while let Some(beat) = unit.pop_beat() {
+                got.push_beat(&beat);
+            }
+            now += 1;
+            assert!(now < 10_000);
+        }
+        let vals = got.drain();
+        assert_eq!(vals, (1000..1100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn strided_burst_gathers_every_other_element() {
+        let mut mem = Memory::new(1 << 16);
+        let base = mem.alloc_array(128, 8);
+        for i in 0..128u64 {
+            mem.write_u64(base + 8 * i, 7 * i);
+        }
+        let mut chan = IdealChannel::new(mem, 10, 2);
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(8));
+        unit.begin(PackRequest::Strided {
+            base,
+            stride: 16,
+            elem_size: ElemSize::B8,
+            count: 64,
+        })
+        .unwrap();
+        let mut got = nmpic_axi::Unpacker::new(ElemSize::B8);
+        let mut now = 0;
+        while !unit.is_done() {
+            unit.tick(now, &mut chan);
+            chan.tick(now);
+            while let Some(beat) = unit.pop_beat() {
+                got.push_beat(&beat);
+            }
+            now += 1;
+            assert!(now < 20_000);
+        }
+        let vals = got.drain();
+        assert_eq!(vals.len(), 64);
+        for (k, &v) in vals.iter().enumerate() {
+            assert_eq!(v, 7 * 2 * k as u64);
+        }
+    }
+
+    #[test]
+    fn begin_while_busy_is_rejected() {
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(8));
+        unit.begin(PackRequest::Contiguous {
+            base: 0,
+            elem_size: ElemSize::B8,
+            count: 8,
+        })
+        .unwrap();
+        let err = unit.begin(PackRequest::Contiguous {
+            base: 0,
+            elem_size: ElemSize::B8,
+            count: 8,
+        });
+        assert_eq!(err, Err(BeginError::Busy));
+    }
+
+    #[test]
+    fn empty_burst_is_rejected() {
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(8));
+        let err = unit.begin(PackRequest::Contiguous {
+            base: 0,
+            elem_size: ElemSize::B8,
+            count: 0,
+        });
+        assert_eq!(err, Err(BeginError::EmptyBurst));
+    }
+
+    #[test]
+    fn back_to_back_bursts_reuse_the_unit() {
+        let indices: Vec<u32> = (0..64u32).collect();
+        let (mem, idx_base, elem_base) = setup(&indices, 64);
+        let mut chan = IdealChannel::new(mem, 10, 2);
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(16));
+        for _ in 0..3 {
+            unit.begin(PackRequest::Indirect {
+                idx_base,
+                idx_size: ElemSize::B4,
+                count: 64,
+                elem_base,
+                elem_size: ElemSize::B8,
+            })
+            .unwrap();
+            let mut got = nmpic_axi::Unpacker::new(ElemSize::B8);
+            let mut now = 0;
+            while !unit.is_done() {
+                unit.tick(now, &mut chan);
+                chan.tick(now);
+                while let Some(beat) = unit.pop_beat() {
+                    got.push_beat(&beat);
+                }
+                now += 1;
+                assert!(now < 50_000);
+            }
+            let vals = got.drain();
+            assert_eq!(vals.len(), 64);
+            for (k, &v) in vals.iter().enumerate() {
+                assert_eq!(v, golden(k as u64));
+            }
+        }
+        assert_eq!(unit.stats().elements_delivered, 192);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use nmpic_mem::{IdealChannel, Memory};
+
+    fn drive(unit: &mut IndirectStreamUnit, chan: &mut IdealChannel) -> Vec<u64> {
+        let mut got = nmpic_axi::Unpacker::new(unit.config().elem_size);
+        let mut now = 0;
+        while !unit.is_done() {
+            unit.tick(now, chan);
+            chan.tick(now);
+            while let Some(beat) = unit.pop_beat() {
+                got.push_beat(&beat);
+            }
+            now += 1;
+            assert!(now < 500_000, "deadlock");
+        }
+        got.drain()
+    }
+
+    /// Element base that is element-aligned but not block-aligned: block
+    /// offsets must still resolve correctly.
+    #[test]
+    fn unaligned_element_base() {
+        let mut mem = Memory::new(1 << 16);
+        let idx_base = mem.alloc_array(32, 4);
+        let region = mem.alloc(8 * 40 + 8, 64);
+        let elem_base = region + 8; // 8-aligned, not 64-aligned
+        let indices: Vec<u32> = (0..32u32).map(|k| (k * 5) % 40).collect();
+        mem.write_u32_slice(idx_base, &indices);
+        for i in 0..40u64 {
+            mem.write_u64(elem_base + 8 * i, 7000 + i);
+        }
+        let mut chan = IdealChannel::new(mem, 8, 2);
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(16));
+        unit.begin(PackRequest::Indirect {
+            idx_base,
+            idx_size: ElemSize::B4,
+            count: 32,
+            elem_base,
+            elem_size: ElemSize::B8,
+        })
+        .unwrap();
+        let vals = drive(&mut unit, &mut chan);
+        for (k, &v) in vals.iter().enumerate() {
+            assert_eq!(v, 7000 + indices[k] as u64, "element {k}");
+        }
+    }
+
+    /// A 32 b contiguous burst (like the prefetcher's slice-pointer
+    /// stream) delivers 16 elements per beat in order.
+    #[test]
+    fn contiguous_32b_burst() {
+        let mut mem = Memory::new(1 << 14);
+        let base = mem.alloc_array(50, 4);
+        let data: Vec<u32> = (0..50u32).map(|i| 100 + i).collect();
+        mem.write_u32_slice(base, &data);
+        let mut chan = IdealChannel::new(mem, 6, 2);
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(8));
+        unit.begin(PackRequest::Contiguous {
+            base,
+            elem_size: ElemSize::B4,
+            count: 50,
+        })
+        .unwrap();
+        let mut got = nmpic_axi::Unpacker::new(ElemSize::B4);
+        let mut now = 0;
+        while !unit.is_done() {
+            unit.tick(now, &mut chan);
+            chan.tick(now);
+            while let Some(beat) = unit.pop_beat() {
+                assert_eq!(beat.elem_size, ElemSize::B4);
+                got.push_beat(&beat);
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        let vals = got.drain();
+        assert_eq!(vals.len(), 50);
+        for (k, &v) in vals.iter().enumerate() {
+            assert_eq!(v, 100 + k as u64);
+        }
+    }
+
+    /// Strided burst through the sequential coalescer variant.
+    #[test]
+    fn strided_burst_seq_mode() {
+        let mut mem = Memory::new(1 << 14);
+        let base = mem.alloc_array(64, 8);
+        for i in 0..64u64 {
+            mem.write_u64(base + 8 * i, i * i);
+        }
+        let mut chan = IdealChannel::new(mem, 6, 2);
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::seq(32));
+        unit.begin(PackRequest::Strided {
+            base,
+            stride: 24,
+            elem_size: ElemSize::B8,
+            count: 20,
+        })
+        .unwrap();
+        let vals = drive(&mut unit, &mut chan);
+        for (k, &v) in vals.iter().enumerate() {
+            let i = 3 * k as u64;
+            assert_eq!(v, i * i);
+        }
+    }
+
+    /// Strided burst in MLPnc mode (one wide read per element).
+    #[test]
+    fn strided_burst_nocoal_mode() {
+        let mut mem = Memory::new(1 << 14);
+        let base = mem.alloc_array(64, 8);
+        for i in 0..64u64 {
+            mem.write_u64(base + 8 * i, 1 + 2 * i);
+        }
+        let mut chan = IdealChannel::new(mem, 6, 2);
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp_nc());
+        unit.begin(PackRequest::Strided {
+            base,
+            stride: 16,
+            elem_size: ElemSize::B8,
+            count: 30,
+        })
+        .unwrap();
+        let vals = drive(&mut unit, &mut chan);
+        assert_eq!(vals.len(), 30);
+        for (k, &v) in vals.iter().enumerate() {
+            assert_eq!(v, 1 + 4 * k as u64);
+        }
+        assert_eq!(unit.stats().elem_wide_reads, 30);
+    }
+
+    /// Indices at the very top of the 32 b range address high vector
+    /// slots without overflow.
+    #[test]
+    fn high_index_values() {
+        let mut mem = Memory::new(1 << 16);
+        let idx_base = mem.alloc_array(8, 4);
+        let elem_base = mem.alloc_array(1024, 8);
+        let indices = [1023u32, 0, 1023, 512, 1, 1022, 3, 1023];
+        mem.write_u32_slice(idx_base, &indices);
+        for i in 0..1024u64 {
+            mem.write_u64(elem_base + 8 * i, i << 32 | i);
+        }
+        let mut chan = IdealChannel::new(mem, 8, 2);
+        let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(8));
+        unit.begin(PackRequest::Indirect {
+            idx_base,
+            idx_size: ElemSize::B4,
+            count: 8,
+            elem_base,
+            elem_size: ElemSize::B8,
+        })
+        .unwrap();
+        let vals = drive(&mut unit, &mut chan);
+        for (k, &v) in vals.iter().enumerate() {
+            let i = indices[k] as u64;
+            assert_eq!(v, i << 32 | i);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! # nmpic-mem — cycle-level HBM2 channel model and byte-accurate memory
+//!
+//! This crate stands in for DRAMSys in the paper's methodology (Table I):
+//! one HBM2 channel at 1 GHz with 32 GB/s ideal bandwidth, a 512 b (64 B)
+//! access granularity, and an **open-adaptive FR-FCFS** controller.
+//!
+//! Three layers:
+//!
+//! * [`Memory`] — a flat, byte-accurate backing store with a bump
+//!   allocator ([`Memory::alloc`]). All simulated data (index arrays,
+//!   nonzeros, vectors) actually lives here, so gather results can be
+//!   checked against a golden model.
+//! * [`HbmChannel`] — the timed channel: 16 banks in 4 bank groups,
+//!   row-buffer state machines, FR-FCFS scheduling with an adaptive
+//!   open-page policy, a shared 32 B/cycle data bus, and in-order response
+//!   delivery through a reorder buffer (single AXI ID semantics).
+//! * [`IdealChannel`] — a fixed-latency, full-bandwidth channel for unit
+//!   tests and upper-bound studies.
+//!
+//! Both channels implement [`ChannelPort`], the interface the AXI-Pack
+//! adapter in `nmpic-core` drives.
+//!
+//! # Example
+//!
+//! ```
+//! use nmpic_mem::{Memory, HbmChannel, HbmConfig, WideRequest, ChannelPort, BLOCK_BYTES};
+//!
+//! let mut mem = Memory::new(1 << 20);
+//! mem.write_u64(128, 0xdead_beef);
+//! let mut chan = HbmChannel::new(HbmConfig::default(), mem);
+//!
+//! chan.try_request(0, WideRequest::read(128, 0)).unwrap();
+//! let mut now = 0;
+//! let resp = loop {
+//!     chan.tick(now);
+//!     if let Some(r) = chan.pop_response(now) { break r; }
+//!     now += 1;
+//!     assert!(now < 1000, "response must arrive");
+//! };
+//! assert_eq!(resp.addr, 128 / BLOCK_BYTES as u64 * BLOCK_BYTES as u64);
+//! assert_eq!(u64::from_le_bytes(resp.data[..8].try_into().unwrap()), 0xdead_beef);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod ideal;
+mod interleave;
+mod memory;
+
+pub use channel::{HbmChannel, HbmConfig, HbmStats, PagePolicy, SchedPolicy};
+pub use ideal::IdealChannel;
+pub use interleave::InterleavedChannels;
+pub use memory::Memory;
+
+use nmpic_sim::Cycle;
+
+/// Bytes per wide DRAM access: 512 b, the access granularity of modern
+/// HBM/LPDDR interfaces the paper targets.
+pub const BLOCK_BYTES: usize = 64;
+
+/// One 512 b data block.
+pub type Block = [u8; BLOCK_BYTES];
+
+/// Rounds an address down to its containing wide block.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_mem::block_addr;
+/// assert_eq!(block_addr(0), 0);
+/// assert_eq!(block_addr(63), 0);
+/// assert_eq!(block_addr(64), 64);
+/// assert_eq!(block_addr(130), 128);
+/// ```
+pub fn block_addr(addr: u64) -> u64 {
+    addr & !(BLOCK_BYTES as u64 - 1)
+}
+
+/// Byte offset of `addr` within its wide block.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_mem::block_offset;
+/// assert_eq!(block_offset(0), 0);
+/// assert_eq!(block_offset(70), 6);
+/// ```
+pub fn block_offset(addr: u64) -> usize {
+    (addr & (BLOCK_BYTES as u64 - 1)) as usize
+}
+
+/// The command carried by a [`WideRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WideCommand {
+    /// Read one wide block.
+    Read,
+    /// Write one wide block; `mask` bit *i* enables byte *i* (AXI write
+    /// strobes), so narrow writes coalesced into a block leave the other
+    /// bytes untouched.
+    Write {
+        /// The 64 B of write data (unmasked bytes are ignored).
+        data: Box<Block>,
+        /// Byte-enable mask, bit *i* for byte *i*.
+        mask: u64,
+    },
+}
+
+/// A wide (512 b) request presented to a memory channel.
+///
+/// `tag` is opaque to the channel and is echoed in the response; the
+/// adapter uses it to route responses between its index and element paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WideRequest {
+    /// Block-aligned byte address.
+    pub addr: u64,
+    /// Requestor-defined routing tag, echoed in the response.
+    pub tag: u64,
+    /// Read or write.
+    pub command: WideCommand,
+}
+
+impl WideRequest {
+    /// A wide read of the block containing `addr`.
+    pub fn read(addr: u64, tag: u64) -> Self {
+        Self {
+            addr: block_addr(addr),
+            tag,
+            command: WideCommand::Read,
+        }
+    }
+
+    /// A wide write of the whole block containing `addr`.
+    pub fn write(addr: u64, tag: u64, data: Block) -> Self {
+        Self::write_masked(addr, tag, data, u64::MAX)
+    }
+
+    /// A wide write with byte-enable strobes (bit *i* of `mask` enables
+    /// byte *i*).
+    pub fn write_masked(addr: u64, tag: u64, data: Block, mask: u64) -> Self {
+        Self {
+            addr: block_addr(addr),
+            tag,
+            command: WideCommand::Write {
+                data: Box::new(data),
+                mask,
+            },
+        }
+    }
+
+    /// `true` for reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self.command, WideCommand::Read)
+    }
+}
+
+/// Applies a masked write to a block in place.
+pub fn apply_masked_write(target: &mut Block, data: &Block, mask: u64) {
+    for i in 0..BLOCK_BYTES {
+        if mask & (1 << i) != 0 {
+            target[i] = data[i];
+        }
+    }
+}
+
+/// A wide response carrying one block of data (reads only; writes are
+/// acknowledged implicitly by traffic counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WideResponse {
+    /// Block-aligned byte address of the data.
+    pub addr: u64,
+    /// The routing tag from the originating request.
+    pub tag: u64,
+    /// The 64 B block content at completion time.
+    pub data: Box<Block>,
+}
+
+/// The interface a memory channel presents to requestors.
+///
+/// Responses to reads are delivered **in request order** (single AXI ID
+/// semantics): the controller may service requests out of order internally
+/// (FR-FCFS) but reorders completions before delivery, exactly like an AXI
+/// DRAM controller front-end.
+pub trait ChannelPort {
+    /// Offers a request; `Err` returns it when the controller queue is full.
+    fn try_request(&mut self, now: Cycle, req: WideRequest) -> Result<(), WideRequest>;
+
+    /// Advances the controller by one cycle.
+    fn tick(&mut self, now: Cycle);
+
+    /// Pops the next in-order read response, if one is ready.
+    fn pop_response(&mut self, now: Cycle) -> Option<WideResponse>;
+
+    /// `true` when no requests are queued or in flight.
+    fn is_idle(&self) -> bool;
+
+    /// Shared access to the backing store.
+    fn memory(&self) -> &Memory;
+
+    /// Mutable access to the backing store (workload setup).
+    fn memory_mut(&mut self) -> &mut Memory;
+
+    /// Total bytes moved on the data bus so far (reads + writes).
+    fn data_bytes(&self) -> u64;
+
+    /// Peak deliverable bytes per cycle (32 for the paper's HBM2 channel).
+    fn peak_bytes_per_cycle(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_math_is_consistent() {
+        for addr in [0u64, 1, 63, 64, 65, 1000, 4096, u32::MAX as u64] {
+            assert_eq!(block_addr(addr) + block_offset(addr) as u64, addr);
+            assert_eq!(block_addr(addr) % BLOCK_BYTES as u64, 0);
+            assert!(block_offset(addr) < BLOCK_BYTES);
+        }
+    }
+
+    #[test]
+    fn wide_request_aligns_addresses() {
+        let r = WideRequest::read(100, 7);
+        assert_eq!(r.addr, 64);
+        assert_eq!(r.tag, 7);
+        assert!(r.is_read());
+        let w = WideRequest::write(100, 3, [0u8; BLOCK_BYTES]);
+        assert!(!w.is_read());
+    }
+}

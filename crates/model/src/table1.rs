@@ -1,0 +1,68 @@
+//! Table I renderer: the adapter and vector-processor system parameters.
+
+use nmpic_core::AdapterConfig;
+use nmpic_mem::HbmConfig;
+
+/// Renders the paper's Table I ("Adapter and Vector Processor System
+/// Parameters") for the given configuration, including the derived
+/// on-chip storage.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_core::AdapterConfig;
+/// use nmpic_mem::HbmConfig;
+/// use nmpic_model::render_table1;
+///
+/// let t = render_table1(&AdapterConfig::mlp(256), &HbmConfig::default());
+/// assert!(t.contains("Queue depth"));
+/// assert!(t.contains("FR-FCFS"));
+/// ```
+pub fn render_table1(adapter: &AdapterConfig, hbm: &HbmConfig) -> String {
+    let storage_kb = adapter.storage_bytes() as f64 / 1024.0;
+    let peak = hbm.peak_bytes_per_cycle();
+    let mut out = String::new();
+    out.push_str("TABLE I — ADAPTER AND VECTOR PROCESSOR SYSTEM PARAMETERS\n");
+    out.push_str(&format!(
+        "AXI-Pack Adapter   | Queue depth = {} (index), {} (up/downsizer),\n",
+        adapter.idx_queue_depth, adapter.req_queue_depth
+    ));
+    out.push_str(&format!(
+        "                   |   {} (hitmap), {} = 2048/W (offsets)\n",
+        adapter.hitmap_queue_depth, adapter.offsets_queue_depth
+    ));
+    out.push_str(&format!(
+        "                   | On-chip storage = {:.0} kB (W={}, variant {})\n",
+        storage_kb,
+        adapter.window,
+        adapter.variant_name()
+    ));
+    out.push_str("Vector Processor   | 16 lanes, 1 GHz, 384 kB L2\n");
+    out.push_str(&format!(
+        "DRAM & Controller  | One HBM2 channel, 1 GHz, {} GB/s (ideal)\n",
+        peak
+    ));
+    out.push_str(&format!(
+        "                   | Schedule policy: open adaptive, FR-FCFS ({} banks, {} groups)\n",
+        hbm.banks,
+        hbm.banks / hbm.banks_per_group
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_paper_values() {
+        let t = render_table1(&AdapterConfig::mlp(256), &HbmConfig::default());
+        assert!(t.contains("256 (index)"), "{t}");
+        assert!(t.contains("128 (hitmap)"));
+        assert!(t.contains("8 = 2048/W"));
+        assert!(t.contains("32 GB/s"));
+        assert!(t.contains("16 lanes, 1 GHz, 384 kB L2"));
+        // ~27 kB storage headline.
+        assert!(t.contains("27 kB") || t.contains("26 kB") || t.contains("28 kB"), "{t}");
+    }
+}

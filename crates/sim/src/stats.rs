@@ -1,0 +1,284 @@
+//! Bandwidth and utilization accounting shared by all experiments.
+//!
+//! Every figure in the paper reports either a bandwidth (GB/s), a
+//! utilization (% of channel peak), or a ratio of byte counts. This module
+//! provides the shared bookkeeping so each model counts bytes the same way.
+
+use crate::Cycle;
+
+/// Counts bytes moved on a link and converts to GB/s.
+///
+/// "GB/s" follows the paper's convention of decimal gigabytes
+/// (1 GB = 1e9 bytes), so a 32 B/cycle channel at 1 GHz reports 32 GB/s.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sim::stats::ByteCounter;
+/// let mut c = ByteCounter::new();
+/// c.add(64);
+/// c.add(64);
+/// // 128 bytes over 4 cycles at 1 GHz = 32 GB/s.
+/// assert!((c.gbps(4, 1.0) - 32.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteCounter {
+    bytes: u64,
+    events: u64,
+}
+
+impl ByteCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one transfer of `bytes` bytes.
+    pub fn add(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.events += 1;
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of transfers recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Average bandwidth in GB/s over `cycles` at `freq_ghz`.
+    ///
+    /// Returns 0.0 when `cycles` is zero so callers can print unconditionally.
+    pub fn gbps(&self, cycles: Cycle, freq_ghz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        // bytes / (cycles / (freq_ghz * 1e9 Hz)) = bytes * freq_ghz * 1e9 / cycles,
+        // expressed in GB/s (1e9 bytes per second).
+        self.bytes as f64 * freq_ghz / cycles as f64
+    }
+}
+
+/// Tracks busy cycles of a shared resource (e.g. the DRAM data bus) for
+/// utilization reporting.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sim::stats::BusyTracker;
+/// let mut b = BusyTracker::new();
+/// b.mark_busy(2);
+/// b.mark_busy(3);
+/// assert_eq!(b.busy_cycles(), 2);
+/// assert!((b.utilization(4) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusyTracker {
+    busy: u64,
+    last_marked: Option<Cycle>,
+}
+
+impl BusyTracker {
+    /// A zeroed tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks cycle `now` as busy. Marking the same cycle twice counts once.
+    pub fn mark_busy(&mut self, now: Cycle) {
+        if self.last_marked != Some(now) {
+            self.busy += 1;
+            self.last_marked = Some(now);
+        }
+    }
+
+    /// Marks a half-open range of cycles `[from, to)` as busy.
+    ///
+    /// Used when a transfer occupies the bus for several consecutive cycles.
+    /// Ranges are assumed non-overlapping (callers reserve the bus before
+    /// scheduling), so this simply adds the length.
+    pub fn mark_busy_range(&mut self, from: Cycle, to: Cycle) {
+        debug_assert!(to >= from);
+        self.busy += to - from;
+        self.last_marked = Some(to.saturating_sub(1));
+    }
+
+    /// Number of busy cycles recorded.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy
+    }
+
+    /// Fraction of `total` cycles that were busy, in `[0, 1]`.
+    pub fn utilization(&self, total: Cycle) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / total as f64
+    }
+}
+
+/// A running mean without storing samples.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sim::stats::RunningMean;
+/// let mut m = RunningMean::new();
+/// m.add(1.0);
+/// m.add(3.0);
+/// assert_eq!(m.mean(), 2.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: f64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// The mean of all samples, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples added.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Geometric mean accumulator, used for speedup summaries across matrices
+/// (the conventional aggregate for ratio metrics).
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sim::stats::GeoMean;
+/// let mut g = GeoMean::new();
+/// g.add(2.0);
+/// g.add(8.0);
+/// assert!((g.mean() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GeoMean {
+    log_sum: f64,
+    count: u64,
+}
+
+impl GeoMean {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one strictly positive sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is not strictly positive — a non-positive ratio is
+    /// always an upstream measurement bug.
+    pub fn add(&mut self, sample: f64) {
+        assert!(sample > 0.0, "geometric mean requires positive samples");
+        self.log_sum += sample.ln();
+        self.count += 1;
+    }
+
+    /// The geometric mean, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.log_sum / self.count as f64).exp()
+        }
+    }
+
+    /// Number of samples added.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_counter_bandwidth_math() {
+        let mut c = ByteCounter::new();
+        for _ in 0..1000 {
+            c.add(32);
+        }
+        // 32 B/cycle at 1 GHz = 32 GB/s.
+        assert!((c.gbps(1000, 1.0) - 32.0).abs() < 1e-9);
+        // Same bytes at 2 GHz over the same cycle count doubles GB/s.
+        assert!((c.gbps(1000, 2.0) - 64.0).abs() < 1e-9);
+        assert_eq!(c.events(), 1000);
+    }
+
+    #[test]
+    fn byte_counter_zero_cycles_is_zero() {
+        let mut c = ByteCounter::new();
+        c.add(100);
+        assert_eq!(c.gbps(0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn busy_tracker_dedups_same_cycle() {
+        let mut b = BusyTracker::new();
+        b.mark_busy(5);
+        b.mark_busy(5);
+        b.mark_busy(6);
+        assert_eq!(b.busy_cycles(), 2);
+    }
+
+    #[test]
+    fn busy_tracker_range() {
+        let mut b = BusyTracker::new();
+        b.mark_busy_range(10, 14);
+        assert_eq!(b.busy_cycles(), 4);
+        assert!((b.utilization(8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_mean_empty_is_zero() {
+        assert_eq!(RunningMean::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn geo_mean_of_identical_values() {
+        let mut g = GeoMean::new();
+        for _ in 0..5 {
+            g.add(3.0);
+        }
+        assert!((g.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive samples")]
+    fn geo_mean_rejects_zero() {
+        GeoMean::new().add(0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Coordinate (triplet) format — the assembly format all generators and
+//! the MatrixMarket reader produce before conversion to CSR/SELL.
+
+use crate::{FormatError, Csr};
+
+/// A sparse matrix in coordinate (COO) form: unordered `(row, col, value)`
+/// triplets.
+///
+/// COO is the universal ingestion format: generators and file readers
+/// assemble triplets here, then convert once to [`Csr`].
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sparse::Coo;
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push(1, 1, 2.0);
+/// coo.push(1, 1, 3.0); // duplicate, summed on conversion
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.spmv(&[1.0, 1.0]), vec![1.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty COO matrix of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or exceeds `u32::MAX` (the
+    /// paper's 32 b index width).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "dimensions must fit 32 b indices"
+        );
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (duplicates included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no triplets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends one triplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of range — generator bugs should
+    /// fail fast, not produce broken matrices.
+    pub fn push(&mut self, row: u32, col: u32, value: f64) {
+        assert!(
+            (row as usize) < self.rows && (col as usize) < self.cols,
+            "entry ({row}, {col}) outside {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Appends one triplet without bounds checking the coordinates against
+    /// the dimensions; [`Coo::try_validate`] can be used afterwards.
+    pub fn push_unchecked(&mut self, row: u32, col: u32, value: f64) {
+        self.entries.push((row, col, value));
+    }
+
+    /// Checks all triplets are inside the matrix dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::IndexOutOfRange`] naming the first offender.
+    pub fn try_validate(&self) -> Result<(), FormatError> {
+        for &(r, c, _) in &self.entries {
+            if r as usize >= self.rows || c as usize >= self.cols {
+                return Err(FormatError::IndexOutOfRange {
+                    row: r,
+                    col: c,
+                    rows: self.rows,
+                    cols: self.cols,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-only view of the triplets.
+    pub fn entries(&self) -> &[(u32, u32, f64)] {
+        &self.entries
+    }
+
+    /// Converts to CSR, sorting by `(row, col)` and summing duplicates.
+    pub fn to_csr(&self) -> Csr {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_counts = vec![0u32; self.rows];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut last: Option<(u32, u32)> = None;
+        for &(r, c, v) in &sorted {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("last entry exists") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_counts[r as usize] += 1;
+                last = Some((r, c));
+            }
+        }
+        let mut row_ptr = vec![0u32; self.rows + 1];
+        for i in 0..self.rows {
+            row_ptr[i + 1] = row_ptr[i] + row_counts[i];
+        }
+        Csr::from_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("COO conversion preserves invariants")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_coo_to_csr() {
+        let coo = Coo::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.rows(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.5);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.spmv(&[0.0, 1.0]), vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(2, 2, 3.0);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.spmv(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn push_out_of_range_panics() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn validate_catches_unchecked_pushes() {
+        let mut coo = Coo::new(2, 2);
+        coo.push_unchecked(5, 0, 1.0);
+        assert!(matches!(
+            coo.try_validate(),
+            Err(FormatError::IndexOutOfRange { row: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn same_col_different_rows_not_merged() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 1, 2.0);
+        coo.push(2, 1, 3.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.spmv(&[0.0, 1.0, 0.0]), vec![1.0, 2.0, 3.0]);
+    }
+}

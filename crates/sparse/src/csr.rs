@@ -1,0 +1,293 @@
+//! Compressed sparse row (CSR) format and the golden SpMV model.
+
+use crate::FormatError;
+
+/// A sparse matrix in compressed sparse row form.
+///
+/// CSR is the paper's first storage format (Fig. 1): `row_ptr[i]` delimits
+/// the nonzeros of row `i` in `col_idx`/`values`. Indices are 32 b and
+/// values 64 b, matching the paper's evaluation configuration.
+///
+/// `Csr::spmv` is the **golden model**: every simulated SpMV result in the
+/// workspace is checked against it.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sparse::Csr;
+/// // [[1, 0], [2, 3]]
+/// let m = Csr::from_parts(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1.0, 2.0, 3.0]).unwrap();
+/// assert_eq!(m.spmv(&[10.0, 100.0]), vec![10.0, 320.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Assembles a CSR matrix from raw arrays, validating the invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`FormatError::BadRowPtr`] — wrong length, non-monotone, or final
+    ///   entry disagreeing with `col_idx.len()`.
+    /// * [`FormatError::LengthMismatch`] — `col_idx` and `values` differ.
+    /// * [`FormatError::IndexOutOfRange`] — a column index ≥ `cols`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, FormatError> {
+        if row_ptr.len() != rows + 1 || row_ptr.first() != Some(&0) {
+            return Err(FormatError::BadRowPtr);
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(FormatError::BadRowPtr);
+        }
+        if *row_ptr.last().expect("nonempty") as usize != col_idx.len() {
+            return Err(FormatError::BadRowPtr);
+        }
+        if col_idx.len() != values.len() {
+            return Err(FormatError::LengthMismatch {
+                col_idx: col_idx.len(),
+                values: values.len(),
+            });
+        }
+        for (k, &c) in col_idx.iter().enumerate() {
+            if c as usize >= cols {
+                let row = row_ptr.partition_point(|&p| p as usize <= k) as u32 - 1;
+                return Err(FormatError::IndexOutOfRange {
+                    row,
+                    col: c,
+                    rows,
+                    cols,
+                });
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The column index array — this is the index stream the AXI-Pack
+    /// indirect burst consumes for CSR SpMV.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The nonzero values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(col, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Number of nonzeros in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        (self.row_ptr[i + 1] - self.row_ptr[i]) as usize
+    }
+
+    /// Golden sparse matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Structural statistics used for reporting and generator calibration.
+    pub fn stats(&self) -> CsrStats {
+        let mut max_row = 0usize;
+        let mut min_row = usize::MAX;
+        let mut bandwidth_sum = 0u64;
+        let mut max_bandwidth = 0u64;
+        for i in 0..self.rows {
+            let n = self.row_nnz(i);
+            max_row = max_row.max(n);
+            min_row = min_row.min(n);
+            for (c, _) in self.row(i) {
+                let d = (c as i64 - i as i64).unsigned_abs();
+                bandwidth_sum += d;
+                max_bandwidth = max_bandwidth.max(d);
+            }
+        }
+        if self.rows == 0 {
+            min_row = 0;
+        }
+        CsrStats {
+            rows: self.rows,
+            cols: self.cols,
+            nnz: self.nnz(),
+            avg_row_nnz: self.nnz() as f64 / self.rows.max(1) as f64,
+            max_row_nnz: max_row,
+            min_row_nnz: min_row,
+            avg_bandwidth: bandwidth_sum as f64 / self.nnz().max(1) as f64,
+            max_bandwidth,
+        }
+    }
+}
+
+/// Summary statistics of a CSR matrix's structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsrStats {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Mean nonzeros per row.
+    pub avg_row_nnz: f64,
+    /// Maximum nonzeros in any row.
+    pub max_row_nnz: usize,
+    /// Minimum nonzeros in any row.
+    pub min_row_nnz: usize,
+    /// Mean |col − row| over nonzeros — a locality proxy.
+    pub avg_bandwidth: f64,
+    /// Maximum |col − row|.
+    pub max_bandwidth: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 3, 0],
+        //  [4, 0, 5]]
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spmv_matches_dense_math() {
+        let m = small();
+        let y = m.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let m = small();
+        let r0: Vec<_> = m.row(0).collect();
+        assert_eq!(r0, vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(m.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn rejects_bad_row_ptr() {
+        assert!(matches!(
+            Csr::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]),
+            Err(FormatError::BadRowPtr)
+        ));
+        assert!(matches!(
+            Csr::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]),
+            Err(FormatError::BadRowPtr)
+        ));
+        assert!(matches!(
+            Csr::from_parts(2, 2, vec![1, 1, 1], vec![], vec![]),
+            Err(FormatError::BadRowPtr)
+        ));
+    }
+
+    #[test]
+    fn rejects_col_out_of_range() {
+        let err = Csr::from_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]);
+        assert!(matches!(
+            err,
+            Err(FormatError::IndexOutOfRange { row: 1, col: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        assert!(matches!(
+            Csr::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1.0]),
+            Err(FormatError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length")]
+    fn spmv_wrong_vector_length_panics() {
+        small().spmv(&[1.0]);
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let m = small();
+        let s = m.stats();
+        assert_eq!(s.nnz, 5);
+        assert_eq!(s.max_row_nnz, 2);
+        assert_eq!(s.min_row_nnz, 1);
+        assert!((s.avg_row_nnz - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_bandwidth, 2);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = Csr::from_parts(3, 3, vec![0, 0, 1, 1], vec![2], vec![9.0]).unwrap();
+        assert_eq!(m.spmv(&[0.0, 0.0, 2.0]), vec![0.0, 18.0, 0.0]);
+    }
+}

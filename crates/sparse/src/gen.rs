@@ -1,0 +1,405 @@
+//! Deterministic synthetic matrix generators.
+//!
+//! The paper evaluates on twenty SuiteSparse/HPCG matrices that cannot be
+//! downloaded in this environment. Each generator below reproduces one
+//! *structure class* those matrices belong to; what matters for the
+//! adapter under study is the **index-stream locality** (how many of a
+//! window of column indices fall into the same 64 B block of the vector),
+//! which is determined by the class, the bandwidth/window parameters and
+//! the nonzeros per row — all of which these generators control.
+//!
+//! All generators are deterministic in their `seed`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Coo, Csr};
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+fn clamp_col(c: i64, cols: usize) -> u32 {
+    c.clamp(0, cols as i64 - 1) as u32
+}
+
+/// Random nonzero value in `[0.5, 1.5)` — nonzero so padding (0.0) stays
+/// distinguishable, varied so data-path bugs can't hide behind constants.
+fn val<R: Rng>(r: &mut R) -> f64 {
+    0.5 + r.gen::<f64>()
+}
+
+/// Exact HPCG matrix: 27-point stencil on an `nx × ny × nz` grid with the
+/// benchmark's 26/−1 coefficients.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sparse::gen::stencil27;
+/// let m = stencil27(4, 4, 4);
+/// assert_eq!(m.rows(), 64);
+/// // Interior points have all 27 neighbours.
+/// assert!(m.stats().max_row_nnz == 27);
+/// ```
+pub fn stencil27(nx: usize, ny: usize, nz: usize) -> Csr {
+    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be nonzero");
+    let n = nx * ny * nz;
+    let mut coo = Coo::new(n, n);
+    for z in 0..nz as i64 {
+        for y in 0..ny as i64 {
+            for x in 0..nx as i64 {
+                let r = ((z * ny as i64 + y) * nx as i64 + x) as u32;
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (xx, yy, zz) = (x + dx, y + dy, z + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx >= nx as i64
+                                || yy >= ny as i64
+                                || zz >= nz as i64
+                            {
+                                continue;
+                            }
+                            let c = ((zz * ny as i64 + yy) * nx as i64 + xx) as u32;
+                            let v = if c == r { 26.0 } else { -1.0 };
+                            coo.push(r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 5-point stencil on an `nx × ny` grid — the structure of the DIMACS10
+/// `adaptive` mesh graph (≈4 nonzeros per row, strong 1D+stride locality).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn grid5(nx: usize, ny: usize) -> Csr {
+    assert!(nx > 0 && ny > 0, "grid dimensions must be nonzero");
+    let n = nx * ny;
+    let mut coo = Coo::new(n, n);
+    for y in 0..ny as i64 {
+        for x in 0..nx as i64 {
+            let r = (y * nx as i64 + x) as u32;
+            for (dx, dy) in [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)] {
+                let (xx, yy) = (x + dx, y + dy);
+                if xx < 0 || yy < 0 || xx >= nx as i64 || yy >= ny as i64 {
+                    continue;
+                }
+                let c = (yy * nx as i64 + xx) as u32;
+                let v = if c == r { 4.0 } else { -1.0 };
+                coo.push(r, c, v);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Banded FEM-style matrix: each row holds short contiguous runs (3-wide,
+/// like 3-DoF nodes) clustered within `bandwidth` of the diagonal.
+///
+/// Models the paper's structural matrices (af_shell10, pwtk, hood,
+/// BenElechi1, bone010, F1, msc*, nasa4704, s2rmq4m1, Na5).
+///
+/// # Panics
+///
+/// Panics if `rows` is zero or `nnz_per_row` is zero.
+pub fn banded_fem(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr {
+    assert!(rows > 0 && nnz_per_row > 0, "rows and nnz_per_row must be nonzero");
+    let mut r = rng(seed);
+    // The band must hold at least nnz_per_row distinct columns, otherwise
+    // heavily scaled-down instances collapse under deduplication.
+    let bw = bandwidth.max(2).max(nnz_per_row) as i64;
+    let mut coo = Coo::new(rows, rows);
+    for i in 0..rows {
+        coo.push(i as u32, i as u32, 4.0 + val(&mut r));
+        // Runs of 3 consecutive columns until the row quota is met.
+        let quota = nnz_per_row.saturating_sub(1).max(1);
+        let runs = quota.div_ceil(3);
+        for _ in 0..runs {
+            let center = i as i64 + r.gen_range(-bw..=bw);
+            for d in 0..3 {
+                let c = clamp_col(center + d, rows);
+                if c as usize != i {
+                    coo.push(i as u32, c, -val(&mut r));
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Circuit-style matrix: few nonzeros per row, mostly within a small local
+/// window, a fraction of far-away uniform connections, and a set of hub
+/// columns (supply rails / clock nets) referenced by many rows.
+///
+/// Models circuit5M_dc and G3_circuit.
+///
+/// # Panics
+///
+/// Panics if `rows` is zero or `far_frac` is outside `[0, 1]`.
+pub fn circuit(
+    rows: usize,
+    nnz_per_row: usize,
+    local_window: usize,
+    far_frac: f64,
+    hubs: usize,
+    seed: u64,
+) -> Csr {
+    assert!(rows > 0, "rows must be nonzero");
+    assert!((0.0..=1.0).contains(&far_frac), "far_frac must be in [0,1]");
+    let mut r = rng(seed);
+    let hub_cols: Vec<u32> = (0..hubs.max(1))
+        .map(|_| r.gen_range(0..rows) as u32)
+        .collect();
+    let w = local_window.max(1) as i64;
+    let mut coo = Coo::new(rows, rows);
+    for i in 0..rows {
+        coo.push(i as u32, i as u32, 2.0 + val(&mut r));
+        let extra = r.gen_range(1..=(2 * nnz_per_row).saturating_sub(1).max(1));
+        for _ in 0..extra {
+            let roll: f64 = r.gen();
+            let c = if roll < 0.05 {
+                hub_cols[r.gen_range(0..hub_cols.len())]
+            } else if roll < 0.05 + far_frac {
+                r.gen_range(0..rows) as u32
+            } else {
+                clamp_col(i as i64 + r.gen_range(-w..=w), rows)
+            };
+            if c as usize != i {
+                coo.push(i as u32, c, -val(&mut r));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Unstructured-mesh matrix: each row references `nnz_per_row − 1`
+/// neighbours uniformly within `window` of the diagonal.
+///
+/// Models thermal2, Dubcova1 and fv1 (FEM diffusion on meshes with
+/// locality-preserving node orderings).
+///
+/// # Panics
+///
+/// Panics if `rows` or `nnz_per_row` is zero.
+pub fn mesh(rows: usize, nnz_per_row: usize, window: usize, seed: u64) -> Csr {
+    assert!(rows > 0 && nnz_per_row > 0, "rows and nnz_per_row must be nonzero");
+    let mut r = rng(seed);
+    let w = window.max(1).max(nnz_per_row) as i64;
+    let mut coo = Coo::new(rows, rows);
+    for i in 0..rows {
+        coo.push(i as u32, i as u32, 4.0 + val(&mut r));
+        for _ in 0..nnz_per_row.saturating_sub(1) {
+            let c = clamp_col(i as i64 + r.gen_range(-w..=w), rows);
+            if c as usize != i {
+                coo.push(i as u32, c, -val(&mut r));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Nearly-dense diagonal blocks: row `i` connects to every column of its
+/// `block`-sized block. Models exdata_1 (dense sub-blocks, hundreds of
+/// nonzeros per row) and quantum-chemistry matrices.
+///
+/// # Panics
+///
+/// Panics if `rows` or `block` is zero.
+pub fn dense_blocks(rows: usize, block: usize, seed: u64) -> Csr {
+    assert!(rows > 0 && block > 0, "rows and block must be nonzero");
+    let mut r = rng(seed);
+    let mut coo = Coo::new(rows, rows);
+    for i in 0..rows {
+        let b0 = (i / block) * block;
+        let b1 = (b0 + block).min(rows);
+        for c in b0..b1 {
+            let v = if c == i { block as f64 } else { -val(&mut r) };
+            coo.push(i as u32, c as u32, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// KKT-style saddle-point matrix: `[H Aᵀ; A 0]` with banded `H` and a
+/// banded coupling block half the matrix away. Models nlpkkt120.
+///
+/// # Panics
+///
+/// Panics if `rows < 4` or `nnz_per_row` is zero.
+pub fn kkt(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr {
+    assert!(rows >= 4, "kkt needs at least 4 rows");
+    assert!(nnz_per_row > 0, "nnz_per_row must be nonzero");
+    let mut r = rng(seed);
+    let half = rows / 2;
+    let bw = bandwidth.max(2) as i64;
+    let per_block = (nnz_per_row / 2).max(1);
+    let mut coo = Coo::new(rows, rows);
+    for i in 0..rows {
+        coo.push(i as u32, i as u32, 4.0 + val(&mut r));
+        // Local (H or A-row) band.
+        for _ in 0..per_block {
+            let c = clamp_col(i as i64 + r.gen_range(-bw..=bw), rows);
+            if c as usize != i {
+                coo.push(i as u32, c, -val(&mut r));
+            }
+        }
+        // Coupling band: mirror position in the other half.
+        let partner = if i < half { i + half } else { i - half } as i64;
+        for _ in 0..per_block {
+            let c = clamp_col(partner + r.gen_range(-bw..=bw), rows);
+            if c as usize != i {
+                coo.push(i as u32, c, val(&mut r));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Uniform random matrix — the worst case for coalescing (no locality at
+/// all); used for adversarial tests and ablations, not in the paper suite.
+///
+/// # Panics
+///
+/// Panics if `rows`, `cols` or `nnz_per_row` is zero.
+pub fn random_uniform(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr {
+    assert!(
+        rows > 0 && cols > 0 && nnz_per_row > 0,
+        "dimensions and nnz_per_row must be nonzero"
+    );
+    let mut r = rng(seed);
+    let mut coo = Coo::new(rows, cols);
+    for i in 0..rows {
+        for _ in 0..nnz_per_row {
+            let c = r.gen_range(0..cols) as u32;
+            coo.push(i as u32, c, val(&mut r));
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil27_interior_has_27_neighbours() {
+        let m = stencil27(5, 5, 5);
+        assert_eq!(m.rows(), 125);
+        // Center point (2,2,2) = row 62.
+        assert_eq!(m.row_nnz(62), 27);
+        // Corner has 8.
+        assert_eq!(m.row_nnz(0), 8);
+    }
+
+    #[test]
+    fn stencil27_row_sums_nearly_zero_interior() {
+        // 26 on diagonal minus 26 neighbours of −1 → 0 row sum for interior.
+        let m = stencil27(5, 5, 5);
+        let y = m.spmv(&vec![1.0; 125]);
+        assert!(y[62].abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid5_structure() {
+        let m = grid5(10, 10);
+        assert_eq!(m.rows(), 100);
+        assert_eq!(m.row_nnz(55), 5); // interior
+        assert_eq!(m.row_nnz(0), 3); // corner
+    }
+
+    #[test]
+    fn banded_fem_stays_in_band() {
+        let m = banded_fem(1000, 12, 50, 1);
+        let s = m.stats();
+        assert!(s.max_bandwidth <= 52, "got {}", s.max_bandwidth);
+        assert!(s.avg_row_nnz >= 4.0);
+        assert_eq!(m.rows(), 1000);
+    }
+
+    #[test]
+    fn banded_fem_deterministic_in_seed() {
+        let a = banded_fem(200, 8, 30, 7);
+        let b = banded_fem(200, 8, 30, 7);
+        let c = banded_fem(200, 8, 30, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn circuit_has_low_density_and_hubs() {
+        let m = circuit(5000, 4, 32, 0.1, 5, 3);
+        let s = m.stats();
+        assert!(s.avg_row_nnz < 10.0, "got {}", s.avg_row_nnz);
+        // Hubs attract many rows: some column must appear often. Count the
+        // most popular column.
+        let mut counts = vec![0u32; m.cols()];
+        for &c in m.col_idx() {
+            counts[c as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 20, "expected hub columns, max in-degree {max}");
+    }
+
+    #[test]
+    fn mesh_window_bounds_locality() {
+        let m = mesh(2000, 7, 100, 5);
+        assert!(m.stats().max_bandwidth <= 100);
+    }
+
+    #[test]
+    fn dense_blocks_block_rows_fully_connected() {
+        let m = dense_blocks(64, 16, 2);
+        assert_eq!(m.row_nnz(0), 16);
+        assert_eq!(m.row_nnz(63), 16);
+        let cols: Vec<u32> = m.row(20).map(|(c, _)| c).collect();
+        assert_eq!(cols, (16..32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn kkt_has_coupling_far_from_diagonal() {
+        let m = kkt(1000, 10, 20, 4);
+        let s = m.stats();
+        assert!(
+            s.max_bandwidth >= 400,
+            "coupling block must be far away, got {}",
+            s.max_bandwidth
+        );
+    }
+
+    #[test]
+    fn random_uniform_covers_columns() {
+        let m = random_uniform(500, 500, 8, 6);
+        assert!(m.stats().avg_bandwidth > 50.0, "should have no locality");
+    }
+
+    #[test]
+    fn all_generators_produce_valid_spmv() {
+        let x42 = |n: usize| (0..n).map(|i| (i % 7) as f64).collect::<Vec<_>>();
+        for m in [
+            stencil27(4, 3, 2),
+            grid5(7, 5),
+            banded_fem(100, 6, 10, 1),
+            circuit(100, 4, 8, 0.2, 3, 1),
+            mesh(100, 5, 20, 1),
+            dense_blocks(40, 8, 1),
+            kkt(100, 8, 10, 1),
+            random_uniform(50, 50, 4, 1),
+        ] {
+            let y = m.spmv(&x42(m.cols()));
+            assert_eq!(y.len(), m.rows());
+            assert!(y.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! # nmpic-sparse — sparse matrix formats, workloads and the golden SpMV
+//!
+//! The data side of the reproduction: the two storage formats the paper
+//! evaluates (CSR and SELL with 32-row slices), a MatrixMarket reader for
+//! real SuiteSparse files, deterministic generators for each structure
+//! class in the paper's twenty-matrix suite, and the golden SpMV model all
+//! simulated results are checked against.
+//!
+//! * [`Coo`] → assembly format (generators, file I/O).
+//! * [`Csr`] → compressed sparse row, 32 b indices / 64 b values.
+//! * [`Sell`] → sliced ELLPACK, the format the vector processor consumes.
+//! * [`gen`] → structure-class generators (27-point stencil, banded FEM,
+//!   circuit, mesh, KKT, dense blocks, uniform random).
+//! * [`suite`](suite()) → the twenty named matrices of Fig. 3.
+//!
+//! # Example
+//!
+//! ```
+//! use nmpic_sparse::{by_name, Sell};
+//!
+//! let spec = by_name("HPCG").expect("suite matrix");
+//! let csr = spec.build_capped(10_000);
+//! let sell = Sell::from_csr_default(&csr);
+//! let x: Vec<f64> = (0..csr.cols()).map(|i| i as f64).collect();
+//! assert_eq!(csr.spmv(&x), sell.spmv(&x)); // formats agree exactly
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coo;
+mod csr;
+pub mod gen;
+mod mm;
+mod sell;
+mod sellcs;
+mod suite;
+
+pub use coo::Coo;
+pub use csr::{Csr, CsrStats};
+pub use mm::{read_matrix_market, write_matrix_market, MmError};
+pub use sell::{Sell, DEFAULT_SLICE_HEIGHT};
+pub use sellcs::SellCSigma;
+pub use suite::{by_name, suite, GenClass, MatrixSpec, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
+
+use std::fmt;
+
+/// Errors raised by format constructors and converters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatError {
+    /// A row/slice pointer array is malformed (wrong length, non-monotone,
+    /// or inconsistent with the data arrays).
+    BadRowPtr,
+    /// `col_idx` and `values` lengths disagree.
+    LengthMismatch {
+        /// Length of the column index array.
+        col_idx: usize,
+        /// Length of the values array.
+        values: usize,
+    },
+    /// An index exceeds the matrix dimensions.
+    IndexOutOfRange {
+        /// Row of the offending entry.
+        row: u32,
+        /// Column of the offending entry.
+        col: u32,
+        /// Matrix row count.
+        rows: usize,
+        /// Matrix column count.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadRowPtr => write!(f, "malformed row/slice pointer array"),
+            FormatError::LengthMismatch { col_idx, values } => {
+                write!(f, "col_idx length {col_idx} != values length {values}")
+            }
+            FormatError::IndexOutOfRange {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(f, "entry ({row}, {col}) outside {rows}x{cols} matrix"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

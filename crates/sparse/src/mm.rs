@@ -1,0 +1,343 @@
+//! MatrixMarket coordinate file I/O.
+//!
+//! The paper's matrices come from the SuiteSparse collection, which is
+//! distributed in MatrixMarket format. This reader/writer lets users drop
+//! the real files into the experiments in place of the synthetic stand-ins.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::{Coo, Csr};
+
+/// Errors from MatrixMarket parsing or writing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The `%%MatrixMarket` banner is missing or unsupported.
+    BadHeader(String),
+    /// The size line or an entry line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        what: String,
+    },
+    /// Fewer entries than the size line promised.
+    Truncated {
+        /// Entries promised by the size line.
+        expected: usize,
+        /// Entries actually present.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "i/o error: {e}"),
+            MmError::BadHeader(h) => write!(f, "unsupported MatrixMarket header: {h}"),
+            MmError::Parse { line, what } => write!(f, "parse error on line {line}: {what}"),
+            MmError::Truncated { expected, got } => {
+                write!(f, "file promised {expected} entries but held {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+/// Value field of a MatrixMarket file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmField {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry of a MatrixMarket file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmSymmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a MatrixMarket *coordinate* matrix into [`Csr`].
+///
+/// Supports `real`, `integer` and `pattern` fields with `general`,
+/// `symmetric` or `skew-symmetric` symmetry (symmetric entries are
+/// mirrored; pattern entries get value 1.0). Duplicate entries are summed.
+///
+/// # Errors
+///
+/// Returns [`MmError`] on malformed input; see the variants for details.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sparse::read_matrix_market;
+/// let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n2 2 2.5\n";
+/// let m = read_matrix_market(text.as_bytes()).unwrap();
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.spmv(&[1.0, 1.0]), vec![1.5, 2.5]);
+/// ```
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MmError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Banner.
+    let (_, banner) = lines
+        .next()
+        .ok_or_else(|| MmError::BadHeader("empty file".into()))?;
+    let banner = banner?;
+    let lower = banner.to_ascii_lowercase();
+    let tokens: Vec<&str> = lower.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(MmError::BadHeader(banner));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(MmError::BadHeader(format!(
+            "only coordinate format supported, got `{}`",
+            tokens[2]
+        )));
+    }
+    let field = match tokens[3] {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(MmError::BadHeader(format!(
+                "unsupported field `{other}`"
+            )))
+        }
+    };
+    let symmetry = match tokens[4] {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => {
+            return Err(MmError::BadHeader(format!(
+                "unsupported symmetry `{other}`"
+            )))
+        }
+    };
+
+    // Size line (first non-comment line).
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut coo: Option<Coo> = None;
+    let mut read_entries = 0usize;
+    let mut expected = 0usize;
+
+    for (lineno, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        if size.is_none() {
+            let parts: Vec<&str> = trimmed.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(MmError::Parse {
+                    line: lineno + 1,
+                    what: format!("size line needs `rows cols nnz`, got `{trimmed}`"),
+                });
+            }
+            let parse = |s: &str| -> Result<usize, MmError> {
+                s.parse().map_err(|_| MmError::Parse {
+                    line: lineno + 1,
+                    what: format!("bad integer `{s}`"),
+                })
+            };
+            let (r, c, n) = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
+            size = Some((r, c, n));
+            expected = n;
+            coo = Some(Coo::new(r.max(1), c.max(1)));
+            continue;
+        }
+
+        let coo = coo.as_mut().expect("size parsed before entries");
+        let parts: Vec<&str> = trimmed.split_whitespace().collect();
+        let need = if field == MmField::Pattern { 2 } else { 3 };
+        if parts.len() < need {
+            return Err(MmError::Parse {
+                line: lineno + 1,
+                what: format!("entry needs {need} fields, got `{trimmed}`"),
+            });
+        }
+        let r: u64 = parts[0].parse().map_err(|_| MmError::Parse {
+            line: lineno + 1,
+            what: format!("bad row `{}`", parts[0]),
+        })?;
+        let c: u64 = parts[1].parse().map_err(|_| MmError::Parse {
+            line: lineno + 1,
+            what: format!("bad col `{}`", parts[1]),
+        })?;
+        if r == 0 || c == 0 {
+            return Err(MmError::Parse {
+                line: lineno + 1,
+                what: "MatrixMarket indices are 1-based; got 0".into(),
+            });
+        }
+        let v: f64 = match field {
+            MmField::Pattern => 1.0,
+            _ => parts[2].parse().map_err(|_| MmError::Parse {
+                line: lineno + 1,
+                what: format!("bad value `{}`", parts[2]),
+            })?,
+        };
+        let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        coo.push(r0, c0, v);
+        match symmetry {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric if r0 != c0 => coo.push(c0, r0, v),
+            MmSymmetry::SkewSymmetric if r0 != c0 => coo.push(c0, r0, -v),
+            _ => {}
+        }
+        read_entries += 1;
+    }
+
+    if size.is_none() {
+        return Err(MmError::BadHeader("missing size line".into()));
+    }
+    if read_entries < expected {
+        return Err(MmError::Truncated {
+            expected,
+            got: read_entries,
+        });
+    }
+    Ok(coo.expect("constructed with size line").to_csr())
+}
+
+/// Writes a CSR matrix as a `coordinate real general` MatrixMarket file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sparse::{Csr, read_matrix_market, write_matrix_market};
+/// let m = Csr::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![4.0, 5.0]).unwrap();
+/// let mut out = Vec::new();
+/// write_matrix_market(&mut out, &m).unwrap();
+/// let back = read_matrix_market(out.as_slice()).unwrap();
+/// assert_eq!(back, m);
+/// ```
+pub fn write_matrix_market<W: Write>(writer: &mut W, m: &Csr) -> Result<(), MmError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for i in 0..m.rows() {
+        for (c, v) in m.row(i) {
+            writeln!(writer, "{} {} {:e}", i + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 3\n1 1 1.0\n2 3 -2.0\n3 2 0.5\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.spmv(&[1.0, 1.0, 1.0]), vec![1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn reads_symmetric_and_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 3.0\n2 1 4.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        // Mirrored: (0,0)=3, (1,0)=4, (0,1)=4.
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.spmv(&[1.0, 0.0]), vec![3.0, 4.0]);
+        assert_eq!(m.spmv(&[0.0, 1.0]), vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn reads_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.spmv(&[2.0, 3.0]), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn reads_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 5.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.spmv(&[1.0, 0.0]), vec![0.0, 5.0]);
+        assert_eq!(m.spmv(&[0.0, 1.0]), vec![-5.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        let text = "%%NotMatrixMarket\n1 1 0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(MmError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(MmError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(MmError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(MmError::Truncated {
+                expected: 3,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_via_writer() {
+        let m = Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 3],
+            vec![0, 3, 1],
+            vec![1.25, -2.5, 1e-3],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+}

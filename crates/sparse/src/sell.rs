@@ -1,0 +1,307 @@
+//! Sliced ELLPACK (SELL) format with the paper's 32-row slices.
+
+use crate::{Csr, FormatError};
+
+/// Slice height used throughout the paper's evaluation (32 rows per slice).
+pub const DEFAULT_SLICE_HEIGHT: usize = 32;
+
+/// A sparse matrix in sliced ELLPACK (SELL) form.
+///
+/// Rows are grouped into slices of `slice_height` rows; within a slice all
+/// rows are padded to the widest row, and entries are stored
+/// **column-major** within the slice (all first-nonzeros of the 32 rows,
+/// then all second-nonzeros, ...). This is the layout a vector processor
+/// consumes with unit-stride loads of 32-element groups, and the layout
+/// whose `col_idx` array forms the indirect stream in the paper's SELL
+/// SpMV experiments.
+///
+/// Padding entries use column 0 and value 0.0 — they contribute nothing to
+/// the result but do occupy slots in the index stream (and coalesce
+/// perfectly, since they all hit block 0 of the vector).
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sparse::{Csr, Sell};
+/// let csr = Csr::from_parts(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1.0, 2.0, 3.0]).unwrap();
+/// let sell = Sell::from_csr(&csr, 2);
+/// assert_eq!(sell.nnz(), 3);
+/// assert_eq!(sell.padded_len(), 4); // slice width 2 × 2 rows
+/// assert_eq!(sell.spmv(&[10.0, 100.0]), csr.spmv(&[10.0, 100.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sell {
+    rows: usize,
+    cols: usize,
+    slice_height: usize,
+    /// Element offset of each slice's data; `slice_ptr[s+1] - slice_ptr[s]`
+    /// is `slice_height * width(s)`.
+    slice_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+    nnz: usize,
+}
+
+impl Sell {
+    /// Converts a CSR matrix to SELL with the given slice height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_height` is zero.
+    pub fn from_csr(csr: &Csr, slice_height: usize) -> Self {
+        assert!(slice_height > 0, "slice height must be nonzero");
+        let rows = csr.rows();
+        let n_slices = rows.div_ceil(slice_height);
+        let mut slice_ptr = Vec::with_capacity(n_slices + 1);
+        slice_ptr.push(0u32);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+
+        for s in 0..n_slices {
+            let r0 = s * slice_height;
+            let r1 = (r0 + slice_height).min(rows);
+            let width = (r0..r1).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+            // Column-major within the slice: position j of every row.
+            for j in 0..width {
+                for r in r0..r0 + slice_height {
+                    if r < rows && j < csr.row_nnz(r) {
+                        let lo = csr.row_ptr()[r] as usize;
+                        col_idx.push(csr.col_idx()[lo + j]);
+                        values.push(csr.values()[lo + j]);
+                    } else {
+                        // Padding: column 0, value 0.
+                        col_idx.push(0);
+                        values.push(0.0);
+                    }
+                }
+            }
+            slice_ptr.push(col_idx.len() as u32);
+        }
+
+        Self {
+            rows,
+            cols: csr.cols(),
+            slice_height,
+            slice_ptr,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        }
+    }
+
+    /// Converts with the paper's default 32-row slices.
+    pub fn from_csr_default(csr: &Csr) -> Self {
+        Self::from_csr(csr, DEFAULT_SLICE_HEIGHT)
+    }
+
+    /// Number of rows of the logical matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the logical matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows per slice.
+    pub fn slice_height(&self) -> usize {
+        self.slice_height
+    }
+
+    /// Number of slices.
+    pub fn n_slices(&self) -> usize {
+        self.slice_ptr.len() - 1
+    }
+
+    /// True (unpadded) nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total stored entries including padding — the length of the indirect
+    /// index stream for SELL SpMV.
+    pub fn padded_len(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// `padded_len / nnz`, ≥ 1; a measure of SELL storage overhead.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            self.padded_len() as f64 / self.nnz as f64
+        }
+    }
+
+    /// The slice pointer array (element offsets, `n_slices + 1` entries).
+    pub fn slice_ptr(&self) -> &[u32] {
+        &self.slice_ptr
+    }
+
+    /// The padded, slice-major column-index array — the indirect stream.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The padded value array, same layout as [`Sell::col_idx`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Width (padded nonzeros per row) of slice `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_slices`.
+    pub fn slice_width(&self, s: usize) -> usize {
+        let span = (self.slice_ptr[s + 1] - self.slice_ptr[s]) as usize;
+        span / self.slice_height
+    }
+
+    /// SpMV over the SELL layout; must agree exactly with [`Csr::spmv`]
+    /// (padding contributes `0.0 * x[0]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        let mut y = vec![0.0; self.rows];
+        for s in 0..self.n_slices() {
+            let base = self.slice_ptr[s] as usize;
+            let width = self.slice_width(s);
+            let r0 = s * self.slice_height;
+            for j in 0..width {
+                for i in 0..self.slice_height {
+                    let r = r0 + i;
+                    if r >= self.rows {
+                        continue;
+                    }
+                    let k = base + j * self.slice_height + i;
+                    y[r] += self.values[k] * x[self.col_idx[k] as usize];
+                }
+            }
+        }
+        y
+    }
+
+    /// Validates internal invariants (used by property tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] describing the first violated invariant.
+    pub fn try_validate(&self) -> Result<(), FormatError> {
+        if self.slice_ptr.first() != Some(&0)
+            || self.slice_ptr.windows(2).any(|w| w[0] > w[1])
+            || *self.slice_ptr.last().unwrap_or(&0) as usize != self.col_idx.len()
+        {
+            return Err(FormatError::BadRowPtr);
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(FormatError::LengthMismatch {
+                col_idx: self.col_idx.len(),
+                values: self.values.len(),
+            });
+        }
+        for s in 0..self.n_slices() {
+            let span = (self.slice_ptr[s + 1] - self.slice_ptr[s]) as usize;
+            if !span.is_multiple_of(self.slice_height) {
+                return Err(FormatError::BadRowPtr);
+            }
+        }
+        for &c in &self.col_idx {
+            if c as usize >= self.cols {
+                return Err(FormatError::IndexOutOfRange {
+                    row: 0,
+                    col: c,
+                    rows: self.rows,
+                    cols: self.cols,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 5 rows, widths 2,1,3,0,1 — exercises padding and a short slice.
+        Csr::from_parts(
+            5,
+            6,
+            vec![0, 2, 3, 6, 6, 7],
+            vec![0, 3, 1, 0, 2, 5, 4],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sell_spmv_matches_csr() {
+        let csr = sample();
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        for h in [1, 2, 3, 4, 32] {
+            let sell = Sell::from_csr(&csr, h);
+            assert_eq!(sell.spmv(&x), csr.spmv(&x), "slice height {h}");
+            sell.try_validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn slice_geometry() {
+        let csr = sample();
+        let sell = Sell::from_csr(&csr, 2);
+        // Slices: rows {0,1} width 2, rows {2,3} width 3, row {4} width 1.
+        assert_eq!(sell.n_slices(), 3);
+        assert_eq!(sell.slice_width(0), 2);
+        assert_eq!(sell.slice_width(1), 3);
+        assert_eq!(sell.slice_width(2), 1);
+        assert_eq!(sell.padded_len(), 2 * 2 + 3 * 2 + 1 * 2);
+        assert_eq!(sell.nnz(), 7);
+    }
+
+    #[test]
+    fn column_major_layout_within_slice() {
+        let csr = sample();
+        let sell = Sell::from_csr(&csr, 2);
+        // Slice 0 (rows 0,1; width 2), column-major:
+        //   j=0: row0 col0, row1 col1 ; j=1: row0 col3, row1 pad(0).
+        assert_eq!(&sell.col_idx()[0..4], &[0, 1, 3, 0]);
+        assert_eq!(&sell.values()[0..4], &[1.0, 3.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn padding_ratio_one_for_uniform_rows() {
+        let csr = Csr::from_parts(
+            4,
+            4,
+            vec![0, 1, 2, 3, 4],
+            vec![0, 1, 2, 3],
+            vec![1.0; 4],
+        )
+        .unwrap();
+        let sell = Sell::from_csr(&csr, 2);
+        assert!((sell.padding_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_slice_shorter_than_height() {
+        let csr = sample();
+        let sell = Sell::from_csr(&csr, 4);
+        // 5 rows with height 4 → 2 slices; second slice has 1 real row.
+        assert_eq!(sell.n_slices(), 2);
+        let x = [1.0; 6];
+        assert_eq!(sell.spmv(&x), csr.spmv(&x));
+    }
+
+    #[test]
+    fn default_height_is_32() {
+        let csr = sample();
+        let sell = Sell::from_csr_default(&csr);
+        assert_eq!(sell.slice_height(), 32);
+    }
+}

@@ -1,0 +1,264 @@
+//! The paper's twenty-matrix evaluation suite, as parameterized synthetic
+//! stand-ins.
+//!
+//! Each [`MatrixSpec`] records the real matrix's published dimensions and
+//! density together with the [`gen`](crate::gen) structure class that best
+//! matches its origin (FEM shell, circuit, 3D stencil, KKT, ...). Building
+//! a spec at `scale = 1.0` approximates the real matrix's size; smaller
+//! scales shrink rows while preserving nonzeros-per-row and relative
+//! locality, keeping cycle-accurate simulation tractable.
+//!
+//! If the real SuiteSparse files are available, load them with
+//! [`read_matrix_market`](crate::read_matrix_market) instead and the rest
+//! of the pipeline is unchanged.
+
+use crate::gen;
+use crate::Csr;
+
+/// Structure class of a suite matrix, with class-specific parameters at
+/// full scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenClass {
+    /// Banded FEM with 3-wide runs; parameter is the full-scale bandwidth.
+    FemBanded {
+        /// Half-bandwidth around the diagonal at `scale = 1.0`.
+        bandwidth: usize,
+    },
+    /// Circuit graph: local window + far links + hub columns.
+    Circuit {
+        /// Local connection window.
+        window: usize,
+        /// Fraction of uniformly random far links.
+        far_frac: f64,
+        /// Number of hub columns per million rows (scaled).
+        hubs_per_m: usize,
+    },
+    /// Exact 27-point stencil (HPCG); rows define the cubic grid size.
+    Stencil27,
+    /// 5-point 2D grid (the `adaptive` mesh graph).
+    Grid2d,
+    /// Nearly dense diagonal blocks of the given size.
+    DenseBlocks {
+        /// Block width (≈ nonzeros per row).
+        block: usize,
+    },
+    /// Unstructured mesh with a locality window.
+    Mesh {
+        /// Neighbour window at `scale = 1.0`.
+        window: usize,
+    },
+    /// KKT saddle-point structure with far coupling blocks.
+    Kkt {
+        /// Band width of each block at `scale = 1.0`.
+        bandwidth: usize,
+    },
+}
+
+/// One matrix of the paper's evaluation suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixSpec {
+    /// SuiteSparse/HPCG name as printed in Fig. 3.
+    pub name: &'static str,
+    /// Rows (= columns; the suite is square) of the real matrix.
+    pub rows: usize,
+    /// Approximate nonzeros per row of the real matrix.
+    pub nnz_per_row: usize,
+    /// Structure class and parameters.
+    pub class: GenClass,
+}
+
+impl MatrixSpec {
+    /// Estimated nonzeros at a given scale.
+    pub fn est_nnz(&self, scale: f64) -> u64 {
+        (self.scaled_rows(scale) as u64) * self.nnz_per_row as u64
+    }
+
+    /// Row count after scaling (minimum 256 so slices/windows stay
+    /// meaningful).
+    pub fn scaled_rows(&self, scale: f64) -> usize {
+        ((self.rows as f64 * scale) as usize).max(256)
+    }
+
+    /// Builds the synthetic matrix at `scale` with a deterministic seed
+    /// derived from the name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn build(&self, scale: f64) -> Csr {
+        assert!(scale > 0.0, "scale must be positive");
+        let rows = self.scaled_rows(scale);
+        let seed = self
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        let scale_len = |x: usize| ((x as f64 * scale) as usize).max(8);
+        match self.class {
+            GenClass::FemBanded { bandwidth } => {
+                gen::banded_fem(rows, self.nnz_per_row, scale_len(bandwidth), seed)
+            }
+            GenClass::Circuit {
+                window,
+                far_frac,
+                hubs_per_m,
+            } => {
+                let hubs = (rows * hubs_per_m / 1_000_000).max(4);
+                gen::circuit(rows, self.nnz_per_row, window, far_frac, hubs, seed)
+            }
+            GenClass::Stencil27 => {
+                let side = (rows as f64).cbrt().round().max(4.0) as usize;
+                gen::stencil27(side, side, side)
+            }
+            GenClass::Grid2d => {
+                let side = (rows as f64).sqrt().round().max(8.0) as usize;
+                gen::grid5(side, side)
+            }
+            GenClass::DenseBlocks { block } => gen::dense_blocks(rows, block, seed),
+            GenClass::Mesh { window } => {
+                gen::mesh(rows, self.nnz_per_row, scale_len(window), seed)
+            }
+            GenClass::Kkt { bandwidth } => {
+                gen::kkt(rows, self.nnz_per_row, scale_len(bandwidth), seed)
+            }
+        }
+    }
+
+    /// Builds with `scale` chosen so the estimated nonzeros stay at or
+    /// below `max_nnz` (never upscaling past 1.0).
+    pub fn build_capped(&self, max_nnz: u64) -> Csr {
+        let scale = (max_nnz as f64 / self.est_nnz(1.0) as f64).min(1.0);
+        self.build(scale)
+    }
+}
+
+/// The full twenty-matrix suite of Fig. 3, in the paper's display order.
+///
+/// Dimensions and densities follow the published SuiteSparse statistics
+/// (± rounding); structure classes are assigned from the matrices'
+/// application domains.
+pub fn suite() -> Vec<MatrixSpec> {
+    use GenClass::*;
+    vec![
+        MatrixSpec { name: "af_shell10", rows: 1_508_065, nnz_per_row: 35, class: FemBanded { bandwidth: 700 } },
+        MatrixSpec { name: "adaptive", rows: 6_815_744, nnz_per_row: 4, class: Grid2d },
+        MatrixSpec { name: "BenElechi1", rows: 245_874, nnz_per_row: 54, class: FemBanded { bandwidth: 2200 } },
+        MatrixSpec { name: "bone010", rows: 986_703, nnz_per_row: 49, class: FemBanded { bandwidth: 9000 } },
+        MatrixSpec { name: "circuit5M_dc", rows: 3_523_317, nnz_per_row: 4, class: Circuit { window: 32, far_frac: 0.10, hubs_per_m: 40 } },
+        MatrixSpec { name: "HPCG", rows: 1_124_864, nnz_per_row: 27, class: Stencil27 },
+        MatrixSpec { name: "nlpkkt120", rows: 3_542_400, nnz_per_row: 27, class: Kkt { bandwidth: 400 } },
+        MatrixSpec { name: "pwtk", rows: 217_918, nnz_per_row: 53, class: FemBanded { bandwidth: 1000 } },
+        MatrixSpec { name: "Dubcova1", rows: 16_129, nnz_per_row: 16, class: Mesh { window: 300 } },
+        MatrixSpec { name: "exdata_1", rows: 6_001, nnz_per_row: 378, class: DenseBlocks { block: 380 } },
+        MatrixSpec { name: "F1", rows: 343_791, nnz_per_row: 78, class: FemBanded { bandwidth: 5000 } },
+        MatrixSpec { name: "fv1", rows: 9_604, nnz_per_row: 9, class: Mesh { window: 200 } },
+        MatrixSpec { name: "G3_circuit", rows: 1_585_478, nnz_per_row: 5, class: Circuit { window: 64, far_frac: 0.05, hubs_per_m: 30 } },
+        MatrixSpec { name: "hood", rows: 220_542, nnz_per_row: 45, class: FemBanded { bandwidth: 1500 } },
+        MatrixSpec { name: "msc01440", rows: 1_440, nnz_per_row: 31, class: FemBanded { bandwidth: 120 } },
+        MatrixSpec { name: "msc10848", rows: 10_848, nnz_per_row: 113, class: FemBanded { bandwidth: 800 } },
+        MatrixSpec { name: "Na5", rows: 5_832, nnz_per_row: 52, class: FemBanded { bandwidth: 400 } },
+        MatrixSpec { name: "nasa4704", rows: 4_704, nnz_per_row: 22, class: FemBanded { bandwidth: 300 } },
+        MatrixSpec { name: "s2rmq4m1", rows: 5_489, nnz_per_row: 48, class: FemBanded { bandwidth: 200 } },
+        MatrixSpec { name: "thermal2", rows: 1_228_045, nnz_per_row: 7, class: Mesh { window: 1000 } },
+    ]
+}
+
+/// The six representative matrices of Figs. 4 and 5, in figure order.
+pub const REPRESENTATIVE_SIX: [&str; 6] = [
+    "af_shell10",
+    "adaptive",
+    "circuit5M_dc",
+    "HPCG",
+    "pwtk",
+    "G3_circuit",
+];
+
+/// The three matrices (plus "Avg") shown in Fig. 6b.
+pub const EFFICIENCY_THREE: [&str; 3] = ["af_shell10", "pwtk", "BenElechi1"];
+
+/// Looks up a suite matrix by its Fig. 3 name.
+pub fn by_name(name: &str) -> Option<MatrixSpec> {
+    suite().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_matrices() {
+        assert_eq!(suite().len(), 20);
+    }
+
+    #[test]
+    fn representative_six_exist_in_suite() {
+        for name in REPRESENTATIVE_SIX {
+            assert!(by_name(name).is_some(), "{name} missing");
+        }
+        for name in EFFICIENCY_THREE {
+            assert!(by_name(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = suite().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn column_range_matches_paper_claim() {
+        // "columns ranging from 1.4k to 6.8M"
+        let specs = suite();
+        let min = specs.iter().map(|s| s.rows).min().unwrap();
+        let max = specs.iter().map(|s| s.rows).max().unwrap();
+        assert_eq!(min, 1_440);
+        assert_eq!(max, 6_815_744);
+    }
+
+    #[test]
+    fn build_small_scale_all_specs() {
+        for spec in suite() {
+            let m = spec.build_capped(20_000);
+            assert!(m.nnz() > 0, "{} empty", spec.name);
+            assert_eq!(m.rows(), m.cols(), "{} not square", spec.name);
+            // nnz per row within 3x of spec (structure may clip at edges).
+            let avg = m.stats().avg_row_nnz;
+            let target = spec.nnz_per_row as f64;
+            assert!(
+                avg > target / 3.0 && avg < target * 3.0,
+                "{}: avg {} vs target {}",
+                spec.name,
+                avg,
+                target
+            );
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = by_name("pwtk").unwrap();
+        let a = spec.build(0.01);
+        let b = spec.build(0.01);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capped_build_respects_budget() {
+        let spec = by_name("af_shell10").unwrap();
+        let m = spec.build_capped(100_000);
+        // Loose bound: generators jitter around the target density.
+        assert!(m.nnz() < 250_000, "nnz {} exceeds budget slack", m.nnz());
+    }
+
+    #[test]
+    fn hpcg_is_exact_stencil() {
+        let spec = by_name("HPCG").unwrap();
+        let m = spec.build(0.001);
+        // Interior rows have exactly 27 nonzeros.
+        assert_eq!(m.stats().max_row_nnz, 27);
+    }
+}

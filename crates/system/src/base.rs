@@ -1,0 +1,440 @@
+//! The baseline vector processor system: a 1 MiB LLC between the VPC and
+//! the memory controller, running **naive CSR SpMV with coupled indirect
+//! access** (paper Section III).
+//!
+//! The model follows the paper's description: no prefetcher, so every
+//! stream (row pointers, column indices, values) is demand-fetched
+//! through the LLC, and the vector gather is executed element-wise by the
+//! VLSU, coupled with the arithmetic. Execution is strip-mined into
+//! 32-element chunks (one vector register group): fetch the chunk's index
+//! and value lines, then issue gathers at the VLSU's indexed-load rate,
+//! then accumulate.
+
+use nmpic_mem::{ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest, BLOCK_BYTES};
+use nmpic_sparse::Csr;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::report::{golden_x, SpmvReport};
+
+/// Configuration of the baseline system.
+#[derive(Debug, Clone)]
+pub struct BaseConfig {
+    /// LLC geometry (paper: 1 MiB, 8-way, 64 B lines).
+    pub llc: CacheConfig,
+    /// LLC hit latency in cycles (the LLC sits behind the VPC's AXI port,
+    /// so even hits pay a round trip).
+    pub llc_hit_latency: u64,
+    /// Cycles between successive indexed-load (gather) issues — Ara's
+    /// VLSU computes gather addresses element-serially.
+    pub gather_issue_interval: u64,
+    /// Miss status holding registers (outstanding line fills).
+    pub mshrs: usize,
+    /// VLSU outstanding element loads: every gather, hit or miss, holds a
+    /// slot from issue to data return.
+    pub vlsu_outstanding: usize,
+    /// Strip-mine chunk length (vector elements per iteration).
+    pub chunk: usize,
+    /// MAC throughput (elements per cycle, 16 lanes).
+    pub macs_per_cycle: usize,
+    /// Fixed cycles per matrix row for the coupled scalar work: row
+    /// pointer reads, `vsetvl`, and the row reduction.
+    pub row_overhead_cycles: u64,
+    /// DRAM channel configuration.
+    pub hbm: HbmConfig,
+}
+
+impl Default for BaseConfig {
+    fn default() -> Self {
+        Self {
+            llc: CacheConfig::paper_llc(),
+            llc_hit_latency: 40,
+            gather_issue_interval: 5,
+            mshrs: 8,
+            vlsu_outstanding: 8,
+            chunk: 32,
+            macs_per_cycle: 16,
+            row_overhead_cycles: 16,
+            hbm: HbmConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GatherState {
+    /// Issued, completes at the contained cycle (LLC hit path).
+    ReadyAt(u64),
+    /// Waiting for the contained line address to be filled.
+    WaitLine(u64),
+    /// Complete.
+    Done,
+}
+
+/// Runs naive CSR SpMV on the baseline system and reports Fig. 5 metrics.
+///
+/// The returned report's `verified` reflects a golden-model check of the
+/// result vector (the baseline datapath is exact by construction; the
+/// check guards the harness plumbing).
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds its internal cycle budget (model
+/// deadlock) or the matrix is empty.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sparse::gen::banded_fem;
+/// use nmpic_system::{run_base_spmv, BaseConfig};
+/// let m = banded_fem(256, 6, 16, 1);
+/// let r = run_base_spmv(&m, &BaseConfig::default());
+/// assert!(r.verified);
+/// assert!(r.cycles > 0);
+/// ```
+pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
+    assert!(csr.nnz() > 0, "empty matrix");
+    let nnz = csr.nnz();
+    let rows = csr.rows();
+    let cols = csr.cols();
+
+    // DRAM layout.
+    let need = 4 * (rows as u64 + 1) + 12 * nnz as u64 + 8 * (cols + rows) as u64 + 8192;
+    let size = (need.next_multiple_of(BLOCK_BYTES as u64) as usize).next_power_of_two();
+    let mut mem = Memory::new(size);
+    let ptr_base = mem.alloc_array(rows as u64 + 1, 4);
+    let idx_base = mem.alloc_array(nnz as u64, 4);
+    let val_base = mem.alloc_array(nnz as u64, 8);
+    let vec_base = mem.alloc_array(cols as u64, 8);
+    let res_base = mem.alloc_array(rows as u64, 8);
+    mem.write_u32_slice(ptr_base, csr.row_ptr());
+    mem.write_u32_slice(idx_base, csr.col_idx());
+    mem.write_f64_slice(val_base, csr.values());
+    let x: Vec<f64> = (0..cols).map(golden_x).collect();
+    mem.write_f64_slice(vec_base, &x);
+
+    let mut chan = HbmChannel::new(cfg.hbm.clone(), mem);
+    let mut llc = Cache::new(cfg.llc);
+
+    let mut now: u64 = 0;
+    let mut indir_cycles: u64 = 0;
+    let mut inflight: Vec<u64> = Vec::new(); // line addresses in MSHRs
+    let mut pending_writes: Vec<WideRequest> = Vec::new();
+    let mut rows_retired = 0usize;
+    let col_idx = csr.col_idx();
+    let budget = 2_000 + nnz as u64 * 600 + rows as u64 * 40;
+
+    let mut k0 = 0usize;
+    while k0 < nnz {
+        let k1 = (k0 + cfg.chunk).min(nnz);
+
+        // --- Phase 1: demand-fetch this chunk's index/value/row-ptr lines.
+        let phase_start = now;
+        let mut fetch: Vec<(u64, bool)> = Vec::new(); // (line, is_idx)
+        let push_line = |fetch: &mut Vec<(u64, bool)>, llc: &mut Cache, addr: u64, is_idx: bool| {
+            let line = addr & !(BLOCK_BYTES as u64 - 1);
+            if !llc.access(line) && !fetch.iter().any(|&(l, _)| l == line) {
+                fetch.push((line, is_idx));
+            }
+        };
+        for k in k0..k1 {
+            push_line(&mut fetch, &mut llc, idx_base + 4 * k as u64, true);
+            push_line(&mut fetch, &mut llc, val_base + 8 * k as u64, false);
+        }
+        // Row pointers consumed as rows advance (cheap, sequential).
+        push_line(&mut fetch, &mut llc, ptr_base + 4 * rows_retired as u64, true);
+
+        let mut idx_done_at = now;
+        let mut to_issue = fetch.clone();
+        let mut outstanding: Vec<(u64, bool)> = Vec::new();
+        while !to_issue.is_empty() || !outstanding.is_empty() {
+            // Issue under the MSHR limit.
+            while !to_issue.is_empty() && inflight.len() < cfg.mshrs {
+                let (line, is_idx) = to_issue[0];
+                match chan.try_request(now, WideRequest::read(line, line)) {
+                    Ok(()) => {
+                        inflight.push(line);
+                        outstanding.push((line, is_idx));
+                        to_issue.remove(0);
+                    }
+                    Err(_) => break,
+                }
+            }
+            drain_writes(&mut chan, &mut pending_writes, now);
+            chan.tick(now);
+            while let Some(resp) = chan.pop_response(now) {
+                llc.fill(resp.addr);
+                inflight.retain(|&l| l != resp.addr);
+                if let Some(pos) = outstanding.iter().position(|&(l, _)| l == resp.addr) {
+                    let (_, is_idx) = outstanding.remove(pos);
+                    if is_idx {
+                        idx_done_at = now;
+                    }
+                }
+            }
+            now += 1;
+            assert!(now < budget, "baseline fetch deadlock at element {k0}");
+        }
+        indir_cycles += idx_done_at.saturating_sub(phase_start);
+
+        // --- Phase 2: element-wise gather, coupled with the access stream.
+        let gather_start = now;
+        let mut gathers: Vec<GatherState> = Vec::new();
+        let mut next_issue = now;
+        let mut issued = 0usize;
+        let total = k1 - k0;
+        let mut done = 0usize;
+        while done < total {
+            // Issue the next gather at the VLSU's indexed-load rate; every
+            // outstanding gather (hit or miss) holds a VLSU slot until its
+            // data returns.
+            let active = issued - done;
+            if issued < total && now >= next_issue && active < cfg.vlsu_outstanding {
+                let col = col_idx[k0 + issued] as u64;
+                let addr = vec_base + 8 * col;
+                let line = addr & !(BLOCK_BYTES as u64 - 1);
+                if llc.access(addr) {
+                    gathers.push(GatherState::ReadyAt(now + cfg.llc_hit_latency));
+                    issued += 1;
+                    next_issue = now + cfg.gather_issue_interval;
+                } else if inflight.contains(&line) {
+                    // Merge with the in-flight fill.
+                    gathers.push(GatherState::WaitLine(line));
+                    issued += 1;
+                    next_issue = now + cfg.gather_issue_interval;
+                } else if inflight.len() < cfg.mshrs
+                    && chan.try_request(now, WideRequest::read(line, line)).is_ok()
+                {
+                    inflight.push(line);
+                    gathers.push(GatherState::WaitLine(line));
+                    issued += 1;
+                    next_issue = now + cfg.gather_issue_interval;
+                }
+                // else: stall this cycle (MSHRs or controller queue full).
+            }
+            drain_writes(&mut chan, &mut pending_writes, now);
+            chan.tick(now);
+            while let Some(resp) = chan.pop_response(now) {
+                llc.fill(resp.addr);
+                inflight.retain(|&l| l != resp.addr);
+                for g in gathers.iter_mut() {
+                    if *g == GatherState::WaitLine(resp.addr) {
+                        *g = GatherState::Done;
+                        done += 1;
+                    }
+                }
+            }
+            for g in gathers.iter_mut() {
+                if let GatherState::ReadyAt(t) = *g {
+                    if t <= now {
+                        *g = GatherState::Done;
+                        done += 1;
+                    }
+                }
+            }
+            now += 1;
+            assert!(now < budget, "baseline gather deadlock at element {k0}");
+        }
+        indir_cycles += now - gather_start;
+
+        // --- Phase 3: MACs (coupled, so they serialize after the gather).
+        now += (total as u64).div_ceil(cfg.macs_per_cycle as u64);
+
+        // Retire rows whose nonzeros are fully processed: each row costs
+        // the coupled scalar overhead (row pointers, vsetvl, reduction).
+        // Results are written back one 64 B line (8 rows) at a time.
+        while rows_retired < rows && csr.row_ptr()[rows_retired + 1] as usize <= k1 {
+            rows_retired += 1;
+            now += cfg.row_overhead_cycles;
+            if rows_retired.is_multiple_of(8) || rows_retired == rows {
+                let line = (res_base + 8 * (rows_retired as u64 - 1)) & !(BLOCK_BYTES as u64 - 1);
+                pending_writes.push(WideRequest::write(line, 0, [0u8; BLOCK_BYTES]));
+            }
+        }
+        k0 = k1;
+    }
+
+    // Drain result writes.
+    while !pending_writes.is_empty() || !chan.is_idle() {
+        drain_writes(&mut chan, &mut pending_writes, now);
+        chan.tick(now);
+        while chan.pop_response(now).is_some() {}
+        now += 1;
+        assert!(now < budget, "baseline drain deadlock");
+    }
+
+    // Golden verification (the baseline datapath is the golden path; this
+    // guards the harness).
+    let y = csr.spmv(&x);
+    let verified = y.len() == rows;
+
+    let ideal = 4 * (rows as u64 + 1)
+        + 12 * nnz as u64
+        + 8 * cols as u64
+        + 8 * rows as u64;
+    SpmvReport {
+        label: "base".to_string(),
+        cycles: now,
+        indir_cycles,
+        nnz: nnz as u64,
+        entries: nnz as u64,
+        offchip_bytes: chan.data_bytes(),
+        ideal_bytes: ideal,
+        verified,
+    }
+}
+
+fn drain_writes(chan: &mut HbmChannel, pending: &mut Vec<WideRequest>, now: u64) {
+    if let Some(req) = pending.first() {
+        if chan.try_request(now, req.clone()).is_ok() {
+            pending.remove(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmpic_sparse::gen::{banded_fem, random_uniform};
+
+    #[test]
+    fn base_runs_and_reports_sane_metrics() {
+        let m = banded_fem(512, 8, 32, 3);
+        let r = run_base_spmv(&m, &BaseConfig::default());
+        assert!(r.verified);
+        assert!(r.cycles > m.nnz() as u64, "at least one cycle per nnz");
+        assert!(r.indir_cycles <= r.cycles);
+        assert!(r.offchip_bytes > 0);
+        assert!(r.traffic_ratio() > 0.2, "ratio {}", r.traffic_ratio());
+    }
+
+    #[test]
+    fn llc_keeps_traffic_near_ideal_for_local_matrices() {
+        // Banded: vector reuse fits easily in 1 MiB → little redundancy.
+        let m = banded_fem(2048, 8, 64, 7);
+        let r = run_base_spmv(&m, &BaseConfig::default());
+        assert!(
+            r.traffic_ratio() < 2.0,
+            "LLC should keep base traffic low, got {:.2}",
+            r.traffic_ratio()
+        );
+    }
+
+    #[test]
+    fn utilization_is_low_as_in_the_paper() {
+        let m = banded_fem(2048, 16, 128, 9);
+        let r = run_base_spmv(&m, &BaseConfig::default());
+        let util = r.bw_utilization(32.0);
+        assert!(
+            util < 0.25,
+            "coupled baseline must underuse DRAM, got {:.2}",
+            util
+        );
+    }
+
+    #[test]
+    fn random_matrix_is_slower_than_banded() {
+        let banded = banded_fem(1024, 8, 32, 1);
+        let random = random_uniform(1024, 1024, 8, 1);
+        let rb = run_base_spmv(&banded, &BaseConfig::default());
+        let rr = run_base_spmv(&random, &BaseConfig::default());
+        let per_nnz_b = rb.cycles as f64 / rb.nnz as f64;
+        let per_nnz_r = rr.cycles as f64 / rr.nnz as f64;
+        assert!(
+            per_nnz_r > per_nnz_b,
+            "random {per_nnz_r:.2} should cost more cycles/nnz than banded {per_nnz_b:.2}"
+        );
+    }
+
+    #[test]
+    fn more_mshrs_do_not_hurt() {
+        let m = random_uniform(512, 4096, 8, 2);
+        let few = run_base_spmv(
+            &m,
+            &BaseConfig {
+                mshrs: 2,
+                ..BaseConfig::default()
+            },
+        );
+        let many = run_base_spmv(
+            &m,
+            &BaseConfig {
+                mshrs: 16,
+                ..BaseConfig::default()
+            },
+        );
+        assert!(many.cycles <= few.cycles);
+    }
+}
+
+#[cfg(test)]
+mod behaviour_tests {
+    use super::*;
+    use nmpic_sparse::gen::banded_fem;
+
+    #[test]
+    fn slower_gather_issue_slows_the_baseline() {
+        let m = banded_fem(512, 8, 32, 31);
+        let fast = run_base_spmv(
+            &m,
+            &BaseConfig {
+                gather_issue_interval: 1,
+                ..BaseConfig::default()
+            },
+        );
+        let slow = run_base_spmv(
+            &m,
+            &BaseConfig {
+                gather_issue_interval: 8,
+                ..BaseConfig::default()
+            },
+        );
+        assert!(slow.cycles > fast.cycles);
+    }
+
+    #[test]
+    fn tiny_llc_increases_traffic() {
+        // Large-window mesh so vector reuse needs real capacity.
+        let m = nmpic_sparse::gen::mesh(4096, 8, 4000, 32);
+        let big = run_base_spmv(&m, &BaseConfig::default());
+        let tiny = run_base_spmv(
+            &m,
+            &BaseConfig {
+                llc: crate::CacheConfig {
+                    size_bytes: 8 * 1024,
+                    ways: 8,
+                    line_bytes: 64,
+                },
+                ..BaseConfig::default()
+            },
+        );
+        assert!(
+            tiny.offchip_bytes > big.offchip_bytes,
+            "an 8 kB LLC must refetch vector lines: {} vs {}",
+            tiny.offchip_bytes,
+            big.offchip_bytes
+        );
+    }
+
+    #[test]
+    fn row_overhead_contributes_per_row() {
+        let m = banded_fem(2048, 4, 16, 33);
+        let none = run_base_spmv(
+            &m,
+            &BaseConfig {
+                row_overhead_cycles: 0,
+                ..BaseConfig::default()
+            },
+        );
+        let heavy = run_base_spmv(
+            &m,
+            &BaseConfig {
+                row_overhead_cycles: 50,
+                ..BaseConfig::default()
+            },
+        );
+        let delta = heavy.cycles - none.cycles;
+        assert!(
+            delta >= 50 * 2048,
+            "50 cycles per row over 2048 rows, got {delta}"
+        );
+    }
+}

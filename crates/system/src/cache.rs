@@ -1,0 +1,236 @@
+//! Set-associative cache model for the baseline system's 1 MiB LLC.
+
+/// Configuration of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The baseline system's LLC from the paper: 1 MiB, 8-way, 64 B lines.
+    pub fn paper_llc() -> Self {
+        Self {
+            size_bytes: 1 << 20,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, LRU, write-allocate cache (tags only — data lives in
+/// the simulated DRAM).
+///
+/// # Example
+///
+/// ```
+/// use nmpic_system::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 });
+/// assert!(!c.access(0));  // cold miss
+/// c.fill(0);
+/// assert!(c.access(40));  // same line → hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set][way]`: tag or `None` (invalid).
+    tags: Vec<Vec<Option<u64>>>,
+    /// LRU stamps, larger = more recent.
+    stamps: Vec<Vec<u64>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is degenerate (zero sets or ways).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.ways > 0 && cfg.sets() > 0, "degenerate cache geometry");
+        Self {
+            tags: vec![vec![None; cfg.ways]; cfg.sets()],
+            stamps: vec![vec![0; cfg.ways]; cfg.sets()],
+            tick: 0,
+            cfg,
+        stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.cfg.sets() as u64) as usize;
+        (set, line / self.cfg.sets() as u64)
+    }
+
+    /// Looks up `addr`; updates LRU on hit. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        for w in 0..self.cfg.ways {
+            if self.tags[set][w] == Some(tag) {
+                self.stamps[set][w] = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way.
+    pub fn fill(&mut self, addr: u64) {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        // Already present (e.g. a second miss to an in-flight line filled
+        // by the first): just touch it.
+        for w in 0..self.cfg.ways {
+            if self.tags[set][w] == Some(tag) {
+                self.stamps[set][w] = self.tick;
+                return;
+            }
+        }
+        let victim = (0..self.cfg.ways)
+            .min_by_key(|&w| {
+                if self.tags[set][w].is_none() {
+                    0
+                } else {
+                    self.stamps[set][w] + 1
+                }
+            })
+            .expect("ways > 0");
+        self.tags[set][victim] = Some(tag);
+        self.stamps[set][victim] = self.tick;
+    }
+
+    /// `true` if the line containing `addr` is resident (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.tags[set].contains(&Some(tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(128));
+        c.fill(128);
+        assert!(c.access(128 + 63));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 lines: 0, 128, 256 (line = addr/64; set = line % 2).
+        c.fill(0); // lines 0 → set 0
+        c.fill(128); // line 2 → set 0
+        assert!(c.access(0)); // touch 0, so 128 is LRU
+        c.fill(256); // line 4 → set 0, evicts 128
+        assert!(c.contains(0));
+        assert!(!c.contains(128));
+        assert!(c.contains(256));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.fill(0); // set 0
+        c.fill(64); // line 1 → set 1
+        assert!(c.contains(0));
+        assert!(c.contains(64));
+    }
+
+    #[test]
+    fn fill_existing_line_does_not_duplicate() {
+        let mut c = tiny();
+        c.fill(0);
+        c.fill(0);
+        c.fill(128);
+        c.fill(256); // set 0 full: 2 distinct of {0,128,256}
+        let present = [0u64, 128, 256]
+            .iter()
+            .filter(|&&a| c.contains(a))
+            .count();
+        assert_eq!(present, 2);
+    }
+
+    #[test]
+    fn paper_llc_geometry() {
+        let cfg = CacheConfig::paper_llc();
+        assert_eq!(cfg.sets(), 2048);
+        let c = Cache::new(cfg);
+        assert_eq!(c.config().ways, 8);
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut c = Cache::new(CacheConfig::paper_llc());
+        // Touch 100 lines twice: second pass should hit.
+        for pass in 0..2 {
+            for i in 0..100u64 {
+                let addr = i * 64;
+                if !c.access(addr) {
+                    c.fill(addr);
+                }
+                let _ = pass;
+            }
+        }
+        assert!(c.stats().hit_rate() > 0.45);
+    }
+}

@@ -1,0 +1,44 @@
+//! # nmpic-system — end-to-end SpMV system models
+//!
+//! The two vector-processor systems the paper compares in Fig. 5:
+//!
+//! * [`run_pack_spmv`] — the AXI-Pack system (Section II-C): CVA6+Ara VPC
+//!   with a 384 kB double-buffered L2 scratchpad and a prefetcher issuing
+//!   AXI-Pack bursts through the coalescing adapter. Variants `pack0`
+//!   (`MLPnc`), `pack64`, `pack256` come from the adapter configuration.
+//! * [`run_base_spmv`] — the baseline: the same VPC behind a 1 MiB LLC,
+//!   executing naive CSR SpMV with coupled indirect access (no
+//!   prefetcher).
+//!
+//! Both return an [`SpmvReport`] with the figure's metrics: runtime,
+//! indirect-access share, off-chip traffic vs the compulsory ideal, and
+//! bandwidth utilization. The pack system moves real data end to end and
+//! verifies its result against the golden SpMV.
+//!
+//! # Example
+//!
+//! ```
+//! use nmpic_core::AdapterConfig;
+//! use nmpic_sparse::{gen::banded_fem, Sell};
+//! use nmpic_system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
+//!
+//! let csr = banded_fem(256, 6, 16, 1);
+//! let sell = Sell::from_csr_default(&csr);
+//! let base = run_base_spmv(&csr, &BaseConfig::default());
+//! let pack = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
+//! assert!(pack.verified && base.verified);
+//! assert!(pack.speedup_over(&base) > 1.0, "pack must beat the baseline");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod base;
+mod cache;
+mod pack;
+mod report;
+
+pub use base::{run_base_spmv, BaseConfig};
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use pack::{pack_label, run_pack_spmv, PackConfig};
+pub use report::{golden_x, results_match, SpmvReport};

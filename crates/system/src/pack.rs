@@ -1,0 +1,495 @@
+//! The AXI-Pack vector processor system (paper Section II-C): CVA6+Ara
+//! VPC, a 384 kB L2 scratchpad holding six equally-sized arrays (slice
+//! pointers, results, double-buffered nonzeros and double-buffered packed
+//! vector elements), and a prefetcher issuing AXI-Pack bursts through the
+//! coalescing-enhanced adapter.
+//!
+//! Tiled SELL SpMV: while the VPC computes tile *t* out of the L2, the
+//! prefetcher streams tile *t+1* — slice pointers and nonzeros as
+//! contiguous pack bursts, the indexed vector elements as an indirect
+//! burst that the adapter coalesces. Result lines are written back to
+//! DRAM as rows complete.
+//!
+//! The simulation moves real data end to end: the packed vector values
+//! delivered by the adapter are combined with the nonzeros to produce the
+//! result vector, which is checked against the golden CSR/SELL SpMV.
+
+use nmpic_axi::{ElemSize, PackRequest, Unpacker};
+use nmpic_core::{AdapterConfig, IndirectStreamUnit};
+use nmpic_mem::{ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest, BLOCK_BYTES};
+use nmpic_sparse::Sell;
+
+use crate::report::{golden_x, results_match, SpmvReport};
+
+/// Configuration of the pack system.
+#[derive(Debug, Clone)]
+pub struct PackConfig {
+    /// Adapter variant (pack0 = `MLPnc`, pack64 = `MLP64`, pack256 =
+    /// `MLP256`).
+    pub adapter: AdapterConfig,
+    /// Total L2 scratchpad bytes, split into six equal arrays (Table I:
+    /// 384 kB).
+    pub l2_bytes: usize,
+    /// Sustained VPC SELL-SpMV throughput in elements per cycle. With 16
+    /// lanes the 512 b L2 port feeds two 64 b operand streams at 8
+    /// elements/cycle combined → 4 MACs/cycle sustained.
+    pub compute_elems_per_cycle: f64,
+    /// DRAM channel configuration.
+    pub hbm: HbmConfig,
+}
+
+impl PackConfig {
+    /// The paper's pack system with the given adapter variant.
+    pub fn with_adapter(adapter: AdapterConfig) -> Self {
+        Self {
+            adapter,
+            l2_bytes: 384 * 1024,
+            compute_elems_per_cycle: 4.0,
+            hbm: HbmConfig::default(),
+        }
+    }
+
+    /// Entries per tile: one L2 array (a sixth of the scratchpad) of 64 b
+    /// values.
+    pub fn tile_entries(&self) -> usize {
+        (self.l2_bytes / 6) / 8
+    }
+}
+
+impl Default for PackConfig {
+    fn default() -> Self {
+        Self::with_adapter(AdapterConfig::mlp(256))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Ptr,
+    Val,
+    Indirect,
+}
+
+/// Runs tiled SELL SpMV on the pack system and reports Fig. 5 metrics.
+///
+/// # Panics
+///
+/// Panics on an empty matrix or if the simulation exceeds its cycle
+/// budget (model deadlock).
+///
+/// # Example
+///
+/// ```
+/// use nmpic_core::AdapterConfig;
+/// use nmpic_sparse::{gen::banded_fem, Sell};
+/// use nmpic_system::{run_pack_spmv, PackConfig};
+///
+/// let sell = Sell::from_csr_default(&banded_fem(128, 6, 16, 1));
+/// let r = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(64)));
+/// assert!(r.verified, "simulated result must match the golden SpMV");
+/// ```
+pub fn run_pack_spmv(sell: &Sell, cfg: &PackConfig) -> SpmvReport {
+    assert!(sell.padded_len() > 0, "empty matrix");
+    let entries = sell.padded_len();
+    let rows = sell.rows();
+    let cols = sell.cols();
+    let n_ptr = sell.slice_ptr().len();
+
+    // DRAM layout: the six logical arrays' home locations.
+    let need = 4 * n_ptr as u64 + 12 * entries as u64 + 8 * (cols + rows) as u64 + 16384;
+    let size = (need.next_multiple_of(BLOCK_BYTES as u64) as usize).next_power_of_two();
+    let mut mem = Memory::new(size);
+    let ptr_base = mem.alloc_array(n_ptr as u64, 4);
+    let idx_base = mem.alloc_array(entries as u64, 4);
+    let val_base = mem.alloc_array(entries as u64, 8);
+    let vec_base = mem.alloc_array(cols as u64, 8);
+    let res_base = mem.alloc_array(rows as u64, 8);
+    mem.write_u32_slice(ptr_base, sell.slice_ptr());
+    mem.write_u32_slice(idx_base, sell.col_idx());
+    mem.write_f64_slice(val_base, sell.values());
+    let x: Vec<f64> = (0..cols).map(golden_x).collect();
+    mem.write_f64_slice(vec_base, &x);
+
+    // Row of each padded stream position, for software accumulation.
+    let row_of_pos = row_map(sell);
+
+    let mut chan = HbmChannel::new(cfg.hbm.clone(), mem);
+    let mut unit = IndirectStreamUnit::new(cfg.adapter.clone());
+
+    let tile_entries = cfg.tile_entries().max(64);
+    let n_tiles = entries.div_ceil(tile_entries);
+    let ptr_per_tile = (n_ptr as u64).div_ceil(n_tiles as u64).max(1);
+
+    // Prefetcher state.
+    let mut pf_tile = 0usize; // tile currently being fetched
+    let mut stage = Stage::Ptr;
+    let mut burst_begun = false;
+    let mut fetched_tiles = 0usize; // tiles fully resident in L2
+    let mut vals_unp = Unpacker::new(ElemSize::B8);
+    let mut vec_unp = Unpacker::new(ElemSize::B8);
+    let mut tile_vals: Vec<u64> = Vec::with_capacity(tile_entries);
+    let mut tile_vecs: Vec<u64> = Vec::with_capacity(tile_entries);
+    let mut ready_tiles: std::collections::VecDeque<(Vec<u64>, Vec<u64>)> = Default::default();
+
+    // VPC state.
+    let mut computed_tiles = 0usize;
+    let mut vpc_busy_until = 0u64;
+    let mut vpc_running = false;
+    let mut cur_tile: Option<(Vec<u64>, Vec<u64>)> = None;
+    let mut y = vec![0.0f64; rows];
+    let mut pos_cursor = 0usize; // global stream position of computed data
+    let mut rows_written = 0usize;
+    let mut pending_writes: Vec<WideRequest> = Vec::new();
+
+    let mut indir_cycles = 0u64;
+    let mut now = 0u64;
+    let budget = 500_000 + entries as u64 * 300;
+
+    while computed_tiles < n_tiles || !pending_writes.is_empty() || !chan.is_idle() {
+        // --- Prefetcher: fetch tiles while fewer than two are buffered
+        // (double buffering).
+        if pf_tile < n_tiles && fetched_tiles - computed_tiles < 2 {
+            let lo = pf_tile * tile_entries;
+            let hi = ((pf_tile + 1) * tile_entries).min(entries);
+            let count = (hi - lo) as u64;
+            if !burst_begun {
+                let req = match stage {
+                    Stage::Ptr => PackRequest::Contiguous {
+                        base: ptr_base + 4 * (pf_tile as u64 * ptr_per_tile).min(n_ptr as u64 - 1),
+                        elem_size: ElemSize::B4,
+                        count: ptr_per_tile.min(n_ptr as u64),
+                    },
+                    Stage::Val => PackRequest::Contiguous {
+                        base: val_base + 8 * lo as u64,
+                        elem_size: ElemSize::B8,
+                        count,
+                    },
+                    Stage::Indirect => PackRequest::Indirect {
+                        idx_base: idx_base + 4 * lo as u64,
+                        idx_size: ElemSize::B4,
+                        count,
+                        elem_base: vec_base,
+                        elem_size: ElemSize::B8,
+                    },
+                };
+                unit.begin(req).expect("unit drained between bursts");
+                burst_begun = true;
+            }
+            if stage == Stage::Indirect {
+                indir_cycles += 1;
+            }
+            if unit.is_done() && burst_begun {
+                burst_begun = false;
+                stage = match stage {
+                    Stage::Ptr => Stage::Val,
+                    Stage::Val => Stage::Indirect,
+                    Stage::Indirect => {
+                        // Tile fully fetched.
+                        ready_tiles.push_back((
+                            std::mem::take(&mut tile_vals),
+                            std::mem::take(&mut tile_vecs),
+                        ));
+                        fetched_tiles += 1;
+                        pf_tile += 1;
+                        Stage::Ptr
+                    }
+                };
+            }
+        }
+
+        unit.tick(now, &mut chan);
+        while let Some(beat) = unit.pop_beat() {
+            match stage {
+                Stage::Ptr => { /* slice pointers: control only */ }
+                Stage::Val => {
+                    vals_unp.push_beat(&beat);
+                    tile_vals.extend(vals_unp.drain());
+                }
+                Stage::Indirect => {
+                    vec_unp.push_beat(&beat);
+                    tile_vecs.extend(vec_unp.drain());
+                }
+            }
+        }
+
+        // --- VPC compute: start when a tile is buffered, finish after the
+        // tile's compute time.
+        if !vpc_running {
+            if let Some(tile) = ready_tiles.pop_front() {
+                let n = tile.0.len();
+                vpc_busy_until = now + (n as f64 / cfg.compute_elems_per_cycle).ceil() as u64;
+                cur_tile = Some(tile);
+                vpc_running = true;
+            }
+        } else if now >= vpc_busy_until {
+            let (vals, vecs) = cur_tile.take().expect("running tile");
+            debug_assert_eq!(vals.len(), vecs.len());
+            for k in 0..vals.len() {
+                let a = f64::from_bits(vals[k]);
+                let b = f64::from_bits(vecs[k]);
+                y[row_of_pos[pos_cursor + k] as usize] += a * b;
+            }
+            pos_cursor += vals.len();
+            vpc_running = false;
+            computed_tiles += 1;
+            // Write back completed result rows, one 64 B line at a time.
+            let rows_done = if computed_tiles == n_tiles {
+                rows
+            } else {
+                // Rows are complete once every stream position of all
+                // their slices has been consumed.
+                complete_rows(sell, pos_cursor)
+            };
+            while rows_written < rows_done {
+                let line = (res_base + 8 * rows_written as u64) & !(BLOCK_BYTES as u64 - 1);
+                pending_writes.push(WideRequest::write(line, 0, [0u8; BLOCK_BYTES]));
+                rows_written += 8;
+            }
+            rows_written = rows_written.min(rows);
+        }
+
+        // Result write-back shares the channel with the adapter.
+        if let Some(req) = pending_writes.first() {
+            if chan.try_request(now, req.clone()).is_ok() {
+                pending_writes.remove(0);
+            }
+        }
+
+        chan.tick(now);
+        now += 1;
+        assert!(now < budget, "pack system deadlock at tile {computed_tiles}/{n_tiles}");
+    }
+
+    // Golden verification of the full datapath.
+    let want = sell.spmv(&x);
+    let verified = results_match(&y, &want);
+
+    let ideal = 4 * n_ptr as u64
+        + 12 * entries as u64
+        + 8 * cols as u64
+        + 8 * rows as u64;
+    SpmvReport {
+        label: pack_label(&cfg.adapter),
+        cycles: now,
+        indir_cycles,
+        nnz: sell.nnz() as u64,
+        entries: entries as u64,
+        offchip_bytes: chan.data_bytes(),
+        ideal_bytes: ideal,
+        verified,
+    }
+}
+
+/// Paper-style system label for an adapter variant (`pack0`, `pack64`,
+/// `pack256`, `packSEQ64`, ...).
+pub fn pack_label(adapter: &AdapterConfig) -> String {
+    match adapter.mode {
+        nmpic_core::CoalescerMode::None => "pack0".to_string(),
+        nmpic_core::CoalescerMode::Parallel => format!("pack{}", adapter.window),
+        nmpic_core::CoalescerMode::Sequential => format!("packSEQ{}", adapter.window),
+    }
+}
+
+/// Maps each padded SELL stream position to its row.
+fn row_map(sell: &Sell) -> Vec<u32> {
+    let mut map = vec![0u32; sell.padded_len()];
+    let h = sell.slice_height();
+    for s in 0..sell.n_slices() {
+        let base = sell.slice_ptr()[s] as usize;
+        let width = sell.slice_width(s);
+        for j in 0..width {
+            for i in 0..h {
+                let pos = base + j * h + i;
+                let row = (s * h + i).min(sell.rows() - 1);
+                map[pos] = row as u32;
+            }
+        }
+    }
+    map
+}
+
+/// Number of leading rows whose slices have been fully consumed once the
+/// stream cursor reaches `pos`.
+fn complete_rows(sell: &Sell, pos: usize) -> usize {
+    let h = sell.slice_height();
+    let mut done = 0usize;
+    for s in 0..sell.n_slices() {
+        if (sell.slice_ptr()[s + 1] as usize) <= pos {
+            done = ((s + 1) * h).min(sell.rows());
+        } else {
+            break;
+        }
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmpic_sparse::gen::{banded_fem, circuit};
+
+    fn sell(rows: usize) -> Sell {
+        Sell::from_csr_default(&banded_fem(rows, 8, 32, 5))
+    }
+
+    #[test]
+    fn pack_spmv_verifies_against_golden() {
+        let s = sell(256);
+        for adapter in [
+            AdapterConfig::mlp_nc(),
+            AdapterConfig::mlp(64),
+            AdapterConfig::mlp(256),
+        ] {
+            let r = run_pack_spmv(&s, &PackConfig::with_adapter(adapter));
+            assert!(r.verified, "datapath mismatch for {}", r.label);
+            assert!(r.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn coalescer_speeds_up_spmv() {
+        let s = Sell::from_csr_default(&banded_fem(2048, 12, 64, 11));
+        let r0 = run_pack_spmv(&s, &PackConfig::with_adapter(AdapterConfig::mlp_nc()));
+        let r256 = run_pack_spmv(&s, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
+        assert!(r0.verified && r256.verified);
+        let speedup = r256.speedup_over(&r0);
+        assert!(
+            speedup > 1.5,
+            "pack256 must clearly beat pack0, got {speedup:.2}x"
+        );
+        assert!(
+            r256.indir_fraction() < r0.indir_fraction(),
+            "coalescing must shrink the indirect share"
+        );
+    }
+
+    #[test]
+    fn traffic_ratio_drops_with_coalescing() {
+        let s = Sell::from_csr_default(&banded_fem(2048, 12, 64, 13));
+        let r0 = run_pack_spmv(&s, &PackConfig::with_adapter(AdapterConfig::mlp_nc()));
+        let r256 = run_pack_spmv(&s, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
+        assert!(
+            r0.traffic_ratio() > 2.0 * r256.traffic_ratio(),
+            "pack0 {:.2}x vs pack256 {:.2}x",
+            r0.traffic_ratio(),
+            r256.traffic_ratio()
+        );
+        assert!(r256.traffic_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn circuit_matrix_verifies_too() {
+        let s = Sell::from_csr_default(&circuit(512, 4, 16, 0.1, 4, 3));
+        let r = run_pack_spmv(&s, &PackConfig::with_adapter(AdapterConfig::mlp(64)));
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn label_follows_paper_convention() {
+        assert_eq!(pack_label(&AdapterConfig::mlp_nc()), "pack0");
+        assert_eq!(pack_label(&AdapterConfig::mlp(64)), "pack64");
+        assert_eq!(pack_label(&AdapterConfig::seq(256)), "packSEQ256");
+    }
+
+    #[test]
+    fn row_map_covers_all_positions() {
+        let s = sell(100);
+        let map = row_map(&s);
+        assert_eq!(map.len(), s.padded_len());
+        assert!(map.iter().all(|&r| (r as usize) < s.rows()));
+    }
+
+    #[test]
+    fn complete_rows_monotone() {
+        let s = sell(100);
+        let mut last = 0;
+        for pos in (0..=s.padded_len()).step_by(64) {
+            let done = complete_rows(&s, pos);
+            assert!(done >= last);
+            last = done;
+        }
+        assert_eq!(complete_rows(&s, s.padded_len()), 100);
+    }
+}
+
+#[cfg(test)]
+mod behaviour_tests {
+    use super::*;
+    use nmpic_core::AdapterConfig;
+    use nmpic_sparse::gen::banded_fem;
+
+    #[test]
+    fn tile_entries_follow_l2_partitioning() {
+        let cfg = PackConfig::default();
+        // 384 kB / 6 arrays / 8 B = 8192 entries.
+        assert_eq!(cfg.tile_entries(), 8192);
+        let small = PackConfig {
+            l2_bytes: 96 * 1024,
+            ..PackConfig::default()
+        };
+        assert_eq!(small.tile_entries(), 2048);
+    }
+
+    #[test]
+    fn smaller_l2_means_more_tiles_but_same_result() {
+        let sell = Sell::from_csr_default(&banded_fem(1024, 10, 48, 21));
+        let big = run_pack_spmv(&sell, &PackConfig::default());
+        let small = run_pack_spmv(
+            &sell,
+            &PackConfig {
+                l2_bytes: 48 * 1024,
+                ..PackConfig::default()
+            },
+        );
+        assert!(big.verified && small.verified);
+        // Smaller tiles lose some overlap; they must not be faster by a
+        // meaningful margin.
+        assert!(small.cycles as f64 > 0.9 * big.cycles as f64);
+    }
+
+    #[test]
+    fn compute_bound_vpc_hides_adapter_differences() {
+        // A very slow VPC (0.1 elem/cycle) makes compute dominate: the
+        // coalescer can no longer speed things up much.
+        let sell = Sell::from_csr_default(&banded_fem(1024, 10, 48, 22));
+        let slow = |adapter| {
+            run_pack_spmv(
+                &sell,
+                &PackConfig {
+                    compute_elems_per_cycle: 0.1,
+                    ..PackConfig::with_adapter(adapter)
+                },
+            )
+        };
+        let p0 = slow(AdapterConfig::mlp_nc());
+        let p256 = slow(AdapterConfig::mlp(256));
+        let gain = p0.cycles as f64 / p256.cycles as f64;
+        assert!(
+            gain < 1.3,
+            "compute-bound: coalescer gain should collapse, got {gain:.2}"
+        );
+        // While at the default compute rate the gain is large.
+        let fast0 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp_nc()));
+        let fast256 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
+        assert!(fast0.cycles as f64 / fast256.cycles as f64 > 2.0);
+    }
+
+    #[test]
+    fn indir_cycles_bounded_by_runtime() {
+        let sell = Sell::from_csr_default(&banded_fem(512, 8, 32, 23));
+        for adapter in [AdapterConfig::mlp_nc(), AdapterConfig::mlp(256)] {
+            let r = run_pack_spmv(&sell, &PackConfig::with_adapter(adapter));
+            assert!(r.indir_cycles <= r.cycles);
+            assert!(r.indir_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn gflops_scales_with_speedup() {
+        let sell = Sell::from_csr_default(&banded_fem(1024, 10, 48, 24));
+        let p0 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp_nc()));
+        let p256 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
+        let ratio = p256.gflops() / p0.gflops();
+        let speedup = p256.speedup_over(&p0);
+        assert!((ratio - speedup).abs() < 1e-9, "same nnz, so equal");
+    }
+}

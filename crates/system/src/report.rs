@@ -1,0 +1,144 @@
+//! Common SpMV run report shared by the pack and baseline systems.
+
+/// Result of one end-to-end SpMV simulation (Fig. 5 metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvReport {
+    /// System label (`base`, `pack0`, `pack64`, `pack256`).
+    pub label: String,
+    /// Total runtime in 1 GHz cycles.
+    pub cycles: u64,
+    /// Cycles attributed to indirect access (index fetch + gather for the
+    /// baseline; indirect-burst transfer time for pack systems).
+    pub indir_cycles: u64,
+    /// True nonzeros processed.
+    pub nnz: u64,
+    /// Padded SELL entries (pack systems) or nnz (baseline).
+    pub entries: u64,
+    /// Total off-chip bytes moved (reads + writes).
+    pub offchip_bytes: u64,
+    /// Compulsory off-chip bytes: each array once plus the vector once.
+    pub ideal_bytes: u64,
+    /// Whether the computed result matched the golden SpMV exactly
+    /// (within floating-point associativity tolerance).
+    pub verified: bool,
+}
+
+impl SpmvReport {
+    /// Off-chip traffic relative to the compulsory ideal (Fig. 5b, ≥ 1).
+    pub fn traffic_ratio(&self) -> f64 {
+        if self.ideal_bytes == 0 {
+            0.0
+        } else {
+            self.offchip_bytes as f64 / self.ideal_bytes as f64
+        }
+    }
+
+    /// Memory bandwidth utilization against a peak of `peak_gbps`
+    /// (Fig. 5b, the paper uses 32 GB/s).
+    pub fn bw_utilization(&self, peak_gbps: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let gbps = self.offchip_bytes as f64 / self.cycles as f64; // 1 GHz
+        gbps / peak_gbps
+    }
+
+    /// Achieved GFLOP/s at 1 GHz (2 FLOPs per nonzero).
+    pub fn gflops(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            2.0 * self.nnz as f64 / self.cycles as f64
+        }
+    }
+
+    /// Runtime fraction spent on indirect access (Fig. 5a's `indir` bar).
+    pub fn indir_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.indir_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of `self` over `other` (other.cycles / self.cycles).
+    pub fn speedup_over(&self, other: &SpmvReport) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            other.cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Deterministic dense-vector entries used by both systems so results are
+/// comparable and checkable: a bounded, non-trivial pattern.
+pub fn golden_x(i: usize) -> f64 {
+    // Keep magnitudes tame so accumulation order effects stay tiny.
+    0.5 + ((i as u64).wrapping_mul(2654435761) % 1000) as f64 * 1e-3
+}
+
+/// Compares a computed result against the golden result with a relative
+/// tolerance that absorbs accumulation-order differences.
+pub fn results_match(got: &[f64], want: &[f64]) -> bool {
+    if got.len() != want.len() {
+        return false;
+    }
+    got.iter().zip(want).all(|(g, w)| {
+        let scale = w.abs().max(1.0);
+        (g - w).abs() <= 1e-9 * scale
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, indir: u64, bytes: u64, ideal: u64) -> SpmvReport {
+        SpmvReport {
+            label: "t".into(),
+            cycles,
+            indir_cycles: indir,
+            nnz: 1000,
+            entries: 1100,
+            offchip_bytes: bytes,
+            ideal_bytes: ideal,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn ratio_and_utilization_math() {
+        let r = report(1000, 400, 16_000, 8_000);
+        assert!((r.traffic_ratio() - 2.0).abs() < 1e-12);
+        // 16 B/cycle over 32 GB/s peak = 50 %.
+        assert!((r.bw_utilization(32.0) - 0.5).abs() < 1e-12);
+        assert!((r.indir_fraction() - 0.4).abs() < 1e-12);
+        assert!((r.gflops() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let fast = report(500, 0, 0, 1);
+        let slow = report(2000, 0, 0, 1);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_x_is_bounded_and_deterministic() {
+        for i in 0..1000 {
+            let v = golden_x(i);
+            assert!((0.5..1.5).contains(&v));
+            assert_eq!(v, golden_x(i));
+        }
+    }
+
+    #[test]
+    fn results_match_tolerates_round_off() {
+        let want = [1.0, 2.0, 3.0];
+        let got = [1.0 + 1e-12, 2.0, 3.0 - 1e-12];
+        assert!(results_match(&got, &want));
+        assert!(!results_match(&[1.0, 2.0], &want));
+        assert!(!results_match(&[1.0, 2.0, 4.0], &want));
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: gather a sparse matrix's indirect stream through the
+//! coalescing adapter and print what the coalescer achieved.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nmpic::core::{run_indirect_stream, AdapterConfig, StreamOptions};
+use nmpic::sparse::{by_name, Sell};
+
+fn main() {
+    // The HPCG 27-point stencil from the paper's suite, scaled to ~50k
+    // nonzeros so the cycle-accurate run finishes in moments.
+    let spec = by_name("HPCG").expect("suite matrix");
+    let csr = spec.build_capped(50_000);
+    let sell = Sell::from_csr_default(&csr);
+    println!(
+        "matrix {}: {} rows, {} nnz ({} padded SELL entries)",
+        spec.name,
+        csr.rows(),
+        csr.nnz(),
+        sell.padded_len()
+    );
+
+    // Stream the SELL column indices through three adapter variants: the
+    // gather runs against a cycle-accurate HBM2 channel and is verified
+    // element-by-element against a golden model.
+    for cfg in [
+        AdapterConfig::mlp_nc(),
+        AdapterConfig::mlp(64),
+        AdapterConfig::mlp(256),
+    ] {
+        let r = run_indirect_stream(&cfg, sell.col_idx(), csr.cols(), &StreamOptions::default());
+        assert!(r.verified, "gathered data must match the golden model");
+        println!(
+            "{:8}  {:6.2} GB/s effective indirect bandwidth, coalesce rate {:4.2}, \
+             {} wide element reads for {} elements",
+            r.variant,
+            r.indir_gbps,
+            r.coalesce_rate,
+            r.adapter.elem_wide_reads,
+            r.elements
+        );
+    }
+    println!("\nThe 256-entry parallel window turns ~one DRAM access per element");
+    println!("into one access per coalesced request warp — the paper's 8x claim.");
+}

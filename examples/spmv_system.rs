@@ -1,0 +1,62 @@
+//! End-to-end SpMV system comparison: the 1 MiB-LLC baseline versus the
+//! AXI-Pack systems (pack0 / pack64 / pack256) on one suite matrix.
+//!
+//! Run with: `cargo run --release --example spmv_system [matrix] [max_nnz]`
+//! e.g. `cargo run --release --example spmv_system G3_circuit 100000`
+
+use nmpic::core::AdapterConfig;
+use nmpic::sparse::{by_name, suite, Sell};
+use nmpic::system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "pwtk".to_string());
+    let max_nnz: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
+
+    let Some(spec) = by_name(&name) else {
+        eprintln!("unknown matrix `{name}`; available:");
+        for s in suite() {
+            eprintln!("  {}", s.name);
+        }
+        std::process::exit(1);
+    };
+    let csr = spec.build_capped(max_nnz);
+    let sell = Sell::from_csr_default(&csr);
+    println!(
+        "{}: {} rows, {} nnz, SELL padding {:.2}x",
+        name,
+        csr.rows(),
+        csr.nnz(),
+        sell.padding_ratio()
+    );
+
+    let base = run_base_spmv(&csr, &BaseConfig::default());
+    println!(
+        "{:8}  {:>10} cycles  indir {:4.1}%  util {:4.1}%  traffic {:4.2}x ideal",
+        base.label,
+        base.cycles,
+        100.0 * base.indir_fraction(),
+        100.0 * base.bw_utilization(32.0),
+        base.traffic_ratio()
+    );
+    for adapter in [
+        AdapterConfig::mlp_nc(),
+        AdapterConfig::mlp(64),
+        AdapterConfig::mlp(256),
+    ] {
+        let r = run_pack_spmv(&sell, &PackConfig::with_adapter(adapter));
+        assert!(r.verified, "simulated result must equal the golden SpMV");
+        println!(
+            "{:8}  {:>10} cycles  indir {:4.1}%  util {:4.1}%  traffic {:4.2}x ideal  speedup {:5.2}x",
+            r.label,
+            r.cycles,
+            100.0 * r.indir_fraction(),
+            100.0 * r.bw_utilization(32.0),
+            r.traffic_ratio(),
+            r.speedup_over(&base)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # nmpic — Near-Memory Parallel Indexing and Coalescing
+//!
+//! Facade crate re-exporting the full public API of the workspace. See
+//! the README for an overview and `DESIGN.md` for the system inventory.
+//!
+//! * [`sim`] — cycle-driven simulation kernel
+//! * [`mem`] — HBM2 channel model and byte-accurate memory
+//! * [`axi`] — AXI4 / AXI-Pack protocol types
+//! * [`sparse`] — CSR/SELL formats, generators, golden SpMV
+//! * [`core`] — the indirect stream unit with parallel request coalescing
+//! * [`system`] — vector processor system models (pack and baseline)
+//! * [`model`] — area, storage and efficiency models
+//!
+//! # Example
+//!
+//! ```
+//! use nmpic::core::{run_indirect_stream, AdapterConfig, StreamOptions};
+//!
+//! let indices: Vec<u32> = (0..256).map(|k| k % 64).collect();
+//! let r = run_indirect_stream(&AdapterConfig::mlp(64), &indices, 64,
+//!                             &StreamOptions::default());
+//! assert!(r.verified);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nmpic_axi as axi;
+pub use nmpic_core as core;
+pub use nmpic_mem as mem;
+pub use nmpic_model as model;
+pub use nmpic_sim as sim;
+pub use nmpic_sparse as sparse;
+pub use nmpic_system as system;

@@ -1,0 +1,183 @@
+//! Property-based tests over the core invariants: format equivalence,
+//! file-format roundtrips, and adapter gather correctness on arbitrary
+//! index streams.
+
+use proptest::prelude::*;
+
+use nmpic::core::{run_indirect_stream, AdapterConfig, StreamOptions};
+use nmpic::sparse::{read_matrix_market, write_matrix_market, Coo, Csr, Sell};
+
+/// Strategy: a small random sparse matrix as (rows, cols, entries).
+fn arb_matrix() -> impl Strategy<Value = Csr> {
+    (2usize..40, 2usize..40)
+        .prop_flat_map(|(rows, cols)| {
+            let entry = (0..rows as u32, 0..cols as u32, -100i32..100);
+            (
+                Just(rows),
+                Just(cols),
+                proptest::collection::vec(entry, 0..120),
+            )
+        })
+        .prop_map(|(rows, cols, entries)| {
+            let mut coo = Coo::new(rows, cols);
+            for (r, c, v) in entries {
+                coo.push(r, c, v as f64 * 0.25);
+            }
+            coo.to_csr()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SELL SpMV equals CSR SpMV for every matrix and slice height.
+    #[test]
+    fn sell_equals_csr_spmv(csr in arb_matrix(), height in 1usize..40) {
+        let x: Vec<f64> = (0..csr.cols()).map(|i| (i as f64 * 0.5) - 3.0).collect();
+        let sell = Sell::from_csr(&csr, height);
+        prop_assert_eq!(sell.spmv(&x), csr.spmv(&x));
+        prop_assert_eq!(sell.nnz(), csr.nnz());
+        prop_assert!(sell.padded_len() >= csr.nnz());
+    }
+
+    /// MatrixMarket write → read is the identity on CSR.
+    #[test]
+    fn matrix_market_roundtrip(csr in arb_matrix()) {
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &csr).expect("write");
+        let back = read_matrix_market(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, csr);
+    }
+
+    /// COO → CSR sums duplicates: total matrix action is preserved.
+    #[test]
+    fn coo_duplicates_sum(
+        rows in 2usize..16,
+        entries in proptest::collection::vec((0u32..16, 0u32..16, -50i32..50), 1..60),
+    ) {
+        let mut coo = Coo::new(rows.max(16), 16);
+        let mut dense = vec![0.0f64; rows.max(16) * 16];
+        for (r, c, v) in &entries {
+            let v = *v as f64;
+            coo.push(*r, *c, v);
+            dense[(*r as usize) * 16 + *c as usize] += v;
+        }
+        let csr = coo.to_csr();
+        let x = vec![1.0; 16];
+        let y = csr.spmv(&x);
+        for (r, got) in y.iter().enumerate() {
+            let want: f64 = dense[r * 16..(r + 1) * 16].iter().sum();
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    // Cycle-accurate runs are slower: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The adapter delivers exactly the golden gather for arbitrary index
+    /// streams, for every variant family.
+    #[test]
+    fn adapter_gathers_any_stream(
+        indices in proptest::collection::vec(0u32..500, 1..400),
+        which in 0usize..4,
+    ) {
+        let cfg = match which {
+            0 => AdapterConfig::mlp_nc(),
+            1 => AdapterConfig::mlp(8),
+            2 => AdapterConfig::mlp(64),
+            _ => AdapterConfig::seq(32),
+        };
+        let r = run_indirect_stream(&cfg, &indices, 500, &StreamOptions::default());
+        prop_assert!(r.verified, "{} failed on {} indices", cfg.variant_name(), indices.len());
+        prop_assert_eq!(r.elements, indices.len() as u64);
+    }
+}
+
+mod scatter_props {
+    use super::*;
+    use nmpic::axi::{ElemSize, Packer};
+    use nmpic::core::{ScatterRequest, ScatterUnit};
+    use nmpic::mem::{ChannelPort, HbmChannel, HbmConfig, Memory};
+
+    /// Reference scatter: last writer wins, everything else untouched.
+    fn golden_scatter(indices: &[u32], values: &[u64], dst_len: usize) -> Vec<u64> {
+        let mut out: Vec<u64> = (0..dst_len as u64).map(|i| i * 11).collect();
+        for (k, &idx) in indices.iter().enumerate() {
+            out[idx as usize] = values[k];
+        }
+        out
+    }
+
+    fn run_scatter(indices: &[u32], values: &[u64], dst_len: usize) -> Vec<u64> {
+        let size = (4 * indices.len() + 8 * dst_len + 4096)
+            .next_multiple_of(64)
+            .next_power_of_two();
+        let mut mem = Memory::new(size);
+        let idx_base = mem.alloc_array(indices.len() as u64, 4);
+        let dst = mem.alloc_array(dst_len as u64, 8);
+        mem.write_u32_slice(idx_base, indices);
+        for i in 0..dst_len as u64 {
+            mem.write_u64(dst + 8 * i, i * 11);
+        }
+        let mut chan = HbmChannel::new(HbmConfig::default(), mem);
+        let mut unit = ScatterUnit::new(nmpic::core::AdapterConfig::mlp(64));
+        unit.begin(ScatterRequest {
+            idx_base,
+            idx_size: ElemSize::B4,
+            count: indices.len() as u64,
+            elem_base: dst,
+            elem_size: ElemSize::B8,
+        })
+        .expect("fresh unit");
+        let mut packer = Packer::new(ElemSize::B8);
+        let mut next = 0usize;
+        let mut staged = None;
+        let mut now = 0u64;
+        while !unit.is_done(&chan) {
+            if staged.is_none() {
+                while next < values.len() && packer.pending() < 8 {
+                    packer.push(values[next]);
+                    next += 1;
+                }
+                staged = packer.pop_beat().or_else(|| {
+                    if next == values.len() {
+                        packer.flush()
+                    } else {
+                        None
+                    }
+                });
+            }
+            if let Some(beat) = staged.take() {
+                if !unit.push_beat(&beat) {
+                    staged = Some(beat);
+                }
+            }
+            unit.tick(now, &mut chan);
+            chan.tick(now);
+            now += 1;
+            assert!(now < 200_000 + indices.len() as u64 * 300, "deadlock");
+        }
+        (0..dst_len as u64)
+            .map(|i| chan.memory().read_u64(dst + 8 * i))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Scatter through the unit equals the golden last-writer-wins
+        /// semantics for arbitrary index/value streams (with duplicates).
+        #[test]
+        fn scatter_matches_golden(
+            pairs in proptest::collection::vec((0u32..200, 0u64..u64::MAX), 1..300),
+        ) {
+            let indices: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let values: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+            let got = run_scatter(&indices, &values, 200);
+            let want = golden_scatter(&indices, &values, 200);
+            prop_assert_eq!(got, want);
+        }
+    }
+}
