@@ -1,60 +1,42 @@
-//! Criterion benches of the cycle-accurate adapter simulation itself:
-//! simulated-elements-per-wallclock-second for each variant, plus the
-//! coalescer datapath in isolation. These double as performance
-//! regression tests for the simulator.
+//! Self-timed benches of the cycle-accurate adapter simulation itself:
+//! simulated-elements-per-wallclock-second for each variant, plus window
+//! scaling. These double as performance regression probes for the
+//! simulator (run with `cargo bench -p nmpic-bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmpic_bench::timing::bench;
 use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions};
 use nmpic_sparse::{by_name, Sell};
 
-fn stream_variants(c: &mut Criterion) {
+fn main() {
+    let opts = StreamOptions::default();
+
     let spec = by_name("HPCG").expect("suite matrix");
     let csr = spec.build_capped(20_000);
     let sell = Sell::from_csr_default(&csr);
     let indices = sell.col_idx().to_vec();
-    let opts = StreamOptions::default();
-
-    let mut group = c.benchmark_group("indirect_stream");
-    group.throughput(Throughput::Elements(indices.len() as u64));
-    group.sample_size(10);
     for cfg in [
         AdapterConfig::mlp_nc(),
         AdapterConfig::mlp(64),
         AdapterConfig::mlp(256),
         AdapterConfig::seq(256),
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(cfg.variant_name()),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    let r = run_indirect_stream(cfg, &indices, csr.cols(), &opts);
-                    assert!(r.verified);
-                    r.cycles
-                })
-            },
-        );
+        let name = format!("indirect_stream/{}", cfg.variant_name());
+        bench(&name, 5, indices.len() as u64, || {
+            let r = run_indirect_stream(&cfg, &indices, csr.cols(), &opts);
+            assert!(r.verified);
+            r.cycles
+        });
     }
-    group.finish();
-}
 
-fn window_scaling(c: &mut Criterion) {
     let spec = by_name("af_shell10").expect("suite matrix");
     let csr = spec.build_capped(10_000);
     let sell = Sell::from_csr_default(&csr);
     let indices = sell.col_idx().to_vec();
-    let opts = StreamOptions::default();
-
-    let mut group = c.benchmark_group("window_scaling");
-    group.sample_size(10);
     for w in [8usize, 32, 128, 256] {
         let cfg = AdapterConfig::mlp(w);
-        group.bench_with_input(BenchmarkId::from_parameter(w), &cfg, |b, cfg| {
-            b.iter(|| run_indirect_stream(cfg, &indices, csr.cols(), &opts).cycles)
+        let name = format!("window_scaling/{w}");
+        bench(&name, 5, indices.len() as u64, || {
+            run_indirect_stream(&cfg, &indices, csr.cols(), &opts).cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, stream_variants, window_scaling);
-criterion_main!(benches);

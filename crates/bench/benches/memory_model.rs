@@ -1,8 +1,8 @@
-//! Criterion benches of the HBM2 channel model: streaming vs random
+//! Self-timed benches of the HBM2 channel model: streaming vs random
 //! access patterns (also a sanity check that FR-FCFS scheduling costs
 //! stay reasonable in wall-clock terms).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nmpic_bench::timing::bench;
 use nmpic_mem::{ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
 
 fn drive(chan: &mut HbmChannel, addrs: &[u64]) -> u64 {
@@ -26,29 +26,18 @@ fn drive(chan: &mut HbmChannel, addrs: &[u64]) -> u64 {
     now
 }
 
-fn channel_patterns(c: &mut Criterion) {
+fn main() {
     let n = 4096u64;
     let stream: Vec<u64> = (0..n).map(|i| i * 64).collect();
     let random: Vec<u64> = (0..n)
         .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) % (1 << 20)) & !63)
         .collect();
-    let mut group = c.benchmark_group("hbm_channel");
-    group.throughput(Throughput::Bytes(n * 64));
-    group.sample_size(20);
-    group.bench_function("streaming", |b| {
-        b.iter(|| {
-            let mut chan = HbmChannel::new(HbmConfig::default(), Memory::new(1 << 20));
-            drive(&mut chan, &stream)
-        })
+    bench("hbm_channel/streaming", 10, n, || {
+        let mut chan = HbmChannel::new(HbmConfig::default(), Memory::new(1 << 20));
+        drive(&mut chan, &stream)
     });
-    group.bench_function("random", |b| {
-        b.iter(|| {
-            let mut chan = HbmChannel::new(HbmConfig::default(), Memory::new(1 << 20));
-            drive(&mut chan, &random)
-        })
+    bench("hbm_channel/random", 10, n, || {
+        let mut chan = HbmChannel::new(HbmConfig::default(), Memory::new(1 << 20));
+        drive(&mut chan, &random)
     });
-    group.finish();
 }
-
-criterion_group!(benches, channel_patterns);
-criterion_main!(benches);

@@ -1,37 +1,26 @@
-//! Criterion benches of the data-side substrates: golden SpMV, format
+//! Self-timed benches of the data-side substrates: golden SpMV, format
 //! conversion, and matrix generation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmpic_bench::timing::bench;
 use nmpic_sparse::{by_name, gen, Sell};
 
-fn golden_spmv(c: &mut Criterion) {
+fn main() {
     let csr = by_name("pwtk").unwrap().build_capped(200_000);
     let x: Vec<f64> = (0..csr.cols()).map(|i| i as f64 * 0.01).collect();
-    let mut group = c.benchmark_group("golden_spmv");
-    group.throughput(Throughput::Elements(csr.nnz() as u64));
-    group.bench_function("csr", |b| b.iter(|| csr.spmv(&x)));
+    bench("golden_spmv/csr", 20, csr.nnz() as u64, || csr.spmv(&x));
     let sell = Sell::from_csr_default(&csr);
-    group.bench_function("sell", |b| b.iter(|| sell.spmv(&x)));
-    group.finish();
-}
+    bench("golden_spmv/sell", 20, csr.nnz() as u64, || sell.spmv(&x));
 
-fn conversion(c: &mut Criterion) {
     let csr = by_name("af_shell10").unwrap().build_capped(200_000);
-    c.bench_function("csr_to_sell", |b| b.iter(|| Sell::from_csr_default(&csr)));
-}
+    bench("conversion/csr_to_sell", 10, csr.nnz() as u64, || {
+        Sell::from_csr_default(&csr)
+    });
 
-fn generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators");
-    group.sample_size(10);
-    for (name, f) in [
-        ("stencil27", Box::new(|| gen::stencil27(24, 24, 24)) as Box<dyn Fn() -> _>),
-        ("banded_fem", Box::new(|| gen::banded_fem(20_000, 12, 200, 1))),
-        ("circuit", Box::new(|| gen::circuit(40_000, 4, 32, 0.1, 16, 1))),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| b.iter(f));
-    }
-    group.finish();
+    bench("generators/stencil27", 5, 0, || gen::stencil27(24, 24, 24));
+    bench("generators/banded_fem", 5, 0, || {
+        gen::banded_fem(20_000, 12, 200, 1)
+    });
+    bench("generators/circuit", 5, 0, || {
+        gen::circuit(40_000, 4, 32, 0.1, 16, 1)
+    });
 }
-
-criterion_group!(benches, golden_spmv, conversion, generation);
-criterion_main!(benches);

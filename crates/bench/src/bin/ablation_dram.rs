@@ -6,13 +6,18 @@
 
 use nmpic_bench::{f, ExperimentOpts, Table};
 use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions};
-use nmpic_mem::{HbmConfig, PagePolicy, SchedPolicy};
+use nmpic_mem::{BackendConfig, HbmConfig, PagePolicy, SchedPolicy};
 use nmpic_sparse::{by_name, Sell};
 
 fn main() {
     let opts = ExperimentOpts::from_env();
     let mut table = Table::new(vec![
-        "matrix", "variant", "scheduler", "page-policy", "BW GB/s", "row-hit-%",
+        "matrix",
+        "variant",
+        "scheduler",
+        "page-policy",
+        "BW GB/s",
+        "row-hit-%",
     ]);
     for name in ["af_shell10", "circuit5M_dc"] {
         let spec = by_name(name).expect("suite matrix");
@@ -29,19 +34,17 @@ fn main() {
                     (PagePolicy::Closed, "closed"),
                 ] {
                     let stream_opts = StreamOptions {
-                        hbm: HbmConfig {
-                            sched_policy: sched,
-                            page_policy: page,
-                            ..HbmConfig::default()
+                        backend: BackendConfig {
+                            hbm: HbmConfig {
+                                sched_policy: sched,
+                                page_policy: page,
+                                ..HbmConfig::default()
+                            },
+                            ..BackendConfig::hbm()
                         },
                         ..StreamOptions::default()
                     };
-                    let r = run_indirect_stream(
-                        &adapter,
-                        sell.col_idx(),
-                        csr.cols(),
-                        &stream_opts,
-                    );
+                    let r = run_indirect_stream(&adapter, sell.col_idx(), csr.cols(), &stream_opts);
                     assert!(r.verified);
                     table.row(vec![
                         name.to_string(),

@@ -27,7 +27,13 @@ fn main() {
     );
 
     // --- Cross-window coalescing on/off.
-    let mut t = Table::new(vec!["window", "cross-window", "BW GB/s", "coal-rate", "wide-reads"]);
+    let mut t = Table::new(vec![
+        "window",
+        "cross-window",
+        "BW GB/s",
+        "coal-rate",
+        "wide-reads",
+    ]);
     for w in [64usize, 256] {
         for cross in [true, false] {
             let mut cfg = AdapterConfig::mlp(w);

@@ -5,7 +5,16 @@ use std::process::Command;
 fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
-    for bin in ["table1", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b"] {
+    for bin in [
+        "table1",
+        "fig3",
+        "fig4",
+        "fig5a",
+        "fig5b",
+        "fig6a",
+        "fig6b",
+        "scaling_channels",
+    ] {
         println!("==================== {bin} ====================");
         let status = Command::new(dir.join(bin))
             .status()

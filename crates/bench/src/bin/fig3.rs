@@ -5,7 +5,10 @@ use nmpic_sim::stats::GeoMean;
 
 fn main() {
     let opts = ExperimentOpts::from_env();
-    eprintln!("fig3: cap {} nnz per matrix (set NMPIC_MAX_NNZ to change)", opts.max_nnz);
+    eprintln!(
+        "fig3: cap {} nnz per matrix (set NMPIC_MAX_NNZ to change)",
+        opts.max_nnz
+    );
     let rows = fig3(&opts);
 
     for format in ["SELL", "CSR"] {

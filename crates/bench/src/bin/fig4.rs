@@ -7,7 +7,13 @@ fn main() {
     eprintln!("fig4: cap {} nnz per matrix", opts.max_nnz);
     let rows = fig4(&opts);
     let mut table = Table::new(vec![
-        "matrix", "variant", "indir", "index", "elem", "loss", "coal-rate",
+        "matrix",
+        "variant",
+        "indir",
+        "index",
+        "elem",
+        "loss",
+        "coal-rate",
     ]);
     for r in &rows {
         table.row(vec![

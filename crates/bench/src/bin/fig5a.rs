@@ -8,7 +8,12 @@ fn main() {
     eprintln!("fig5a: cap {} nnz per matrix", opts.max_nnz);
     let rows = fig5(&opts);
     let mut table = Table::new(vec![
-        "matrix", "system", "cycles", "norm-runtime", "indir-frac", "speedup",
+        "matrix",
+        "system",
+        "cycles",
+        "norm-runtime",
+        "indir-frac",
+        "speedup",
     ]);
     let mut sp0 = GeoMean::new();
     let mut sp256 = GeoMean::new();

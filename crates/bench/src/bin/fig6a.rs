@@ -3,7 +3,14 @@ use nmpic_bench::{f, fig6a, Table};
 
 fn main() {
     let mut table = Table::new(vec![
-        "variant", "others", "ele_gen", "idx_que", "coal", "total-kGE", "mm2", "util-%",
+        "variant",
+        "others",
+        "ele_gen",
+        "idx_que",
+        "coal",
+        "total-kGE",
+        "mm2",
+        "util-%",
     ]);
     for (name, a) in fig6a() {
         table.row(vec![

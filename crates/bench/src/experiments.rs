@@ -1,12 +1,18 @@
 //! Experiment drivers: one function per paper table/figure. Each returns
 //! structured rows so binaries can render text tables and CSVs, and
 //! integration tests can assert the paper's headline shapes.
+//!
+//! Sweeps fan their configuration points across CPU cores with
+//! [`crate::runner::parallel_map`]; every point is an independent,
+//! deterministic simulation, and results keep their sweep order.
 
 use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions, StreamResult};
-use nmpic_mem::{ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
+use nmpic_mem::{BackendConfig, ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
 use nmpic_model::{adapter_area, AreaBreakdown, EfficiencyPoint};
-use nmpic_sparse::{suite, MatrixSpec, Sell, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
+use nmpic_sparse::{suite, Csr, Sell, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
 use nmpic_system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig, SpmvReport};
+
+use crate::runner::parallel_map;
 
 /// Common experiment options.
 #[derive(Debug, Clone, Copy)]
@@ -18,22 +24,116 @@ pub struct ExperimentOpts {
 }
 
 impl ExperimentOpts {
-    /// Reads options from the environment: `NMPIC_MAX_NNZ` overrides the
-    /// nonzero cap, `NMPIC_QUICK=1` selects a fast smoke-test scale.
+    /// Reads options from the environment (`NMPIC_QUICK`,
+    /// `NMPIC_MAX_NNZ`), warning on stderr about malformed values instead
+    /// of silently falling back. See [`ExperimentOptsBuilder`].
     pub fn from_env() -> Self {
-        let quick = std::env::var("NMPIC_QUICK").is_ok_and(|v| v == "1");
-        let default = if quick { 20_000 } else { 150_000 };
-        let max_nnz = std::env::var("NMPIC_MAX_NNZ")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default);
-        Self { max_nnz }
+        ExperimentOptsBuilder::new().from_env().build()
     }
 }
 
 impl Default for ExperimentOpts {
     fn default() -> Self {
         Self { max_nnz: 150_000 }
+    }
+}
+
+/// Validating builder for [`ExperimentOpts`].
+///
+/// Environment knobs:
+///
+/// * `NMPIC_QUICK=1` — smoke-test scale (20 000 nnz cap);
+/// * `NMPIC_MAX_NNZ=<n>` — explicit nonzero cap (overrides quick);
+/// * `NMPIC_JOBS=<n>` — sweep worker threads (read by
+///   [`crate::runner::parallel_jobs`], listed here for discoverability).
+///
+/// Malformed values are collected as warnings ([`ExperimentOptsBuilder::warnings`])
+/// and printed to stderr by [`ExperimentOptsBuilder::build`]; the builder
+/// then falls back to the default for that knob. Explicit setters
+/// validate eagerly and panic, since a programmatic misconfiguration is a
+/// bug rather than an operator typo.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_bench::ExperimentOptsBuilder;
+/// let opts = ExperimentOptsBuilder::new().quick(true).build();
+/// assert_eq!(opts.max_nnz, 20_000);
+/// let opts = ExperimentOptsBuilder::new().max_nnz(5_000).build();
+/// assert_eq!(opts.max_nnz, 5_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentOptsBuilder {
+    max_nnz: Option<u64>,
+    quick: bool,
+    warnings: Vec<String>,
+}
+
+impl ExperimentOptsBuilder {
+    /// A builder with every knob at its default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the fast smoke-test scale (20 000 nnz cap) unless an
+    /// explicit `max_nnz` is also set.
+    pub fn quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// Sets an explicit nonzero cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_nnz` is zero — no experiment can run on an empty
+    /// matrix.
+    pub fn max_nnz(mut self, max_nnz: u64) -> Self {
+        assert!(max_nnz > 0, "max_nnz must be positive");
+        self.max_nnz = Some(max_nnz);
+        self
+    }
+
+    /// Reads `NMPIC_QUICK` and `NMPIC_MAX_NNZ`, recording a warning for
+    /// every malformed value instead of silently ignoring it.
+    pub fn from_env(mut self) -> Self {
+        if let Ok(v) = std::env::var("NMPIC_QUICK") {
+            match v.trim() {
+                "1" | "true" | "yes" => self.quick = true,
+                "" | "0" | "false" | "no" => {}
+                other => self.warnings.push(format!(
+                    "ignoring NMPIC_QUICK='{other}': expected 1/0/true/false"
+                )),
+            }
+        }
+        if let Ok(v) = std::env::var("NMPIC_MAX_NNZ") {
+            match v.trim().parse::<u64>() {
+                Ok(n) if n > 0 => self.max_nnz = Some(n),
+                Ok(_) => self
+                    .warnings
+                    .push("ignoring NMPIC_MAX_NNZ=0: the cap must be positive".to_string()),
+                Err(_) => self.warnings.push(format!(
+                    "ignoring NMPIC_MAX_NNZ='{v}': expected a positive integer"
+                )),
+            }
+        }
+        self
+    }
+
+    /// Warnings accumulated so far (malformed environment values).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Finalizes the options, printing accumulated warnings to stderr.
+    pub fn build(self) -> ExperimentOpts {
+        for w in &self.warnings {
+            eprintln!("warning: {w}");
+        }
+        let max_nnz = self
+            .max_nnz
+            .unwrap_or(if self.quick { 20_000 } else { 150_000 });
+        ExperimentOpts { max_nnz }
     }
 }
 
@@ -73,68 +173,89 @@ pub struct StreamRow {
     pub result: StreamResult,
 }
 
+/// One parallel stream job: everything needed to run a single
+/// (matrix, format, variant) point.
+struct StreamJob<'a> {
+    matrix: &'a str,
+    format: &'static str,
+    indices: &'a [u32],
+    cols: usize,
+    cfg: AdapterConfig,
+}
+
+/// Runs stream jobs across cores and asserts each verifies.
+fn run_stream_jobs(jobs: Vec<StreamJob<'_>>) -> Vec<StreamRow> {
+    parallel_map(jobs, |job| {
+        let result =
+            run_indirect_stream(&job.cfg, job.indices, job.cols, &StreamOptions::default());
+        assert!(
+            result.verified,
+            "{}/{}/{}: gather mismatch",
+            job.matrix, job.format, result.variant
+        );
+        StreamRow {
+            matrix: job.matrix.to_string(),
+            format: job.format,
+            result,
+        }
+    })
+}
+
+/// Builds the (CSR, SELL) pair for each named matrix, in parallel.
+fn build_matrices(names: &[&str], opts: &ExperimentOpts) -> Vec<(String, Csr, Sell)> {
+    let max_nnz = opts.max_nnz;
+    parallel_map(names.to_vec(), move |name| {
+        let spec = nmpic_sparse::by_name(name).expect("suite matrix");
+        let csr = spec.build_capped(max_nnz);
+        let sell = Sell::from_csr_default(&csr);
+        (name.to_string(), csr, sell)
+    })
+}
+
 /// Runs the Fig. 3 sweep: indirect stream bandwidth for every suite
-/// matrix, both formats, all variants.
+/// matrix, both formats, all variants — fanned across CPU cores.
 ///
 /// # Panics
 ///
 /// Panics if any run fails verification — that is a simulator bug, not a
 /// measurement.
 pub fn fig3(opts: &ExperimentOpts) -> Vec<StreamRow> {
-    let mut rows = Vec::new();
-    for spec in suite() {
-        rows.extend(stream_rows(&spec, opts, &fig3_variants()));
+    let names: Vec<&str> = suite().iter().map(|s| s.name).collect();
+    let matrices = build_matrices(&names, opts);
+    let mut jobs = Vec::new();
+    for (name, csr, sell) in &matrices {
+        for (format, indices) in [("SELL", sell.col_idx()), ("CSR", csr.col_idx())] {
+            for cfg in fig3_variants() {
+                jobs.push(StreamJob {
+                    matrix: name,
+                    format,
+                    indices,
+                    cols: csr.cols(),
+                    cfg,
+                });
+            }
+        }
     }
-    rows
+    run_stream_jobs(jobs)
 }
 
 /// Runs the Fig. 4 subset: the six representative matrices in SELL format
 /// with the bandwidth-breakdown variants.
 pub fn fig4(opts: &ExperimentOpts) -> Vec<StreamRow> {
-    let mut rows = Vec::new();
-    for name in REPRESENTATIVE_SIX {
-        let spec = nmpic_sparse::by_name(name).expect("suite matrix");
-        let csr = spec.build_capped(opts.max_nnz);
-        let sell = Sell::from_csr_default(&csr);
+    let matrices = build_matrices(&REPRESENTATIVE_SIX, opts);
+    let mut jobs = Vec::new();
+    for (name, csr, sell) in &matrices {
         for cfg in fig4_variants() {
-            let result =
-                run_indirect_stream(&cfg, sell.col_idx(), csr.cols(), &StreamOptions::default());
-            assert!(result.verified, "{name}/{}: gather mismatch", result.variant);
-            rows.push(StreamRow {
-                matrix: name.to_string(),
+            jobs.push(StreamJob {
+                matrix: name,
                 format: "SELL",
-                result,
+                indices: sell.col_idx(),
+                cols: csr.cols(),
+                cfg,
             });
         }
     }
-    rows
-}
-
-fn stream_rows(
-    spec: &MatrixSpec,
-    opts: &ExperimentOpts,
-    variants: &[AdapterConfig],
-) -> Vec<StreamRow> {
-    let csr = spec.build_capped(opts.max_nnz);
-    let sell = Sell::from_csr_default(&csr);
-    let mut rows = Vec::new();
-    for (format, indices) in [("SELL", sell.col_idx()), ("CSR", csr.col_idx())] {
-        for cfg in variants {
-            let result =
-                run_indirect_stream(cfg, indices, csr.cols(), &StreamOptions::default());
-            assert!(
-                result.verified,
-                "{}/{format}/{}: gather mismatch",
-                spec.name, result.variant
-            );
-            rows.push(StreamRow {
-                matrix: spec.name.to_string(),
-                format,
-                result,
-            });
-        }
-    }
-    rows
+    run_stream_jobs(jobs)
 }
 
 /// One Fig. 5 measurement: a full SpMV system run.
@@ -155,41 +276,84 @@ pub fn fig5_adapters() -> Vec<AdapterConfig> {
     ]
 }
 
+/// One parallel system job: baseline or one pack variant on one matrix.
+enum SystemJob<'a> {
+    Base {
+        matrix: &'a str,
+        csr: &'a Csr,
+    },
+    Pack {
+        matrix: &'a str,
+        sell: &'a Sell,
+        adapter: AdapterConfig,
+    },
+}
+
+fn run_system_jobs(jobs: Vec<SystemJob<'_>>) -> Vec<SystemRow> {
+    parallel_map(jobs, |job| match job {
+        SystemJob::Base { matrix, csr } => {
+            let report = run_base_spmv(csr, &BaseConfig::default());
+            assert!(report.verified, "{matrix}/base: verification failed");
+            SystemRow {
+                matrix: matrix.to_string(),
+                report,
+            }
+        }
+        SystemJob::Pack {
+            matrix,
+            sell,
+            adapter,
+        } => {
+            let report = run_pack_spmv(sell, &PackConfig::with_adapter(adapter));
+            assert!(
+                report.verified,
+                "{matrix}/{}: datapath mismatch",
+                report.label
+            );
+            SystemRow {
+                matrix: matrix.to_string(),
+                report,
+            }
+        }
+    })
+}
+
 /// Runs the Fig. 5 sweep (both 5a and 5b derive from these rows): the six
-/// representative matrices on the baseline and the three pack systems.
+/// representative matrices on the baseline and the three pack systems,
+/// all 24 system simulations fanned across cores.
 ///
 /// # Panics
 ///
-/// Panics if a pack run fails its golden-model verification.
+/// Panics if a run fails its golden-model verification.
 pub fn fig5(opts: &ExperimentOpts) -> Vec<SystemRow> {
-    let mut rows = Vec::new();
-    for name in REPRESENTATIVE_SIX {
-        rows.extend(fig5_matrix(name, opts));
+    let matrices = build_matrices(&REPRESENTATIVE_SIX, opts);
+    let mut jobs = Vec::new();
+    for (name, csr, sell) in &matrices {
+        jobs.push(SystemJob::Base { matrix: name, csr });
+        for adapter in fig5_adapters() {
+            jobs.push(SystemJob::Pack {
+                matrix: name,
+                sell,
+                adapter,
+            });
+        }
     }
-    rows
+    run_system_jobs(jobs)
 }
 
 /// Runs the Fig. 5 systems for one named matrix.
 pub fn fig5_matrix(name: &str, opts: &ExperimentOpts) -> Vec<SystemRow> {
-    let spec = nmpic_sparse::by_name(name).expect("suite matrix");
-    let csr = spec.build_capped(opts.max_nnz);
-    let sell = Sell::from_csr_default(&csr);
-    let mut rows = Vec::new();
-    let base = run_base_spmv(&csr, &BaseConfig::default());
-    assert!(base.verified);
-    rows.push(SystemRow {
-        matrix: name.to_string(),
-        report: base,
-    });
+    let matrices = build_matrices(&[name], opts);
+    let (name, csr, sell) = &matrices[0];
+    let mut jobs = vec![SystemJob::Base { matrix: name, csr }];
     for adapter in fig5_adapters() {
-        let report = run_pack_spmv(&sell, &PackConfig::with_adapter(adapter));
-        assert!(report.verified, "{name}/{}: datapath mismatch", report.label);
-        rows.push(SystemRow {
-            matrix: name.to_string(),
-            report,
+        jobs.push(SystemJob::Pack {
+            matrix: name,
+            sell,
+            adapter,
         });
     }
-    rows
+    run_system_jobs(jobs)
 }
 
 /// Fig. 6a rows: area breakdowns for AP64, AP128, AP256.
@@ -216,9 +380,9 @@ pub fn measure_stream_gbps() -> f64 {
             && chan
                 .try_request(now, WideRequest::read(issued * 64, 0))
                 .is_ok()
-            {
-                issued += 1;
-            }
+        {
+            issued += 1;
+        }
         chan.tick(now);
         while chan.pop_response(now).is_some() {
             received += 1;
@@ -233,22 +397,82 @@ pub fn measure_stream_gbps() -> f64 {
 /// three Fig. 6b matrices to obtain this work's sustained GFLOP/s.
 pub fn fig6b(opts: &ExperimentOpts) -> Vec<EfficiencyPoint> {
     let adapter = AdapterConfig::mlp(256);
-    let mut gflops_sum = 0.0;
-    let mut n = 0.0;
-    for name in EFFICIENCY_THREE {
-        let spec = nmpic_sparse::by_name(name).expect("suite matrix");
-        let sell = Sell::from_csr_default(&spec.build_capped(opts.max_nnz));
-        let report = run_pack_spmv(&sell, &PackConfig::with_adapter(adapter.clone()));
-        assert!(report.verified);
-        gflops_sum += report.gflops();
-        n += 1.0;
-    }
+    let matrices = build_matrices(&EFFICIENCY_THREE, opts);
+    let pack = adapter.clone();
+    let reports = parallel_map(matrices, move |(name, _, sell)| {
+        let report = run_pack_spmv(&sell, &PackConfig::with_adapter(pack.clone()));
+        assert!(report.verified, "{name}: datapath mismatch");
+        report
+    });
+    let gflops_sum: f64 = reports.iter().map(SpmvReport::gflops).sum();
+    let n = reports.len() as f64;
     let stream = measure_stream_gbps();
     vec![
         nmpic_model::a64fx(),
         nmpic_model::sx_aurora(),
         nmpic_model::this_work(&adapter, gflops_sum / n, stream),
     ]
+}
+
+/// One channel-scaling measurement: an adapter variant against an
+/// `channels`-wide interleaved HBM backend.
+#[derive(Debug, Clone)]
+pub struct ChannelScalingRow {
+    /// Number of interleaved HBM2 channels.
+    pub channels: usize,
+    /// Peak aggregate bandwidth in GB/s at 1 GHz.
+    pub peak_gbps: f64,
+    /// Full stream measurement (variant name inside).
+    pub result: StreamResult,
+}
+
+/// The channel counts swept by [`scaling_channels`].
+pub const SCALING_CHANNELS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the channel-scaling study: the MLP256 and MLPnc adapters
+/// streaming a banded-FEM SELL index stream against 1/2/4/8 interleaved
+/// HBM2 channels, all points in parallel.
+///
+/// Delivered indirect bandwidth on the MLP variant must grow
+/// monotonically with channel count until the adapter's own 512 b
+/// upstream port saturates; MLPnc keeps scaling longer because a single
+/// channel leaves it DRAM-bound.
+///
+/// # Panics
+///
+/// Panics if any run fails verification.
+pub fn scaling_channels(opts: &ExperimentOpts) -> Vec<ChannelScalingRow> {
+    let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
+    let csr = spec.build_capped(opts.max_nnz.min(100_000));
+    let sell = Sell::from_csr_default(&csr);
+    let indices = sell.col_idx();
+    let cols = csr.cols();
+
+    let mut jobs = Vec::new();
+    for n in SCALING_CHANNELS {
+        for adapter in [AdapterConfig::mlp(256), AdapterConfig::mlp_nc()] {
+            jobs.push((n, adapter));
+        }
+    }
+    parallel_map(jobs, move |(n, adapter)| {
+        let backend = BackendConfig::interleaved(n);
+        let peak_gbps = backend.peak_bytes_per_cycle() as f64;
+        let stream_opts = StreamOptions {
+            backend,
+            ..StreamOptions::default()
+        };
+        let result = run_indirect_stream(&adapter, indices, cols, &stream_opts);
+        assert!(
+            result.verified,
+            "scaling x{n}/{}: gather mismatch",
+            result.variant
+        );
+        ChannelScalingRow {
+            channels: n,
+            peak_gbps,
+            result,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -294,6 +518,47 @@ mod tests {
         assert!(tw.onchip_cost() < points[0].onchip_cost());
         assert!(tw.onchip_cost() < points[1].onchip_cost());
     }
+
+    #[test]
+    fn scaling_channels_rows_cover_sweep_and_mlp_bandwidth_is_monotone() {
+        let rows = scaling_channels(&ExperimentOpts { max_nnz: 3_000 });
+        assert_eq!(rows.len(), SCALING_CHANNELS.len() * 2);
+        assert!(rows.iter().all(|r| r.result.verified));
+        // Order is (channels × variant), and peak scales with channels.
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.channels, SCALING_CHANNELS[i / 2]);
+            assert_eq!(r.peak_gbps, 32.0 * r.channels as f64);
+        }
+        // The acceptance property: delivered indirect bandwidth grows
+        // monotonically with channel count on the MLP variant (it
+        // eventually saturates at the 512 b upstream port, so the curve
+        // flattens but never drops).
+        let mlp: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.result.variant == "MLP256")
+            .map(|r| r.result.indir_gbps)
+            .collect();
+        assert_eq!(mlp.len(), SCALING_CHANNELS.len());
+        for pair in mlp.windows(2) {
+            assert!(
+                pair[1] >= pair[0],
+                "MLP256 bandwidth must not drop with more channels: {mlp:?}"
+            );
+        }
+        assert!(
+            mlp[1] > 1.2 * mlp[0],
+            "a second channel must clearly help MLP256: {mlp:?}"
+        );
+        // MLPnc is DRAM-bound throughout, so it keeps scaling too.
+        let nc: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.result.variant == "MLPnc")
+            .map(|r| r.result.indir_gbps)
+            .collect();
+        for pair in nc.windows(2) {
+            assert!(pair[1] >= pair[0], "MLPnc must scale with channels: {nc:?}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +568,30 @@ mod opts_tests {
     #[test]
     fn default_cap_is_experiment_scale() {
         assert_eq!(ExperimentOpts::default().max_nnz, 150_000);
+    }
+
+    #[test]
+    fn builder_quick_and_explicit_cap() {
+        assert_eq!(ExperimentOptsBuilder::new().build().max_nnz, 150_000);
+        assert_eq!(
+            ExperimentOptsBuilder::new().quick(true).build().max_nnz,
+            20_000
+        );
+        // Explicit cap beats quick.
+        assert_eq!(
+            ExperimentOptsBuilder::new()
+                .quick(true)
+                .max_nnz(7)
+                .build()
+                .max_nnz,
+            7
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn builder_rejects_zero_cap() {
+        let _ = ExperimentOptsBuilder::new().max_nnz(0);
     }
 
     #[test]

@@ -12,19 +12,29 @@
 //! | Fig. 5b  | `fig5b`  | off-chip traffic vs ideal + bandwidth utilization |
 //! | Fig. 6a  | `fig6a`  | adapter area breakdown (kGE, mm²) |
 //! | Fig. 6b  | `fig6b`  | on-chip cost and SpMV efficiency vs A64FX / SX-Aurora |
+//! | extension | `scaling_channels` | indirect bandwidth vs interleaved channel count |
 //! | all      | `all_experiments` | everything above, CSVs under `results/` |
 //!
+//! Sweeps run their configuration points in parallel across CPU cores
+//! ([`runner::parallel_map`]); each point is an independent deterministic
+//! simulation.
+//!
 //! Scale control: experiments cap matrix size with
-//! `NMPIC_MAX_NNZ=<nnz>` (default 150 000) or `NMPIC_QUICK=1`.
+//! `NMPIC_MAX_NNZ=<nnz>` (default 150 000) or `NMPIC_QUICK=1`; worker
+//! threads with `NMPIC_JOBS=<n>` (default: all cores).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod output;
+pub mod runner;
+pub mod timing;
 
 pub use experiments::{
     fig3, fig3_variants, fig4, fig4_variants, fig5, fig5_adapters, fig5_matrix, fig6a, fig6b,
-    measure_stream_gbps, ExperimentOpts, StreamRow, SystemRow,
+    measure_stream_gbps, scaling_channels, ChannelScalingRow, ExperimentOpts,
+    ExperimentOptsBuilder, StreamRow, SystemRow, SCALING_CHANNELS,
 };
 pub use output::{f, Table};
+pub use runner::{parallel_jobs, parallel_map};

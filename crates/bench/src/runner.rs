@@ -1,0 +1,119 @@
+//! Parallel sweep runner: fans independent simulation points across CPU
+//! cores with plain `std::thread` scoped threads.
+//!
+//! Every simulation in this workspace is deterministic and shares no
+//! mutable state, so a figure's sweep is embarrassingly parallel: each
+//! (matrix, format, variant) point builds its own memory image and
+//! channel model. [`parallel_map`] preserves input order in its output,
+//! so tables render identically to the old serial runner.
+//!
+//! Worker count: `NMPIC_JOBS` if set, otherwise
+//! [`std::thread::available_parallelism`]. A panic in any job (e.g. a
+//! failed golden-model verification) propagates to the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: the `NMPIC_JOBS` override when set
+/// and valid, otherwise the machine's available parallelism.
+pub fn parallel_jobs() -> usize {
+    if let Ok(v) = std::env::var("NMPIC_JOBS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("warning: ignoring invalid NMPIC_JOBS='{v}' (want a positive integer)"),
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on up to [`parallel_jobs`] worker threads,
+/// returning results in input order.
+///
+/// Jobs are pulled from a shared counter, so uneven job costs (a big
+/// matrix next to a small one) balance automatically.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f` (scoped threads rethrow
+/// on join), so verification failures inside a sweep still abort it.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = parallel_jobs().min(n.max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each slot taken once");
+                let r = f(item);
+                *out[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let got = parallel_map(items, |x| x * 2);
+        assert_eq!(got, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn works_with_borrowed_inputs() {
+        let data: Vec<Vec<u32>> = (0..16).map(|i| vec![i; 64]).collect();
+        let jobs: Vec<&[u32]> = data.iter().map(Vec::as_slice).collect();
+        let sums = parallel_map(jobs, |s| s.iter().map(|&v| v as u64).sum::<u64>());
+        for (i, sum) in sums.iter().enumerate() {
+            assert_eq!(*sum, 64 * i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn jobs_default_is_positive() {
+        assert!(parallel_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = parallel_map(vec![1u32, 2, 3], |x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+}

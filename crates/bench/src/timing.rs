@@ -1,0 +1,103 @@
+//! Minimal self-timed micro-benchmark harness (std-only stand-in for
+//! criterion, which is not vendored in this workspace).
+//!
+//! Each measurement runs a closure `iters` times after one warmup call and
+//! reports total wall time, per-iteration time, and an optional throughput
+//! in elements per second. Output is one aligned line per benchmark so the
+//! bench binaries stay grep-friendly in CI logs.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Iterations timed (excluding warmup).
+    pub iters: u32,
+    /// Total wall time across all timed iterations.
+    pub total: Duration,
+    /// Elements processed per iteration (0 when not meaningful).
+    pub elems_per_iter: u64,
+}
+
+impl Measurement {
+    /// Mean wall time of one iteration.
+    pub fn per_iter(&self) -> Duration {
+        self.total / self.iters.max(1)
+    }
+
+    /// Throughput in elements per second, when `elems_per_iter` is set.
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        if self.elems_per_iter == 0 {
+            return None;
+        }
+        let secs = self.per_iter().as_secs_f64();
+        (secs > 0.0).then(|| self.elems_per_iter as f64 / secs)
+    }
+
+    /// Renders the standard one-line report.
+    pub fn report(&self) -> String {
+        let per = self.per_iter();
+        match self.elems_per_sec() {
+            Some(eps) => format!(
+                "{:<40} {:>12.3?}/iter  {:>12.0} elems/s",
+                self.name, per, eps
+            ),
+            None => format!("{:<40} {:>12.3?}/iter", self.name, per),
+        }
+    }
+}
+
+/// Times `f` for `iters` iterations (after one warmup call) and prints the
+/// one-line report. The closure's return value is consumed with
+/// [`std::hint::black_box`] so the compiler cannot elide the work.
+pub fn bench<T>(
+    name: &str,
+    iters: u32,
+    elems_per_iter: u64,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    std::hint::black_box(f()); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        iters,
+        total: start.elapsed(),
+        elems_per_iter,
+    };
+    println!("{}", m.report());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_iterations() {
+        let mut calls = 0u32;
+        let m = bench("test/count", 5, 10, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 6, "5 timed + 1 warmup");
+        assert_eq!(m.iters, 5);
+        assert!(m.elems_per_sec().is_some());
+    }
+
+    #[test]
+    fn report_includes_name() {
+        let m = Measurement {
+            name: "g/x".into(),
+            iters: 1,
+            total: Duration::from_millis(2),
+            elems_per_iter: 0,
+        };
+        assert!(m.report().contains("g/x"));
+        assert!(m.elems_per_sec().is_none());
+    }
+}

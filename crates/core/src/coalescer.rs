@@ -374,8 +374,7 @@ impl Coalescer {
         }
 
         let misses_remain = (0..self.window).any(|w| {
-            self.win_valid[w]
-                && block_addr(self.req_q[w].peek().expect("valid head").addr) != tag
+            self.win_valid[w] && block_addr(self.req_q[w].peek().expect("valid head").addr) != tag
         });
 
         if misses_remain && !stalled_hit {
@@ -504,8 +503,7 @@ mod tests {
         max_cycles: u64,
     ) -> (Vec<ElemOut>, CoalescerStats) {
         let ports = coal.ports();
-        let mut pending: std::collections::VecDeque<(u64, u64)> =
-            reqs.iter().copied().collect();
+        let mut pending: std::collections::VecDeque<(u64, u64)> = reqs.iter().copied().collect();
         let mut in_flight: std::collections::VecDeque<u64> = Default::default();
         let mut outputs: Vec<ElemOut> = Vec::new();
         let mut next_seq_out = 0u64;
@@ -661,7 +659,7 @@ mod tests {
             .map(|s| {
                 let run = s / 16;
                 let pos = s % 16;
-                (s, (run.wrapping_mul(0x9E37) % 512) * 64 + pos * 4 & !3)
+                (s, ((run.wrapping_mul(0x9E37) % 512) * 64 + pos * 4) & !3)
             })
             .collect();
         // Use 8 B elements → run addresses must be 8-aligned.
@@ -720,7 +718,13 @@ mod cross_window_tests {
         while out < total {
             while seq < total as u64 {
                 let port = (seq % 8) as usize;
-                if coal.try_push_request(port, ElemRequest { seq, addr: (seq % 8) * 8 }) {
+                if coal.try_push_request(
+                    port,
+                    ElemRequest {
+                        seq,
+                        addr: (seq % 8) * 8,
+                    },
+                ) {
                     seq += 1;
                 } else {
                     break;

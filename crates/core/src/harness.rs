@@ -8,7 +8,7 @@
 //! were preloaded into the HBM model."
 
 use nmpic_axi::{ElemSize, PackRequest, Unpacker};
-use nmpic_mem::{ChannelPort, HbmChannel, HbmConfig, Memory, BLOCK_BYTES};
+use nmpic_mem::{BackendConfig, ChannelPort, Memory, BLOCK_BYTES};
 use nmpic_sim::Cycle;
 
 use crate::config::AdapterConfig;
@@ -52,8 +52,9 @@ pub struct StreamResult {
 /// Options for [`run_indirect_stream`].
 #[derive(Debug, Clone)]
 pub struct StreamOptions {
-    /// DRAM channel configuration (defaults to the paper's HBM2 setup).
-    pub hbm: HbmConfig,
+    /// Memory backend (defaults to the paper's single HBM2 channel; see
+    /// [`BackendConfig`] for the ideal and multi-channel alternatives).
+    pub backend: BackendConfig,
     /// Hard cycle bound per element (deadlock guard).
     pub max_cycles_per_element: u64,
     /// Additional fixed cycle budget.
@@ -63,7 +64,7 @@ pub struct StreamOptions {
 impl Default for StreamOptions {
     fn default() -> Self {
         Self {
-            hbm: HbmConfig::default(),
+            backend: BackendConfig::hbm(),
             max_cycles_per_element: 256,
             max_cycles_base: 200_000,
         }
@@ -98,15 +99,10 @@ pub fn run_indirect_stream(
     vec_len: usize,
     opts: &StreamOptions,
 ) -> StreamResult {
-    let mut chan = HbmChannel::new(
-        opts.hbm.clone(),
-        Memory::new(stream_memory_size(indices.len(), vec_len)),
-    );
-    let mut result = run_indirect_stream_on(&mut chan, cfg, indices, vec_len, opts);
-    let hbm = chan.stats();
-    result.row_hit_rate = hbm.row_hit_rate();
-    result.bus_utilization = hbm.bus_utilization(result.cycles);
-    result
+    let mut chan = opts
+        .backend
+        .build(Memory::new(stream_memory_size(indices.len(), vec_len)));
+    run_indirect_stream_on(&mut *chan, cfg, indices, vec_len, opts)
 }
 
 /// Memory footprint needed by [`run_indirect_stream_on`] for a given
@@ -117,18 +113,20 @@ pub fn stream_memory_size(count: usize, vec_len: usize) -> usize {
 }
 
 /// Generic-channel variant of [`run_indirect_stream`]: runs the stream
-/// against any [`ChannelPort`] (e.g. multi-channel interleaved memory).
-/// The channel's backing memory must be at least
-/// [`stream_memory_size`]`(indices.len(), vec_len)` bytes and is laid out
-/// by this function. DRAM-internal statistics (`row_hit_rate`,
-/// `bus_utilization`) are zero in the generic result.
+/// against any [`ChannelPort`] (an ideal channel, one HBM2 channel, or an
+/// interleaved multi-channel backend built by
+/// [`nmpic_mem::build_backend`]). The channel's backing memory must be at
+/// least [`stream_memory_size`]`(indices.len(), vec_len)` bytes and is
+/// laid out by this function. `row_hit_rate` comes from
+/// [`ChannelPort::dram_stats`] and is zero for backends that do not model
+/// DRAM internals.
 ///
 /// # Panics
 ///
 /// Panics on an empty index stream, an undersized channel memory, or a
 /// cycle-budget overrun (model deadlock).
-pub fn run_indirect_stream_on<C: ChannelPort>(
-    chan: &mut C,
+pub fn run_indirect_stream_on(
+    chan: &mut dyn ChannelPort,
     cfg: &AdapterConfig,
     indices: &[u32],
     vec_len: usize,
@@ -136,6 +134,7 @@ pub fn run_indirect_stream_on<C: ChannelPort>(
 ) -> StreamResult {
     assert!(!indices.is_empty(), "empty index stream");
     let count = indices.len() as u64;
+    let data_bytes_before = chan.data_bytes();
 
     // Lay out the index array and the vector in DRAM.
     let mem = chan.memory_mut();
@@ -185,6 +184,15 @@ pub fn run_indirect_stream_on<C: ChannelPort>(
     let peak = chan.peak_bytes_per_cycle() as f64 * freq;
     let index_gbps = gbps(stats.idx_bytes());
     let elem_gbps = gbps(stats.elem_bytes());
+    let row_hit_rate = chan.dram_stats().map_or(0.0, |s| s.row_hit_rate());
+    // Utilization of the aggregate data bus: bytes actually moved over the
+    // peak the backend could have moved in `now` cycles.
+    let moved = chan.data_bytes() - data_bytes_before;
+    let bus_utilization = if now == 0 || peak == 0.0 {
+        0.0
+    } else {
+        moved as f64 / (now as f64 * peak)
+    };
     StreamResult {
         variant: cfg.variant_name(),
         cycles: now,
@@ -196,8 +204,8 @@ pub fn run_indirect_stream_on<C: ChannelPort>(
         coalesce_rate: stats.coalesce_rate(),
         verified,
         adapter: stats,
-        row_hit_rate: 0.0,
-        bus_utilization: 0.0,
+        row_hit_rate,
+        bus_utilization,
     }
 }
 

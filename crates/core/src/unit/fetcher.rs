@@ -1,0 +1,67 @@
+//! Index fetcher: wide DRAM reads covering the index array (and the
+//! contiguous-burst fetch path that reuses the same cursor state),
+//! credit-throttled by lane-queue capacity.
+
+use nmpic_mem::{WideRequest, BLOCK_BYTES};
+
+use super::{ActiveBurst, IndirectStreamUnit, TAG_CONTIG, TAG_IDX};
+
+impl IndirectStreamUnit {
+    /// Index fetcher: one wide index read per cycle, credit-limited by
+    /// lane-queue capacity.
+    pub(super) fn tick_fetcher(&mut self) {
+        if !matches!(self.burst, Some(ActiveBurst::Indirect { .. })) {
+            // Contiguous bursts reuse the fetch state but a different tag
+            // and queue.
+            if matches!(self.burst, Some(ActiveBurst::Contiguous { .. })) {
+                self.tick_contig_fetcher();
+            }
+            return;
+        }
+        if self.idx_blocks_left == 0 || self.idx_req_q.is_full() {
+            return;
+        }
+        let idx_per_block = BLOCK_BYTES / self.cfg.idx_size.bytes();
+        let start = self.idx_cursor as usize;
+        let cnt = ((idx_per_block - start) as u64).min(self.idx_elems_left) as usize;
+        let capacity = self.cfg.lanes * self.cfg.idx_queue_depth;
+        if self.idx_outstanding + cnt > capacity {
+            return;
+        }
+        self.idx_req_q
+            .try_push(WideRequest::read(self.idx_next_block, TAG_IDX))
+            .expect("checked not full");
+        self.idx_block_meta.push_back((start, cnt));
+        self.idx_outstanding += cnt;
+        self.idx_next_block += BLOCK_BYTES as u64;
+        self.idx_blocks_left -= 1;
+        self.idx_elems_left -= cnt as u64;
+        self.idx_cursor = 0;
+        self.stats.idx_wide_reads += 1;
+    }
+
+    /// Contiguous-burst fetcher: one wide read per cycle, bounded
+    /// outstanding.
+    pub(super) fn tick_contig_fetcher(&mut self) {
+        if self.idx_blocks_left == 0 || self.contig_req_q.is_full() || self.contig_outstanding >= 16
+        {
+            return;
+        }
+        let Some(ActiveBurst::Contiguous { elem_size }) = &self.burst else {
+            return;
+        };
+        let per_block = BLOCK_BYTES / elem_size.bytes();
+        let start = self.idx_cursor as usize;
+        let cnt = ((per_block - start) as u64).min(self.idx_elems_left) as usize;
+        self.contig_req_q
+            .try_push(WideRequest::read(self.idx_next_block, TAG_CONTIG))
+            .expect("checked not full");
+        self.contig_block_meta.push_back((start, cnt));
+        self.contig_outstanding += 1;
+        self.idx_next_block += BLOCK_BYTES as u64;
+        self.idx_blocks_left -= 1;
+        self.idx_elems_left -= cnt as u64;
+        self.idx_cursor = 0;
+        self.stats.contig_wide_reads += 1;
+    }
+}

@@ -1,0 +1,400 @@
+//! The AXI-Pack indirect stream unit (Fig. 2a): index fetcher, index
+//! splitter, element request generator, request coalescer, element packer,
+//! and the DRAM request arbiter.
+//!
+//! The unit executes one AXI-Pack burst at a time. For an indirect burst:
+//!
+//! 1. the **index fetcher** issues wide DRAM reads covering the index
+//!    array, throttled by index-queue credits;
+//! 2. the **index splitter** deals arriving indices element-round-robin
+//!    into the N lane queues (stream position `k` → lane `k mod N`);
+//! 3. the **element request generator** turns lane-queue indices into
+//!    narrow element requests (`elem_base + idx × elem_size`);
+//! 4. the **request coalescer** merges them into wide DRAM accesses
+//!    ([`crate::Coalescer`]); in `MLPnc` each request issues its own wide
+//!    access instead;
+//! 5. the **element packer** restores stream order and packs elements
+//!    densely into 512 b beats.
+//!
+//! Contiguous and strided bursts reuse the same downstream machinery
+//! (strided requests feed the coalescer directly, with no index fetch).
+
+mod arbiter;
+mod fetcher;
+mod packer;
+mod reqgen;
+mod splitter;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::VecDeque;
+
+use nmpic_axi::{Beat, ElemSize, PackRequest, Packer};
+use nmpic_mem::{block_addr, Block, ChannelPort, WideRequest, BLOCK_BYTES};
+use nmpic_sim::{Cycle, Fifo};
+
+use crate::coalescer::{Coalescer, CoalescerStats};
+use crate::config::{AdapterConfig, CoalescerMode};
+use crate::request::ElemOut;
+
+/// Routing tag for index-fetch wide reads.
+const TAG_IDX: u64 = 1;
+/// Routing tag for element-fetch wide reads.
+const TAG_ELEM: u64 = 2;
+/// Routing tag for contiguous-burst wide reads.
+const TAG_CONTIG: u64 = 3;
+
+/// Error returned by [`IndirectStreamUnit::begin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginError {
+    /// A burst is still in flight; wait for [`IndirectStreamUnit::is_done`].
+    Busy,
+    /// The burst geometry is invalid (zero elements).
+    EmptyBurst,
+}
+
+impl std::fmt::Display for BeginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeginError::Busy => write!(f, "a burst is already in flight"),
+            BeginError::EmptyBurst => write!(f, "burst describes zero elements"),
+        }
+    }
+}
+
+impl std::error::Error for BeginError {}
+
+/// Cumulative traffic and delivery statistics of the unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdapterStats {
+    /// Elements delivered upstream (packed into beats).
+    pub elements_delivered: u64,
+    /// Upstream payload bytes (elements × element width).
+    pub payload_bytes: u64,
+    /// Wide reads issued for index fetching.
+    pub idx_wide_reads: u64,
+    /// Wide reads issued for element fetching (coalesced or not).
+    pub elem_wide_reads: u64,
+    /// Wide reads issued for contiguous bursts.
+    pub contig_wide_reads: u64,
+    /// 512 b beats emitted upstream.
+    pub beats_emitted: u64,
+}
+
+impl AdapterStats {
+    /// Downstream bytes spent fetching indices.
+    pub fn idx_bytes(&self) -> u64 {
+        self.idx_wide_reads * BLOCK_BYTES as u64
+    }
+
+    /// Downstream bytes spent fetching elements.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_wide_reads * BLOCK_BYTES as u64
+    }
+
+    /// The paper's *coalesce rate*: effective indirect payload over the
+    /// data requested downstream for elements. 0.125 for `MLPnc`
+    /// (8 B useful per 64 B access); above 1.0 when blocks are reused.
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.elem_wide_reads == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.elem_bytes() as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ActiveBurst {
+    Indirect {
+        elem_base: u64,
+        elem_size: ElemSize,
+    },
+    Contiguous {
+        elem_size: ElemSize,
+    },
+    Strided {
+        base: u64,
+        stride: u64,
+        elem_size: ElemSize,
+        count: u64,
+        next: u64,
+    },
+}
+
+/// The AXI-Pack adapter's indirect stream unit.
+///
+/// Drive with [`IndirectStreamUnit::begin`], then call
+/// [`IndirectStreamUnit::tick`] once per cycle with the DRAM channel, and
+/// drain beats with [`IndirectStreamUnit::pop_beat`].
+///
+/// # Example
+///
+/// ```
+/// use nmpic_core::{AdapterConfig, IndirectStreamUnit};
+/// use nmpic_axi::{PackRequest, ElemSize, Unpacker};
+/// use nmpic_mem::{ChannelPort, IdealChannel, Memory};
+///
+/// let mut mem = Memory::new(1 << 16);
+/// let idx_base = mem.alloc(4 * 4, 64);
+/// let elem_base = mem.alloc(8 * 16, 64);
+/// mem.write_u32_slice(idx_base, &[3, 0, 2, 3]);
+/// for i in 0..16u64 { mem.write_u64(elem_base + 8 * i, 100 + i); }
+///
+/// let mut chan = IdealChannel::new(mem, 10, 2);
+/// let mut unit = IndirectStreamUnit::new(AdapterConfig::mlp(8));
+/// unit.begin(PackRequest::Indirect {
+///     idx_base, idx_size: ElemSize::B4, count: 4, elem_base, elem_size: ElemSize::B8,
+/// }).unwrap();
+///
+/// let mut got = Unpacker::new(ElemSize::B8);
+/// let mut now = 0;
+/// while !unit.is_done() {
+///     unit.tick(now, &mut chan);
+///     chan.tick(now);
+///     while let Some(beat) = unit.pop_beat() { got.push_beat(&beat); }
+///     now += 1;
+///     assert!(now < 10_000);
+/// }
+/// assert_eq!(got.drain(), vec![103, 100, 102, 103]);
+/// ```
+#[derive(Debug)]
+pub struct IndirectStreamUnit {
+    cfg: AdapterConfig,
+    burst: Option<ActiveBurst>,
+    burst_target: u64,
+    burst_delivered: u64,
+
+    // Index fetcher.
+    idx_next_block: u64,
+    idx_blocks_left: u64,
+    idx_elems_left: u64,
+    idx_cursor: u64,
+    idx_outstanding: usize,
+    idx_req_q: Fifo<WideRequest>,
+    idx_block_meta: VecDeque<(usize, usize)>,
+    idx_staging: VecDeque<Block>,
+
+    // Index splitter.
+    split_cur: Option<(Block, usize, usize)>,
+    next_split_seq: u64,
+    lane_q: Vec<Fifo<(u64, u32)>>,
+
+    // Element request generation.
+    next_gen_seq: u64,
+
+    // Coalesced path.
+    coal: Option<Coalescer>,
+    coal_held: Option<u64>,
+    elem_staging: VecDeque<Block>,
+
+    // Non-coalesced (MLPnc) path.
+    nocoal_meta: VecDeque<(u64, u8)>,
+    nocoal_req_q: Fifo<WideRequest>,
+    nocoal_outstanding: usize,
+    nocoal_out: Fifo<ElemOut>,
+
+    // Contiguous path.
+    contig_req_q: Fifo<WideRequest>,
+    contig_block_meta: VecDeque<(usize, usize)>,
+    contig_staging: VecDeque<Block>,
+    contig_outstanding: usize,
+
+    // Element packer.
+    next_pack_seq: u64,
+    packer: Packer,
+    beats: Fifo<Beat>,
+
+    // DRAM arbiter.
+    arb_rr: usize,
+    held_req: Option<(WideRequest, u64)>,
+
+    stats: AdapterStats,
+}
+
+impl IndirectStreamUnit {
+    /// Creates an idle unit with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: AdapterConfig) -> Self {
+        cfg.assert_valid();
+        let lanes = cfg.lanes;
+        let coal = (cfg.mode != CoalescerMode::None).then(|| Coalescer::new(&cfg));
+        let elem_size = cfg.elem_size;
+        Self {
+            burst: None,
+            burst_target: 0,
+            burst_delivered: 0,
+            idx_next_block: 0,
+            idx_blocks_left: 0,
+            idx_elems_left: 0,
+            idx_cursor: 0,
+            idx_outstanding: 0,
+            idx_req_q: Fifo::new("idx_req_q", 2),
+            idx_block_meta: VecDeque::new(),
+            idx_staging: VecDeque::new(),
+            split_cur: None,
+            next_split_seq: 0,
+            lane_q: (0..lanes)
+                .map(|_| Fifo::new("lane_idx_q", cfg.idx_queue_depth))
+                .collect(),
+            next_gen_seq: 0,
+            coal,
+            coal_held: None,
+            elem_staging: VecDeque::new(),
+            nocoal_meta: VecDeque::new(),
+            nocoal_req_q: Fifo::new("nocoal_req_q", 4),
+            nocoal_outstanding: 0,
+            nocoal_out: Fifo::new("nocoal_out", 4),
+            contig_req_q: Fifo::new("contig_req_q", 2),
+            contig_block_meta: VecDeque::new(),
+            contig_staging: VecDeque::new(),
+            contig_outstanding: 0,
+            next_pack_seq: 0,
+            packer: Packer::new(elem_size),
+            beats: Fifo::new("beats", 2),
+            arb_rr: 0,
+            held_req: None,
+            stats: AdapterStats::default(),
+            cfg,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &AdapterConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> AdapterStats {
+        self.stats
+    }
+
+    /// Coalescer statistics, when a coalescer is present.
+    pub fn coalescer_stats(&self) -> Option<CoalescerStats> {
+        self.coal.as_ref().map(Coalescer::stats)
+    }
+
+    /// Starts a new AXI-Pack burst.
+    ///
+    /// # Errors
+    ///
+    /// [`BeginError::Busy`] if the previous burst has not drained;
+    /// [`BeginError::EmptyBurst`] for zero-element bursts.
+    pub fn begin(&mut self, req: PackRequest) -> Result<(), BeginError> {
+        if !self.is_done_internal() {
+            return Err(BeginError::Busy);
+        }
+        if req.count() == 0 {
+            return Err(BeginError::EmptyBurst);
+        }
+        self.burst_target = req.count();
+        self.burst_delivered = 0;
+        // The packer adopts the burst's element width (e.g. 32 b slice
+        // pointers vs 64 b values); it is empty here because the previous
+        // burst fully drained.
+        debug_assert_eq!(self.packer.pending(), 0);
+        self.packer = Packer::new(req.elem_size());
+        match req {
+            PackRequest::Indirect {
+                idx_base,
+                idx_size,
+                count,
+                elem_base,
+                elem_size,
+            } => {
+                let idx_bytes = idx_size.bytes() as u64;
+                let first = block_addr(idx_base);
+                let last = block_addr(idx_base + count * idx_bytes - 1);
+                self.idx_next_block = first;
+                self.idx_blocks_left = (last - first) / BLOCK_BYTES as u64 + 1;
+                self.idx_elems_left = count;
+                self.idx_cursor = (idx_base - first) / idx_bytes;
+                self.burst = Some(ActiveBurst::Indirect {
+                    elem_base,
+                    elem_size,
+                });
+            }
+            PackRequest::Contiguous {
+                base,
+                elem_size,
+                count,
+            } => {
+                let e = elem_size.bytes() as u64;
+                let first = block_addr(base);
+                let last = block_addr(base + count * e - 1);
+                self.idx_next_block = first;
+                self.idx_blocks_left = (last - first) / BLOCK_BYTES as u64 + 1;
+                self.idx_elems_left = count;
+                self.idx_cursor = (base - first) / e;
+                self.burst = Some(ActiveBurst::Contiguous { elem_size });
+            }
+            PackRequest::Strided {
+                base,
+                stride,
+                elem_size,
+                count,
+            } => {
+                self.burst = Some(ActiveBurst::Strided {
+                    base,
+                    stride,
+                    elem_size,
+                    count,
+                    next: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when the current burst has fully drained (all elements
+    /// packed into beats and all beats consumed).
+    pub fn is_done(&self) -> bool {
+        self.is_done_internal()
+    }
+
+    fn is_done_internal(&self) -> bool {
+        self.burst_delivered == self.burst_target
+            && self.beats.is_empty()
+            && self.packer.pending() == 0
+    }
+
+    /// Pops the next packed 512 b beat, if one is ready.
+    pub fn pop_beat(&mut self) -> Option<Beat> {
+        self.beats.pop()
+    }
+
+    /// Advances the unit by one cycle against the given DRAM channel.
+    pub fn tick(&mut self, now: Cycle, chan: &mut dyn ChannelPort) {
+        self.route_responses(now, chan);
+        self.tick_packer();
+        self.tick_output_pull();
+        self.tick_contiguous_responses();
+        if let Some(coal) = self.coal.as_mut() {
+            coal.tick(now);
+        }
+        self.tick_elem_responses();
+        self.tick_request_gen();
+        self.tick_splitter();
+        self.tick_fetcher();
+        self.tick_arbiter(now, chan);
+    }
+
+    /// Routes channel read responses into the per-class staging queues.
+    /// Staging occupancy is bounded by the credit/queue limits of each
+    /// request class, so these queues never grow beyond the configured
+    /// outstanding counts.
+    fn route_responses(&mut self, now: Cycle, chan: &mut dyn ChannelPort) {
+        while let Some(resp) = chan.pop_response(now) {
+            match resp.tag {
+                TAG_IDX => self.idx_staging.push_back(*resp.data),
+                TAG_ELEM => self.elem_staging.push_back(*resp.data),
+                TAG_CONTIG => self.contig_staging.push_back(*resp.data),
+                other => unreachable!("unknown response tag {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Element packer: restores stream order from the coalescer (or the
+//! MLPnc/contiguous paths) and packs elements densely into 512 b beats,
+//! one beat per cycle upstream.
+
+use crate::config::CoalescerMode;
+
+use super::{ActiveBurst, IndirectStreamUnit};
+
+impl IndirectStreamUnit {
+    /// Contiguous responses: extract in-order elements straight into the
+    /// packer (budget: one block per cycle).
+    pub(super) fn tick_contiguous_responses(&mut self) {
+        let Some(ActiveBurst::Contiguous { elem_size }) = self.burst else {
+            return;
+        };
+        if self.packer.pending() >= elem_size.per_beat() {
+            return; // let the packer drain first
+        }
+        let Some(block) = self.contig_staging.pop_front() else {
+            return;
+        };
+        let (start, cnt) = self
+            .contig_block_meta
+            .pop_front()
+            .expect("meta pushed at issue");
+        let e = elem_size.bytes();
+        for k in 0..cnt {
+            let lo = (start + k) * e;
+            let mut buf = [0u8; 8];
+            buf[..e].copy_from_slice(&block[lo..lo + e]);
+            self.packer.push(u64::from_le_bytes(buf));
+            self.burst_delivered += 1;
+            self.stats.elements_delivered += 1;
+            self.stats.payload_bytes += e as u64;
+        }
+        self.contig_outstanding -= 1;
+    }
+
+    /// Pulls coalescer/no-coalescer outputs into the packer in stream
+    /// order, up to one element per output port per cycle.
+    pub(super) fn tick_output_pull(&mut self) {
+        if matches!(self.burst, Some(ActiveBurst::Contiguous { .. })) || self.burst.is_none() {
+            return;
+        }
+        let e = self.cfg.elem_size.bytes() as u64;
+        match self.cfg.mode {
+            CoalescerMode::None => {
+                if let Some(out) = self.nocoal_out.pop() {
+                    debug_assert_eq!(out.seq, self.next_pack_seq);
+                    self.packer.push(out.value);
+                    self.next_pack_seq += 1;
+                    self.burst_delivered += 1;
+                    self.stats.elements_delivered += 1;
+                    self.stats.payload_bytes += e;
+                }
+            }
+            _ => {
+                let coal = self.coal.as_mut().expect("coalescer present");
+                let ports = coal.ports() as u64;
+                for _ in 0..ports {
+                    let port = (self.next_pack_seq % ports) as usize;
+                    match coal.pop_output(port) {
+                        Some(out) => {
+                            debug_assert_eq!(out.seq, self.next_pack_seq, "stream order");
+                            self.packer.push(out.value);
+                            self.next_pack_seq += 1;
+                            self.burst_delivered += 1;
+                            self.stats.elements_delivered += 1;
+                            self.stats.payload_bytes += e;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits at most one beat per cycle upstream (the 512 b R channel).
+    pub(super) fn tick_packer(&mut self) {
+        if self.beats.is_full() {
+            return;
+        }
+        if let Some(beat) = self.packer.pop_beat() {
+            self.stats.beats_emitted += 1;
+            self.beats.try_push(beat).expect("checked not full");
+        } else if self.burst_delivered == self.burst_target && self.packer.pending() > 0 {
+            let beat = self.packer.flush().expect("pending > 0");
+            self.stats.beats_emitted += 1;
+            self.beats.try_push(beat).expect("checked not full");
+        }
+    }
+}

@@ -147,11 +147,34 @@ impl HbmStats {
     }
 
     /// Data-bus utilization over `cycles`, in `[0, 1]`.
+    ///
+    /// For aggregated multi-channel stats, divide by the channel count as
+    /// well (each channel has its own bus): see
+    /// [`HbmStats::bus_utilization_over`].
     pub fn bus_utilization(&self, cycles: Cycle) -> f64 {
-        if cycles == 0 {
+        self.bus_utilization_over(cycles, 1)
+    }
+
+    /// Data-bus utilization over `cycles` and `channels` parallel buses.
+    pub fn bus_utilization_over(&self, cycles: Cycle, channels: usize) -> f64 {
+        let denom = cycles.saturating_mul(channels as u64);
+        if denom == 0 {
             0.0
         } else {
-            self.bus_busy_cycles as f64 / cycles as f64
+            self.bus_busy_cycles as f64 / denom as f64
+        }
+    }
+
+    /// Element-wise sum of two stat blocks (multi-channel aggregation).
+    pub fn merge(&self, other: &HbmStats) -> HbmStats {
+        HbmStats {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            row_hits: self.row_hits + other.row_hits,
+            row_conflicts: self.row_conflicts + other.row_conflicts,
+            row_empty: self.row_empty + other.row_empty,
+            data_bytes: self.data_bytes + other.data_bytes,
+            bus_busy_cycles: self.bus_busy_cycles + other.bus_busy_cycles,
         }
     }
 }
@@ -297,9 +320,7 @@ impl HbmChannel {
             Some(_) => {
                 self.stats.row_conflicts += 1;
                 bank.hit_streak = 0;
-                let pre_at = now
-                    .max(bank.next_cas_at)
-                    .max(bank.last_act_at + cfg.t_ras);
+                let pre_at = now.max(bank.next_cas_at).max(bank.last_act_at + cfg.t_ras);
                 let act_at = pre_at + cfg.t_rp;
                 bank.last_act_at = act_at;
                 bank.open_row = Some(row);
@@ -442,6 +463,10 @@ impl ChannelPort for HbmChannel {
     fn peak_bytes_per_cycle(&self) -> u64 {
         self.cfg.peak_bytes_per_cycle()
     }
+
+    fn dram_stats(&self) -> Option<HbmStats> {
+        Some(self.stats())
+    }
 }
 
 #[cfg(test)]
@@ -499,8 +524,14 @@ mod tests {
         chan.memory_mut().write_u64(256, 777);
         chan.memory_mut().write_u64(264, 888);
         let (resps, _) = run_reads(&mut chan, &[256]);
-        assert_eq!(u64::from_le_bytes(resps[0].data[0..8].try_into().unwrap()), 777);
-        assert_eq!(u64::from_le_bytes(resps[0].data[8..16].try_into().unwrap()), 888);
+        assert_eq!(
+            u64::from_le_bytes(resps[0].data[0..8].try_into().unwrap()),
+            777
+        );
+        assert_eq!(
+            u64::from_le_bytes(resps[0].data[8..16].try_into().unwrap()),
+            888
+        );
     }
 
     #[test]
@@ -513,8 +544,8 @@ mod tests {
         let row_stride = cfg.row_bytes * cfg.banks as u64; // same bank, next row
         let addrs = vec![
             0,
-            row_stride,     // same bank 0, different row → conflict
-            bank_stride,    // bank 1
+            row_stride,  // same bank 0, different row → conflict
+            bank_stride, // bank 1
             bank_stride + 64,
             2 * row_stride, // bank 0 again
             bank_stride + 128,

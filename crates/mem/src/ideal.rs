@@ -175,7 +175,8 @@ mod tests {
     fn in_order_tags() {
         let mut chan = IdealChannel::new(Memory::new(1 << 12), 3, 1);
         for i in 0..8 {
-            chan.try_request(0, WideRequest::read(i * 64, 100 + i)).unwrap();
+            chan.try_request(0, WideRequest::read(i * 64, 100 + i))
+                .unwrap();
         }
         let mut tags = Vec::new();
         for now in 0..64 {
@@ -192,7 +193,8 @@ mod tests {
         let mut chan = IdealChannel::new(Memory::new(1 << 12), 2, 1);
         let mut blk = [0u8; BLOCK_BYTES];
         blk[5] = 99;
-        chan.try_request(0, WideRequest::write(128, 0, blk)).unwrap();
+        chan.try_request(0, WideRequest::write(128, 0, blk))
+            .unwrap();
         chan.try_request(0, WideRequest::read(128, 1)).unwrap();
         let mut seen = None;
         for now in 0..32 {

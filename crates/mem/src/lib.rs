@@ -44,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod channel;
 mod ideal;
 mod interleave;
 mod memory;
 
+pub use backend::{build_backend, BackendConfig, BackendKind, ParseBackendError};
 pub use channel::{HbmChannel, HbmConfig, HbmStats, PagePolicy, SchedPolicy};
 pub use ideal::IdealChannel;
 pub use interleave::InterleavedChannels;
@@ -206,6 +208,13 @@ pub trait ChannelPort {
 
     /// Peak deliverable bytes per cycle (32 for the paper's HBM2 channel).
     fn peak_bytes_per_cycle(&self) -> u64;
+
+    /// DRAM-internal statistics, when the backend models DRAM (aggregated
+    /// across channels for multi-channel backends). `None` for idealized
+    /// channels with no row-buffer behaviour.
+    fn dram_stats(&self) -> Option<HbmStats> {
+        None
+    }
 }
 
 #[cfg(test)]

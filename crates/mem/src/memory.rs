@@ -156,12 +156,16 @@ impl Memory {
 
     /// Reads `count` little-endian `u32`s starting at `base`.
     pub fn read_u32_slice(&self, base: u64, count: usize) -> Vec<u32> {
-        (0..count).map(|i| self.read_u32(base + 4 * i as u64)).collect()
+        (0..count)
+            .map(|i| self.read_u32(base + 4 * i as u64))
+            .collect()
     }
 
     /// Reads `count` `f64`s starting at `base`.
     pub fn read_f64_slice(&self, base: u64, count: usize) -> Vec<f64> {
-        (0..count).map(|i| self.read_f64(base + 8 * i as u64)).collect()
+        (0..count)
+            .map(|i| self.read_f64(base + 8 * i as u64))
+            .collect()
     }
 }
 

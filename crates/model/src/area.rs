@@ -22,7 +22,8 @@ pub const GE_UM2: f64 = 0.099;
 /// Calibration points for the coalescer area: `(window, kGE)` as reported
 /// by the paper for W = 64/128/256, anchored at a small fixed controller
 /// cost for W → 0. Interpolated piecewise-linearly.
-pub const COAL_KGE_POINTS: [(f64, f64); 4] = [(0.0, 60.0), (64.0, 307.0), (128.0, 617.0), (256.0, 1035.0)];
+pub const COAL_KGE_POINTS: [(f64, f64); 4] =
+    [(0.0, 60.0), (64.0, 307.0), (128.0, 617.0), (256.0, 1035.0)];
 
 /// Index-queue area at the paper's configuration (8 lanes × 256 × 32 b,
 /// dual-port SRAM macros), in kGE.

@@ -28,8 +28,8 @@ mod energy;
 mod table1;
 
 pub use area::{
-    adapter_area, AreaBreakdown, COAL_KGE_POINTS, ELE_GEN_KGE, GE_UM2,
-    IDX_QUEUE_KGE_REF, OTHERS_KGE,
+    adapter_area, AreaBreakdown, COAL_KGE_POINTS, ELE_GEN_KGE, GE_UM2, IDX_QUEUE_KGE_REF,
+    OTHERS_KGE,
 };
 pub use efficiency::{a64fx, sx_aurora, this_work, this_work_onchip_kb, EfficiencyPoint};
 pub use energy::{EnergyModel, EnergyReport};

@@ -63,6 +63,9 @@ mod tests {
         assert!(t.contains("32 GB/s"));
         assert!(t.contains("16 lanes, 1 GHz, 384 kB L2"));
         // ~27 kB storage headline.
-        assert!(t.contains("27 kB") || t.contains("26 kB") || t.contains("28 kB"), "{t}");
+        assert!(
+            t.contains("27 kB") || t.contains("26 kB") || t.contains("28 kB"),
+            "{t}"
+        );
     }
 }

@@ -38,7 +38,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rng;
 pub mod stats;
+
+pub use rng::SimRng;
 
 use std::collections::VecDeque;
 use std::fmt;

@@ -1,7 +1,7 @@
 //! Coordinate (triplet) format — the assembly format all generators and
 //! the MatrixMarket reader produce before conversion to CSR/SELL.
 
-use crate::{FormatError, Csr};
+use crate::{Csr, FormatError};
 
 /// A sparse matrix in coordinate (COO) form: unordered `(row, col, value)`
 /// triplets.

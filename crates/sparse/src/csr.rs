@@ -137,14 +137,14 @@ impl Csr {
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[i] as usize;
             let hi = self.row_ptr[i + 1] as usize;
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[i] = acc;
+            *out = acc;
         }
         y
     }

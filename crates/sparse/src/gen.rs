@@ -10,13 +10,12 @@
 //!
 //! All generators are deterministic in their `seed`.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use nmpic_sim::SimRng;
 
 use crate::{Coo, Csr};
 
-fn rng(seed: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed)
+fn rng(seed: u64) -> SimRng {
+    SimRng::new(seed)
 }
 
 fn clamp_col(c: i64, cols: usize) -> u32 {
@@ -25,8 +24,8 @@ fn clamp_col(c: i64, cols: usize) -> u32 {
 
 /// Random nonzero value in `[0.5, 1.5)` — nonzero so padding (0.0) stays
 /// distinguishable, varied so data-path bugs can't hide behind constants.
-fn val<R: Rng>(r: &mut R) -> f64 {
-    0.5 + r.gen::<f64>()
+fn val(r: &mut SimRng) -> f64 {
+    0.5 + r.gen_f64()
 }
 
 /// Exact HPCG matrix: 27-point stencil on an `nx × ny × nz` grid with the
@@ -46,7 +45,10 @@ fn val<R: Rng>(r: &mut R) -> f64 {
 /// assert!(m.stats().max_row_nnz == 27);
 /// ```
 pub fn stencil27(nx: usize, ny: usize, nz: usize) -> Csr {
-    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be nonzero");
+    assert!(
+        nx > 0 && ny > 0 && nz > 0,
+        "grid dimensions must be nonzero"
+    );
     let n = nx * ny * nz;
     let mut coo = Coo::new(n, n);
     for z in 0..nz as i64 {
@@ -115,7 +117,10 @@ pub fn grid5(nx: usize, ny: usize) -> Csr {
 ///
 /// Panics if `rows` is zero or `nnz_per_row` is zero.
 pub fn banded_fem(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr {
-    assert!(rows > 0 && nnz_per_row > 0, "rows and nnz_per_row must be nonzero");
+    assert!(
+        rows > 0 && nnz_per_row > 0,
+        "rows and nnz_per_row must be nonzero"
+    );
     let mut r = rng(seed);
     // The band must hold at least nnz_per_row distinct columns, otherwise
     // heavily scaled-down instances collapse under deduplication.
@@ -127,7 +132,7 @@ pub fn banded_fem(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) 
         let quota = nnz_per_row.saturating_sub(1).max(1);
         let runs = quota.div_ceil(3);
         for _ in 0..runs {
-            let center = i as i64 + r.gen_range(-bw..=bw);
+            let center = i as i64 + r.gen_i64(-bw, bw);
             for d in 0..3 {
                 let c = clamp_col(center + d, rows);
                 if c as usize != i {
@@ -160,21 +165,21 @@ pub fn circuit(
     assert!((0.0..=1.0).contains(&far_frac), "far_frac must be in [0,1]");
     let mut r = rng(seed);
     let hub_cols: Vec<u32> = (0..hubs.max(1))
-        .map(|_| r.gen_range(0..rows) as u32)
+        .map(|_| r.gen_usize(0, rows) as u32)
         .collect();
     let w = local_window.max(1) as i64;
     let mut coo = Coo::new(rows, rows);
     for i in 0..rows {
         coo.push(i as u32, i as u32, 2.0 + val(&mut r));
-        let extra = r.gen_range(1..=(2 * nnz_per_row).saturating_sub(1).max(1));
+        let extra = r.gen_usize(1, (2 * nnz_per_row).saturating_sub(1).max(1) + 1);
         for _ in 0..extra {
-            let roll: f64 = r.gen();
+            let roll: f64 = r.gen_f64();
             let c = if roll < 0.05 {
-                hub_cols[r.gen_range(0..hub_cols.len())]
+                hub_cols[r.gen_usize(0, hub_cols.len())]
             } else if roll < 0.05 + far_frac {
-                r.gen_range(0..rows) as u32
+                r.gen_usize(0, rows) as u32
             } else {
-                clamp_col(i as i64 + r.gen_range(-w..=w), rows)
+                clamp_col(i as i64 + r.gen_i64(-w, w), rows)
             };
             if c as usize != i {
                 coo.push(i as u32, c, -val(&mut r));
@@ -194,14 +199,17 @@ pub fn circuit(
 ///
 /// Panics if `rows` or `nnz_per_row` is zero.
 pub fn mesh(rows: usize, nnz_per_row: usize, window: usize, seed: u64) -> Csr {
-    assert!(rows > 0 && nnz_per_row > 0, "rows and nnz_per_row must be nonzero");
+    assert!(
+        rows > 0 && nnz_per_row > 0,
+        "rows and nnz_per_row must be nonzero"
+    );
     let mut r = rng(seed);
     let w = window.max(1).max(nnz_per_row) as i64;
     let mut coo = Coo::new(rows, rows);
     for i in 0..rows {
         coo.push(i as u32, i as u32, 4.0 + val(&mut r));
         for _ in 0..nnz_per_row.saturating_sub(1) {
-            let c = clamp_col(i as i64 + r.gen_range(-w..=w), rows);
+            let c = clamp_col(i as i64 + r.gen_i64(-w, w), rows);
             if c as usize != i {
                 coo.push(i as u32, c, -val(&mut r));
             }
@@ -250,7 +258,7 @@ pub fn kkt(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr 
         coo.push(i as u32, i as u32, 4.0 + val(&mut r));
         // Local (H or A-row) band.
         for _ in 0..per_block {
-            let c = clamp_col(i as i64 + r.gen_range(-bw..=bw), rows);
+            let c = clamp_col(i as i64 + r.gen_i64(-bw, bw), rows);
             if c as usize != i {
                 coo.push(i as u32, c, -val(&mut r));
             }
@@ -258,7 +266,7 @@ pub fn kkt(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr 
         // Coupling band: mirror position in the other half.
         let partner = if i < half { i + half } else { i - half } as i64;
         for _ in 0..per_block {
-            let c = clamp_col(partner + r.gen_range(-bw..=bw), rows);
+            let c = clamp_col(partner + r.gen_i64(-bw, bw), rows);
             if c as usize != i {
                 coo.push(i as u32, c, val(&mut r));
             }
@@ -282,7 +290,7 @@ pub fn random_uniform(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -
     let mut coo = Coo::new(rows, cols);
     for i in 0..rows {
         for _ in 0..nnz_per_row {
-            let c = r.gen_range(0..cols) as u32;
+            let c = r.gen_usize(0, cols) as u32;
             coo.push(i as u32, c, val(&mut r));
         }
     }

@@ -118,11 +118,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MmError> {
         "real" => MmField::Real,
         "integer" => MmField::Integer,
         "pattern" => MmField::Pattern,
-        other => {
-            return Err(MmError::BadHeader(format!(
-                "unsupported field `{other}`"
-            )))
-        }
+        other => return Err(MmError::BadHeader(format!("unsupported field `{other}`"))),
     };
     let symmetry = match tokens[4] {
         "general" => MmSymmetry::General,

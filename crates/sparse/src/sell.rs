@@ -260,7 +260,7 @@ mod tests {
         assert_eq!(sell.slice_width(0), 2);
         assert_eq!(sell.slice_width(1), 3);
         assert_eq!(sell.slice_width(2), 1);
-        assert_eq!(sell.padded_len(), 2 * 2 + 3 * 2 + 1 * 2);
+        assert_eq!(sell.padded_len(), 2 * 2 + 3 * 2 + 2);
         assert_eq!(sell.nnz(), 7);
     }
 
@@ -276,14 +276,8 @@ mod tests {
 
     #[test]
     fn padding_ratio_one_for_uniform_rows() {
-        let csr = Csr::from_parts(
-            4,
-            4,
-            vec![0, 1, 2, 3, 4],
-            vec![0, 1, 2, 3],
-            vec![1.0; 4],
-        )
-        .unwrap();
+        let csr =
+            Csr::from_parts(4, 4, vec![0, 1, 2, 3, 4], vec![0, 1, 2, 3], vec![1.0; 4]).unwrap();
         let sell = Sell::from_csr(&csr, 2);
         assert!((sell.padding_ratio() - 1.0).abs() < 1e-12);
     }

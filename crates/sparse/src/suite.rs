@@ -88,12 +88,9 @@ impl MatrixSpec {
     pub fn build(&self, scale: f64) -> Csr {
         assert!(scale > 0.0, "scale must be positive");
         let rows = self.scaled_rows(scale);
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
+        let seed = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
         let scale_len = |x: usize| ((x as f64 * scale) as usize).max(8);
         match self.class {
             GenClass::FemBanded { bandwidth } => {
@@ -116,9 +113,7 @@ impl MatrixSpec {
                 gen::grid5(side, side)
             }
             GenClass::DenseBlocks { block } => gen::dense_blocks(rows, block, seed),
-            GenClass::Mesh { window } => {
-                gen::mesh(rows, self.nnz_per_row, scale_len(window), seed)
-            }
+            GenClass::Mesh { window } => gen::mesh(rows, self.nnz_per_row, scale_len(window), seed),
             GenClass::Kkt { bandwidth } => {
                 gen::kkt(rows, self.nnz_per_row, scale_len(bandwidth), seed)
             }
@@ -141,26 +136,134 @@ impl MatrixSpec {
 pub fn suite() -> Vec<MatrixSpec> {
     use GenClass::*;
     vec![
-        MatrixSpec { name: "af_shell10", rows: 1_508_065, nnz_per_row: 35, class: FemBanded { bandwidth: 700 } },
-        MatrixSpec { name: "adaptive", rows: 6_815_744, nnz_per_row: 4, class: Grid2d },
-        MatrixSpec { name: "BenElechi1", rows: 245_874, nnz_per_row: 54, class: FemBanded { bandwidth: 2200 } },
-        MatrixSpec { name: "bone010", rows: 986_703, nnz_per_row: 49, class: FemBanded { bandwidth: 9000 } },
-        MatrixSpec { name: "circuit5M_dc", rows: 3_523_317, nnz_per_row: 4, class: Circuit { window: 32, far_frac: 0.10, hubs_per_m: 40 } },
-        MatrixSpec { name: "HPCG", rows: 1_124_864, nnz_per_row: 27, class: Stencil27 },
-        MatrixSpec { name: "nlpkkt120", rows: 3_542_400, nnz_per_row: 27, class: Kkt { bandwidth: 400 } },
-        MatrixSpec { name: "pwtk", rows: 217_918, nnz_per_row: 53, class: FemBanded { bandwidth: 1000 } },
-        MatrixSpec { name: "Dubcova1", rows: 16_129, nnz_per_row: 16, class: Mesh { window: 300 } },
-        MatrixSpec { name: "exdata_1", rows: 6_001, nnz_per_row: 378, class: DenseBlocks { block: 380 } },
-        MatrixSpec { name: "F1", rows: 343_791, nnz_per_row: 78, class: FemBanded { bandwidth: 5000 } },
-        MatrixSpec { name: "fv1", rows: 9_604, nnz_per_row: 9, class: Mesh { window: 200 } },
-        MatrixSpec { name: "G3_circuit", rows: 1_585_478, nnz_per_row: 5, class: Circuit { window: 64, far_frac: 0.05, hubs_per_m: 30 } },
-        MatrixSpec { name: "hood", rows: 220_542, nnz_per_row: 45, class: FemBanded { bandwidth: 1500 } },
-        MatrixSpec { name: "msc01440", rows: 1_440, nnz_per_row: 31, class: FemBanded { bandwidth: 120 } },
-        MatrixSpec { name: "msc10848", rows: 10_848, nnz_per_row: 113, class: FemBanded { bandwidth: 800 } },
-        MatrixSpec { name: "Na5", rows: 5_832, nnz_per_row: 52, class: FemBanded { bandwidth: 400 } },
-        MatrixSpec { name: "nasa4704", rows: 4_704, nnz_per_row: 22, class: FemBanded { bandwidth: 300 } },
-        MatrixSpec { name: "s2rmq4m1", rows: 5_489, nnz_per_row: 48, class: FemBanded { bandwidth: 200 } },
-        MatrixSpec { name: "thermal2", rows: 1_228_045, nnz_per_row: 7, class: Mesh { window: 1000 } },
+        MatrixSpec {
+            name: "af_shell10",
+            rows: 1_508_065,
+            nnz_per_row: 35,
+            class: FemBanded { bandwidth: 700 },
+        },
+        MatrixSpec {
+            name: "adaptive",
+            rows: 6_815_744,
+            nnz_per_row: 4,
+            class: Grid2d,
+        },
+        MatrixSpec {
+            name: "BenElechi1",
+            rows: 245_874,
+            nnz_per_row: 54,
+            class: FemBanded { bandwidth: 2200 },
+        },
+        MatrixSpec {
+            name: "bone010",
+            rows: 986_703,
+            nnz_per_row: 49,
+            class: FemBanded { bandwidth: 9000 },
+        },
+        MatrixSpec {
+            name: "circuit5M_dc",
+            rows: 3_523_317,
+            nnz_per_row: 4,
+            class: Circuit {
+                window: 32,
+                far_frac: 0.10,
+                hubs_per_m: 40,
+            },
+        },
+        MatrixSpec {
+            name: "HPCG",
+            rows: 1_124_864,
+            nnz_per_row: 27,
+            class: Stencil27,
+        },
+        MatrixSpec {
+            name: "nlpkkt120",
+            rows: 3_542_400,
+            nnz_per_row: 27,
+            class: Kkt { bandwidth: 400 },
+        },
+        MatrixSpec {
+            name: "pwtk",
+            rows: 217_918,
+            nnz_per_row: 53,
+            class: FemBanded { bandwidth: 1000 },
+        },
+        MatrixSpec {
+            name: "Dubcova1",
+            rows: 16_129,
+            nnz_per_row: 16,
+            class: Mesh { window: 300 },
+        },
+        MatrixSpec {
+            name: "exdata_1",
+            rows: 6_001,
+            nnz_per_row: 378,
+            class: DenseBlocks { block: 380 },
+        },
+        MatrixSpec {
+            name: "F1",
+            rows: 343_791,
+            nnz_per_row: 78,
+            class: FemBanded { bandwidth: 5000 },
+        },
+        MatrixSpec {
+            name: "fv1",
+            rows: 9_604,
+            nnz_per_row: 9,
+            class: Mesh { window: 200 },
+        },
+        MatrixSpec {
+            name: "G3_circuit",
+            rows: 1_585_478,
+            nnz_per_row: 5,
+            class: Circuit {
+                window: 64,
+                far_frac: 0.05,
+                hubs_per_m: 30,
+            },
+        },
+        MatrixSpec {
+            name: "hood",
+            rows: 220_542,
+            nnz_per_row: 45,
+            class: FemBanded { bandwidth: 1500 },
+        },
+        MatrixSpec {
+            name: "msc01440",
+            rows: 1_440,
+            nnz_per_row: 31,
+            class: FemBanded { bandwidth: 120 },
+        },
+        MatrixSpec {
+            name: "msc10848",
+            rows: 10_848,
+            nnz_per_row: 113,
+            class: FemBanded { bandwidth: 800 },
+        },
+        MatrixSpec {
+            name: "Na5",
+            rows: 5_832,
+            nnz_per_row: 52,
+            class: FemBanded { bandwidth: 400 },
+        },
+        MatrixSpec {
+            name: "nasa4704",
+            rows: 4_704,
+            nnz_per_row: 22,
+            class: FemBanded { bandwidth: 300 },
+        },
+        MatrixSpec {
+            name: "s2rmq4m1",
+            rows: 5_489,
+            nnz_per_row: 48,
+            class: FemBanded { bandwidth: 200 },
+        },
+        MatrixSpec {
+            name: "thermal2",
+            rows: 1_228_045,
+            nnz_per_row: 7,
+            class: Mesh { window: 1000 },
+        },
     ]
 }
 

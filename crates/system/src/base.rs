@@ -10,7 +10,7 @@
 //! and value lines, then issue gathers at the VLSU's indexed-load rate,
 //! then accumulate.
 
-use nmpic_mem::{ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest, BLOCK_BYTES};
+use nmpic_mem::{BackendConfig, ChannelPort, Memory, WideRequest, BLOCK_BYTES};
 use nmpic_sparse::Csr;
 
 use crate::cache::{Cache, CacheConfig};
@@ -39,8 +39,8 @@ pub struct BaseConfig {
     /// Fixed cycles per matrix row for the coupled scalar work: row
     /// pointer reads, `vsetvl`, and the row reduction.
     pub row_overhead_cycles: u64,
-    /// DRAM channel configuration.
-    pub hbm: HbmConfig,
+    /// Memory backend (defaults to the paper's single HBM2 channel).
+    pub backend: BackendConfig,
 }
 
 impl Default for BaseConfig {
@@ -54,7 +54,7 @@ impl Default for BaseConfig {
             chunk: 32,
             macs_per_cycle: 16,
             row_overhead_cycles: 16,
-            hbm: HbmConfig::default(),
+            backend: BackendConfig::hbm(),
         }
     }
 }
@@ -91,15 +91,38 @@ enum GatherState {
 /// assert!(r.cycles > 0);
 /// ```
 pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
+    let mut chan = cfg.backend.build(Memory::new(base_memory_size(csr)));
+    run_base_spmv_on(&mut *chan, csr, cfg)
+}
+
+/// Memory footprint needed by [`run_base_spmv_on`] for a matrix (all five
+/// arrays plus slack), rounded to a power of two.
+pub fn base_memory_size(csr: &Csr) -> usize {
+    let need = 4 * (csr.rows() as u64 + 1)
+        + 12 * csr.nnz() as u64
+        + 8 * (csr.cols() + csr.rows()) as u64
+        + 8192;
+    (need.next_multiple_of(BLOCK_BYTES as u64) as usize).next_power_of_two()
+}
+
+/// Generic-backend variant of [`run_base_spmv`]: runs the baseline system
+/// against any [`ChannelPort`] built by [`nmpic_mem::build_backend`]. The
+/// channel's backing memory must be at least [`base_memory_size`] bytes
+/// and is laid out by this function.
+///
+/// # Panics
+///
+/// Panics on an empty matrix, an undersized channel memory, or a
+/// cycle-budget overrun (model deadlock).
+pub fn run_base_spmv_on(chan: &mut dyn ChannelPort, csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
     assert!(csr.nnz() > 0, "empty matrix");
     let nnz = csr.nnz();
     let rows = csr.rows();
     let cols = csr.cols();
+    let data_bytes_before = chan.data_bytes();
 
     // DRAM layout.
-    let need = 4 * (rows as u64 + 1) + 12 * nnz as u64 + 8 * (cols + rows) as u64 + 8192;
-    let size = (need.next_multiple_of(BLOCK_BYTES as u64) as usize).next_power_of_two();
-    let mut mem = Memory::new(size);
+    let mem = chan.memory_mut();
     let ptr_base = mem.alloc_array(rows as u64 + 1, 4);
     let idx_base = mem.alloc_array(nnz as u64, 4);
     let val_base = mem.alloc_array(nnz as u64, 8);
@@ -111,7 +134,6 @@ pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
     let x: Vec<f64> = (0..cols).map(golden_x).collect();
     mem.write_f64_slice(vec_base, &x);
 
-    let mut chan = HbmChannel::new(cfg.hbm.clone(), mem);
     let mut llc = Cache::new(cfg.llc);
 
     let mut now: u64 = 0;
@@ -140,7 +162,12 @@ pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
             push_line(&mut fetch, &mut llc, val_base + 8 * k as u64, false);
         }
         // Row pointers consumed as rows advance (cheap, sequential).
-        push_line(&mut fetch, &mut llc, ptr_base + 4 * rows_retired as u64, true);
+        push_line(
+            &mut fetch,
+            &mut llc,
+            ptr_base + 4 * rows_retired as u64,
+            true,
+        );
 
         let mut idx_done_at = now;
         let mut to_issue = fetch.clone();
@@ -158,7 +185,7 @@ pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
                     Err(_) => break,
                 }
             }
-            drain_writes(&mut chan, &mut pending_writes, now);
+            drain_writes(chan, &mut pending_writes, now);
             chan.tick(now);
             while let Some(resp) = chan.pop_response(now) {
                 llc.fill(resp.addr);
@@ -210,7 +237,7 @@ pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
                 }
                 // else: stall this cycle (MSHRs or controller queue full).
             }
-            drain_writes(&mut chan, &mut pending_writes, now);
+            drain_writes(chan, &mut pending_writes, now);
             chan.tick(now);
             while let Some(resp) = chan.pop_response(now) {
                 llc.fill(resp.addr);
@@ -254,7 +281,7 @@ pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
 
     // Drain result writes.
     while !pending_writes.is_empty() || !chan.is_idle() {
-        drain_writes(&mut chan, &mut pending_writes, now);
+        drain_writes(chan, &mut pending_writes, now);
         chan.tick(now);
         while chan.pop_response(now).is_some() {}
         now += 1;
@@ -266,23 +293,20 @@ pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
     let y = csr.spmv(&x);
     let verified = y.len() == rows;
 
-    let ideal = 4 * (rows as u64 + 1)
-        + 12 * nnz as u64
-        + 8 * cols as u64
-        + 8 * rows as u64;
+    let ideal = 4 * (rows as u64 + 1) + 12 * nnz as u64 + 8 * cols as u64 + 8 * rows as u64;
     SpmvReport {
         label: "base".to_string(),
         cycles: now,
         indir_cycles,
         nnz: nnz as u64,
         entries: nnz as u64,
-        offchip_bytes: chan.data_bytes(),
+        offchip_bytes: chan.data_bytes() - data_bytes_before,
         ideal_bytes: ideal,
         verified,
     }
 }
 
-fn drain_writes(chan: &mut HbmChannel, pending: &mut Vec<WideRequest>, now: u64) {
+fn drain_writes(chan: &mut dyn ChannelPort, pending: &mut Vec<WideRequest>, now: u64) {
     if let Some(req) = pending.first() {
         if chan.try_request(now, req.clone()).is_ok() {
             pending.remove(0);

@@ -84,7 +84,7 @@ impl Cache {
             stamps: vec![vec![0; cfg.ways]; cfg.sets()],
             tick: 0,
             cfg,
-        stats: CacheStats::default(),
+            stats: CacheStats::default(),
         }
     }
 
@@ -203,10 +203,7 @@ mod tests {
         c.fill(0);
         c.fill(128);
         c.fill(256); // set 0 full: 2 distinct of {0,128,256}
-        let present = [0u64, 128, 256]
-            .iter()
-            .filter(|&&a| c.contains(a))
-            .count();
+        let present = [0u64, 128, 256].iter().filter(|&&a| c.contains(a)).count();
         assert_eq!(present, 2);
     }
 

@@ -38,7 +38,7 @@ mod cache;
 mod pack;
 mod report;
 
-pub use base::{run_base_spmv, BaseConfig};
+pub use base::{base_memory_size, run_base_spmv, run_base_spmv_on, BaseConfig};
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use pack::{pack_label, run_pack_spmv, PackConfig};
+pub use pack::{pack_label, pack_memory_size, run_pack_spmv, run_pack_spmv_on, PackConfig};
 pub use report::{golden_x, results_match, SpmvReport};

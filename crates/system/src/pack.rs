@@ -16,7 +16,7 @@
 
 use nmpic_axi::{ElemSize, PackRequest, Unpacker};
 use nmpic_core::{AdapterConfig, IndirectStreamUnit};
-use nmpic_mem::{ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest, BLOCK_BYTES};
+use nmpic_mem::{BackendConfig, ChannelPort, Memory, WideRequest, BLOCK_BYTES};
 use nmpic_sparse::Sell;
 
 use crate::report::{golden_x, results_match, SpmvReport};
@@ -34,8 +34,8 @@ pub struct PackConfig {
     /// lanes the 512 b L2 port feeds two 64 b operand streams at 8
     /// elements/cycle combined → 4 MACs/cycle sustained.
     pub compute_elems_per_cycle: f64,
-    /// DRAM channel configuration.
-    pub hbm: HbmConfig,
+    /// Memory backend (defaults to the paper's single HBM2 channel).
+    pub backend: BackendConfig,
 }
 
 impl PackConfig {
@@ -45,7 +45,7 @@ impl PackConfig {
             adapter,
             l2_bytes: 384 * 1024,
             compute_elems_per_cycle: 4.0,
-            hbm: HbmConfig::default(),
+            backend: BackendConfig::hbm(),
         }
     }
 
@@ -88,16 +88,39 @@ enum Stage {
 /// assert!(r.verified, "simulated result must match the golden SpMV");
 /// ```
 pub fn run_pack_spmv(sell: &Sell, cfg: &PackConfig) -> SpmvReport {
+    let mut chan = cfg.backend.build(Memory::new(pack_memory_size(sell)));
+    run_pack_spmv_on(&mut *chan, sell, cfg)
+}
+
+/// Memory footprint needed by [`run_pack_spmv_on`] for a matrix (the six
+/// logical arrays' home locations plus slack), rounded to a power of two.
+pub fn pack_memory_size(sell: &Sell) -> usize {
+    let need = 4 * sell.slice_ptr().len() as u64
+        + 12 * sell.padded_len() as u64
+        + 8 * (sell.cols() + sell.rows()) as u64
+        + 16384;
+    (need.next_multiple_of(BLOCK_BYTES as u64) as usize).next_power_of_two()
+}
+
+/// Generic-backend variant of [`run_pack_spmv`]: runs the pack system
+/// against any [`ChannelPort`] built by [`nmpic_mem::build_backend`]. The
+/// channel's backing memory must be at least [`pack_memory_size`] bytes
+/// and is laid out by this function.
+///
+/// # Panics
+///
+/// Panics on an empty matrix, an undersized channel memory, or a
+/// cycle-budget overrun (model deadlock).
+pub fn run_pack_spmv_on(chan: &mut dyn ChannelPort, sell: &Sell, cfg: &PackConfig) -> SpmvReport {
     assert!(sell.padded_len() > 0, "empty matrix");
     let entries = sell.padded_len();
     let rows = sell.rows();
     let cols = sell.cols();
     let n_ptr = sell.slice_ptr().len();
+    let data_bytes_before = chan.data_bytes();
 
     // DRAM layout: the six logical arrays' home locations.
-    let need = 4 * n_ptr as u64 + 12 * entries as u64 + 8 * (cols + rows) as u64 + 16384;
-    let size = (need.next_multiple_of(BLOCK_BYTES as u64) as usize).next_power_of_two();
-    let mut mem = Memory::new(size);
+    let mem = chan.memory_mut();
     let ptr_base = mem.alloc_array(n_ptr as u64, 4);
     let idx_base = mem.alloc_array(entries as u64, 4);
     let val_base = mem.alloc_array(entries as u64, 8);
@@ -112,7 +135,6 @@ pub fn run_pack_spmv(sell: &Sell, cfg: &PackConfig) -> SpmvReport {
     // Row of each padded stream position, for software accumulation.
     let row_of_pos = row_map(sell);
 
-    let mut chan = HbmChannel::new(cfg.hbm.clone(), mem);
     let mut unit = IndirectStreamUnit::new(cfg.adapter.clone());
 
     let tile_entries = cfg.tile_entries().max(64);
@@ -196,7 +218,7 @@ pub fn run_pack_spmv(sell: &Sell, cfg: &PackConfig) -> SpmvReport {
             }
         }
 
-        unit.tick(now, &mut chan);
+        unit.tick(now, chan);
         while let Some(beat) = unit.pop_beat() {
             match stage {
                 Stage::Ptr => { /* slice pointers: control only */ }
@@ -256,24 +278,24 @@ pub fn run_pack_spmv(sell: &Sell, cfg: &PackConfig) -> SpmvReport {
 
         chan.tick(now);
         now += 1;
-        assert!(now < budget, "pack system deadlock at tile {computed_tiles}/{n_tiles}");
+        assert!(
+            now < budget,
+            "pack system deadlock at tile {computed_tiles}/{n_tiles}"
+        );
     }
 
     // Golden verification of the full datapath.
     let want = sell.spmv(&x);
     let verified = results_match(&y, &want);
 
-    let ideal = 4 * n_ptr as u64
-        + 12 * entries as u64
-        + 8 * cols as u64
-        + 8 * rows as u64;
+    let ideal = 4 * n_ptr as u64 + 12 * entries as u64 + 8 * cols as u64 + 8 * rows as u64;
     SpmvReport {
         label: pack_label(&cfg.adapter),
         cycles: now,
         indir_cycles,
         nnz: sell.nnz() as u64,
         entries: entries as u64,
-        offchip_bytes: chan.data_bytes(),
+        offchip_bytes: chan.data_bytes() - data_bytes_before,
         ideal_bytes: ideal,
         verified,
     }

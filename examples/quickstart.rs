@@ -33,11 +33,7 @@ fn main() {
         println!(
             "{:8}  {:6.2} GB/s effective indirect bandwidth, coalesce rate {:4.2}, \
              {} wide element reads for {} elements",
-            r.variant,
-            r.indir_gbps,
-            r.coalesce_rate,
-            r.adapter.elem_wide_reads,
-            r.elements
+            r.variant, r.indir_gbps, r.coalesce_rate, r.adapter.elem_wide_reads, r.elements
         );
     }
     println!("\nThe 256-entry parallel window turns ~one DRAM access per element");

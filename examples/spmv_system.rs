@@ -11,10 +11,7 @@ use nmpic::system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "pwtk".to_string());
-    let max_nnz: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120_000);
+    let max_nnz: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120_000);
 
     let Some(spec) = by_name(&name) else {
         eprintln!("unknown matrix `{name}`; available:");

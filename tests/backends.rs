@@ -1,0 +1,179 @@
+//! Cross-backend end-to-end tests: every memory backend built by the
+//! `nmpic_mem::build_backend` factory must drive the full adapter stack
+//! to byte-identical gathered data, and the SpMV systems must verify on
+//! every backend.
+
+use nmpic::axi::{ElemSize, PackRequest, Unpacker};
+use nmpic::core::{
+    run_indirect_stream, stream_memory_size, AdapterConfig, IndirectStreamUnit, StreamOptions,
+};
+use nmpic::mem::{build_backend, BackendConfig, BackendKind, ChannelPort, Memory};
+use nmpic::sparse::{by_name, Sell};
+use nmpic::system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
+
+/// Every backend kind the factory can produce, including the acceptance
+/// sweep `Interleaved {2, 4, 8}`.
+fn all_backends() -> Vec<BackendConfig> {
+    vec![
+        BackendConfig::ideal(),
+        BackendConfig::hbm(),
+        BackendConfig::interleaved(2),
+        BackendConfig::interleaved(4),
+        BackendConfig::interleaved(8),
+    ]
+}
+
+/// Drives one full indirect gather against a factory-built backend and
+/// returns the gathered element stream.
+fn gather_on(
+    backend: &BackendConfig,
+    cfg: &AdapterConfig,
+    indices: &[u32],
+    vec_len: usize,
+) -> Vec<u64> {
+    let mut chan = build_backend(
+        backend,
+        Memory::new(stream_memory_size(indices.len(), vec_len)),
+    );
+    let mem = chan.memory_mut();
+    let idx_base = mem.alloc_array(indices.len() as u64, 4);
+    let elem_base = mem.alloc_array(vec_len as u64, 8);
+    mem.write_u32_slice(idx_base, indices);
+    for i in 0..vec_len as u64 {
+        mem.write_u64(
+            elem_base + 8 * i,
+            i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xBEEF,
+        );
+    }
+
+    let mut unit = IndirectStreamUnit::new(cfg.clone());
+    unit.begin(PackRequest::Indirect {
+        idx_base,
+        idx_size: ElemSize::B4,
+        count: indices.len() as u64,
+        elem_base,
+        elem_size: ElemSize::B8,
+    })
+    .expect("fresh unit");
+    let mut got = Unpacker::new(ElemSize::B8);
+    let mut out = Vec::with_capacity(indices.len());
+    let mut now = 0u64;
+    while !unit.is_done() {
+        unit.tick(now, &mut *chan);
+        chan.tick(now);
+        while let Some(beat) = unit.pop_beat() {
+            got.push_beat(&beat);
+            out.extend(got.drain());
+        }
+        now += 1;
+        assert!(
+            now < 200_000 + indices.len() as u64 * 300,
+            "deadlock on {}",
+            backend.label()
+        );
+    }
+    out.extend(got.drain());
+    out
+}
+
+/// The acceptance property: `IdealChannel`, `HbmChannel` and
+/// `Interleaved{2,4,8}` all run behind the same factory, and the gathered
+/// data is byte-identical across every backend.
+#[test]
+fn gather_is_byte_identical_across_backends() {
+    let spec = by_name("G3_circuit").expect("suite matrix");
+    let csr = spec.build_capped(5_000);
+    let sell = Sell::from_csr_default(&csr);
+    let indices = sell.col_idx();
+    for adapter in [AdapterConfig::mlp(64), AdapterConfig::mlp_nc()] {
+        let reference = gather_on(&BackendConfig::hbm(), &adapter, indices, csr.cols());
+        assert_eq!(reference.len(), indices.len());
+        for backend in all_backends() {
+            let got = gather_on(&backend, &adapter, indices, csr.cols());
+            assert_eq!(
+                got,
+                reference,
+                "{} gather differs on {}",
+                adapter.variant_name(),
+                backend.label()
+            );
+        }
+    }
+}
+
+/// The stream harness verifies against its golden model on every backend
+/// and reports DRAM stats only where DRAM exists.
+#[test]
+fn stream_harness_runs_on_every_backend() {
+    let indices: Vec<u32> = (0..1500u32).map(|k| (k * 37) % 700).collect();
+    for backend in all_backends() {
+        let kind = backend.kind;
+        let opts = StreamOptions {
+            backend,
+            ..StreamOptions::default()
+        };
+        let r = run_indirect_stream(&AdapterConfig::mlp(256), &indices, 700, &opts);
+        assert!(r.verified, "{kind}");
+        assert_eq!(r.elements, indices.len() as u64, "{kind}");
+        assert!(r.indir_gbps > 0.0, "{kind}");
+        if kind == BackendKind::Ideal {
+            assert_eq!(r.row_hit_rate, 0.0, "ideal channel models no rows");
+        } else {
+            assert!(r.row_hit_rate > 0.0, "{kind} should see row hits");
+        }
+    }
+}
+
+/// Both SpMV system models run and verify end to end on every backend.
+#[test]
+fn spmv_systems_verify_on_every_backend() {
+    let spec = by_name("HPCG").expect("suite matrix");
+    let csr = spec.build_capped(6_000);
+    let sell = Sell::from_csr_default(&csr);
+    for backend in all_backends() {
+        let label = backend.label();
+        let base = run_base_spmv(
+            &csr,
+            &BaseConfig {
+                backend: backend.clone(),
+                ..BaseConfig::default()
+            },
+        );
+        assert!(base.verified, "base on {label}");
+        let pack = run_pack_spmv(
+            &sell,
+            &PackConfig {
+                backend: backend.clone(),
+                ..PackConfig::with_adapter(AdapterConfig::mlp(256))
+            },
+        );
+        assert!(pack.verified, "pack on {label}");
+        assert!(pack.cycles > 0 && base.cycles > 0);
+    }
+}
+
+/// More channels never slow the pack system down (same matrix, same
+/// adapter, wider memory).
+#[test]
+fn pack_spmv_benefits_from_channels() {
+    let spec = by_name("af_shell10").expect("suite matrix");
+    let sell = Sell::from_csr_default(&spec.build_capped(12_000));
+    let run = |backend: BackendConfig| {
+        run_pack_spmv(
+            &sell,
+            &PackConfig {
+                backend,
+                ..PackConfig::with_adapter(AdapterConfig::mlp_nc())
+            },
+        )
+    };
+    let one = run(BackendConfig::hbm());
+    let four = run(BackendConfig::interleaved(4));
+    assert!(one.verified && four.verified);
+    assert!(
+        four.cycles < one.cycles,
+        "pack0 is DRAM-bound, 4 channels must help: {} vs {}",
+        four.cycles,
+        one.cycles
+    );
+}

@@ -66,7 +66,10 @@ fn mlpnc_element_fetch_dominates() {
     let opts = StreamOptions::default();
     let r = run_indirect_stream(&AdapterConfig::mlp_nc(), sell.col_idx(), csr.cols(), &opts);
     assert!(r.elem_gbps > 5.0 * r.index_gbps);
-    assert!((r.coalesce_rate - 0.125).abs() < 1e-9, "8 B per 64 B access");
+    assert!(
+        (r.coalesce_rate - 0.125).abs() < 1e-9,
+        "8 B per 64 B access"
+    );
 }
 
 /// Fig. 4 claim: the coalesce rate grows monotonically with the window.
@@ -98,7 +101,11 @@ fn spmv_speedup_ordering() {
     let s256 = p256.speedup_over(&base);
     assert!(s0 > 1.2, "pack0 speedup {s0:.2} (paper ~2.7x)");
     assert!(s256 > 4.0, "pack256 speedup {s256:.2} (paper ~10x)");
-    assert!(s256 / s0 > 2.0, "coalescer gain {:.2} (paper ~3x)", s256 / s0);
+    assert!(
+        s256 / s0 > 2.0,
+        "coalescer gain {:.2} (paper ~3x)",
+        s256 / s0
+    );
 }
 
 /// Fig. 5b claim: pack0 wastes multiples of the ideal traffic; the
@@ -120,7 +127,11 @@ fn traffic_and_utilization_shape() {
 /// Fig. 6a claim: reported kGE and mm² match the paper's implementation.
 #[test]
 fn area_model_matches_paper() {
-    for (w, kge, mm2) in [(64usize, 307.0, 0.19), (128, 617.0, 0.26), (256, 1035.0, 0.34)] {
+    for (w, kge, mm2) in [
+        (64usize, 307.0, 0.19),
+        (128, 617.0, 0.26),
+        (256, 1035.0, 0.34),
+    ] {
         let a = adapter_area(&AdapterConfig::mlp(w));
         assert!((a.coal_kge - kge).abs() < 10.0);
         assert!((a.area_mm2() - mm2).abs() < 0.012);

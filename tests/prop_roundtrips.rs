@@ -1,105 +1,115 @@
-//! Property-based tests over the core invariants: format equivalence,
-//! file-format roundtrips, and adapter gather correctness on arbitrary
-//! index streams.
-
-use proptest::prelude::*;
+//! Property-style tests over the core invariants: format equivalence,
+//! file-format roundtrips, and adapter gather/scatter correctness on
+//! arbitrary index streams.
+//!
+//! These are hand-rolled property tests driven by the deterministic
+//! [`SimRng`] generator (the workspace deliberately has no external
+//! dependencies, so proptest is not available). Each property runs a
+//! fixed number of seeded cases; failures print the seed so a case can be
+//! replayed exactly.
 
 use nmpic::core::{run_indirect_stream, AdapterConfig, StreamOptions};
+use nmpic::sim::SimRng;
 use nmpic::sparse::{read_matrix_market, write_matrix_market, Coo, Csr, Sell};
 
-/// Strategy: a small random sparse matrix as (rows, cols, entries).
-fn arb_matrix() -> impl Strategy<Value = Csr> {
-    (2usize..40, 2usize..40)
-        .prop_flat_map(|(rows, cols)| {
-            let entry = (0..rows as u32, 0..cols as u32, -100i32..100);
-            (
-                Just(rows),
-                Just(cols),
-                proptest::collection::vec(entry, 0..120),
-            )
-        })
-        .prop_map(|(rows, cols, entries)| {
-            let mut coo = Coo::new(rows, cols);
-            for (r, c, v) in entries {
-                coo.push(r, c, v as f64 * 0.25);
-            }
-            coo.to_csr()
-        })
+/// A small random sparse matrix with `0..120` entries.
+fn arb_matrix(rng: &mut SimRng) -> Csr {
+    let rows = rng.gen_u64(2, 40) as usize;
+    let cols = rng.gen_u64(2, 40) as usize;
+    let n = rng.gen_u64(0, 120) as usize;
+    let mut coo = Coo::new(rows, cols);
+    for _ in 0..n {
+        let r = rng.gen_u64(0, rows as u64) as u32;
+        let c = rng.gen_u64(0, cols as u64) as u32;
+        let v = rng.gen_u64(0, 200) as i64 - 100;
+        coo.push(r, c, v as f64 * 0.25);
+    }
+    coo.to_csr()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SELL SpMV equals CSR SpMV for every matrix and slice height.
-    #[test]
-    fn sell_equals_csr_spmv(csr in arb_matrix(), height in 1usize..40) {
+/// SELL SpMV equals CSR SpMV for every matrix and slice height.
+#[test]
+fn sell_equals_csr_spmv() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(seed + 1);
+        let csr = arb_matrix(&mut rng);
+        let height = rng.gen_u64(1, 40) as usize;
         let x: Vec<f64> = (0..csr.cols()).map(|i| (i as f64 * 0.5) - 3.0).collect();
         let sell = Sell::from_csr(&csr, height);
-        prop_assert_eq!(sell.spmv(&x), csr.spmv(&x));
-        prop_assert_eq!(sell.nnz(), csr.nnz());
-        prop_assert!(sell.padded_len() >= csr.nnz());
+        assert_eq!(sell.spmv(&x), csr.spmv(&x), "seed {seed}, height {height}");
+        assert_eq!(sell.nnz(), csr.nnz(), "seed {seed}");
+        assert!(sell.padded_len() >= csr.nnz(), "seed {seed}");
     }
+}
 
-    /// MatrixMarket write → read is the identity on CSR.
-    #[test]
-    fn matrix_market_roundtrip(csr in arb_matrix()) {
+/// MatrixMarket write → read is the identity on CSR.
+#[test]
+fn matrix_market_roundtrip() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(0x1000 + seed);
+        let csr = arb_matrix(&mut rng);
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &csr).expect("write");
         let back = read_matrix_market(buf.as_slice()).expect("read");
-        prop_assert_eq!(back, csr);
+        assert_eq!(back, csr, "seed {seed}");
     }
+}
 
-    /// COO → CSR sums duplicates: total matrix action is preserved.
-    #[test]
-    fn coo_duplicates_sum(
-        rows in 2usize..16,
-        entries in proptest::collection::vec((0u32..16, 0u32..16, -50i32..50), 1..60),
-    ) {
-        let mut coo = Coo::new(rows.max(16), 16);
-        let mut dense = vec![0.0f64; rows.max(16) * 16];
-        for (r, c, v) in &entries {
-            let v = *v as f64;
-            coo.push(*r, *c, v);
-            dense[(*r as usize) * 16 + *c as usize] += v;
+/// COO → CSR sums duplicates: total matrix action is preserved.
+#[test]
+fn coo_duplicates_sum() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(0x2000 + seed);
+        let n = rng.gen_u64(1, 60) as usize;
+        let mut coo = Coo::new(16, 16);
+        let mut dense = vec![0.0f64; 16 * 16];
+        for _ in 0..n {
+            let r = rng.gen_u64(0, 16) as u32;
+            let c = rng.gen_u64(0, 16) as u32;
+            let v = rng.gen_u64(0, 100) as i64 - 50;
+            coo.push(r, c, v as f64);
+            dense[(r as usize) * 16 + c as usize] += v as f64;
         }
         let csr = coo.to_csr();
         let x = vec![1.0; 16];
         let y = csr.spmv(&x);
         for (r, got) in y.iter().enumerate() {
             let want: f64 = dense[r * 16..(r + 1) * 16].iter().sum();
-            prop_assert!((got - want).abs() < 1e-9);
+            assert!((got - want).abs() < 1e-9, "seed {seed}, row {r}");
         }
     }
 }
 
-proptest! {
-    // Cycle-accurate runs are slower: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The adapter delivers exactly the golden gather for arbitrary index
-    /// streams, for every variant family.
-    #[test]
-    fn adapter_gathers_any_stream(
-        indices in proptest::collection::vec(0u32..500, 1..400),
-        which in 0usize..4,
-    ) {
-        let cfg = match which {
+/// The adapter delivers exactly the golden gather for arbitrary index
+/// streams, for every variant family.
+#[test]
+fn adapter_gathers_any_stream() {
+    for seed in 0..12u64 {
+        let mut rng = SimRng::new(0x3000 + seed);
+        let n = rng.gen_u64(1, 400) as usize;
+        let indices: Vec<u32> = (0..n).map(|_| rng.gen_u64(0, 500) as u32).collect();
+        let cfg = match seed % 4 {
             0 => AdapterConfig::mlp_nc(),
             1 => AdapterConfig::mlp(8),
             2 => AdapterConfig::mlp(64),
             _ => AdapterConfig::seq(32),
         };
         let r = run_indirect_stream(&cfg, &indices, 500, &StreamOptions::default());
-        prop_assert!(r.verified, "{} failed on {} indices", cfg.variant_name(), indices.len());
-        prop_assert_eq!(r.elements, indices.len() as u64);
+        assert!(
+            r.verified,
+            "{} failed on {} indices (seed {seed})",
+            cfg.variant_name(),
+            indices.len()
+        );
+        assert_eq!(r.elements, indices.len() as u64, "seed {seed}");
     }
 }
 
 mod scatter_props {
-    use super::*;
     use nmpic::axi::{ElemSize, Packer};
-    use nmpic::core::{ScatterRequest, ScatterUnit};
+    use nmpic::core::{AdapterConfig, ScatterRequest, ScatterUnit};
     use nmpic::mem::{ChannelPort, HbmChannel, HbmConfig, Memory};
+    use nmpic::sim::SimRng;
 
     /// Reference scatter: last writer wins, everything else untouched.
     fn golden_scatter(indices: &[u32], values: &[u64], dst_len: usize) -> Vec<u64> {
@@ -122,7 +132,7 @@ mod scatter_props {
             mem.write_u64(dst + 8 * i, i * 11);
         }
         let mut chan = HbmChannel::new(HbmConfig::default(), mem);
-        let mut unit = ScatterUnit::new(nmpic::core::AdapterConfig::mlp(64));
+        let mut unit = ScatterUnit::new(AdapterConfig::mlp(64));
         unit.begin(ScatterRequest {
             idx_base,
             idx_size: ElemSize::B4,
@@ -164,20 +174,18 @@ mod scatter_props {
             .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(10))]
-
-        /// Scatter through the unit equals the golden last-writer-wins
-        /// semantics for arbitrary index/value streams (with duplicates).
-        #[test]
-        fn scatter_matches_golden(
-            pairs in proptest::collection::vec((0u32..200, 0u64..u64::MAX), 1..300),
-        ) {
-            let indices: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-            let values: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+    /// Scatter through the unit equals the golden last-writer-wins
+    /// semantics for arbitrary index/value streams (with duplicates).
+    #[test]
+    fn scatter_matches_golden() {
+        for seed in 0..10u64 {
+            let mut rng = SimRng::new(0x4000 + seed);
+            let n = rng.gen_u64(1, 300) as usize;
+            let indices: Vec<u32> = (0..n).map(|_| rng.gen_u64(0, 200) as u32).collect();
+            let values: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
             let got = run_scatter(&indices, &values, 200);
             let want = golden_scatter(&indices, &values, 200);
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "seed {seed}");
         }
     }
 }
