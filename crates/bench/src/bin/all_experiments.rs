@@ -14,6 +14,7 @@ fn main() {
         "fig6a",
         "fig6b",
         "scaling_channels",
+        "scaling_units",
     ] {
         println!("==================== {bin} ====================");
         let status = Command::new(dir.join(bin))

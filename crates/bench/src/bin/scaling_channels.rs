@@ -41,4 +41,5 @@ fn main() {
     println!(" arbiter become the bottleneck; MLPnc scales further because it was");
     println!(" DRAM-limited — near-memory parallelism must grow with channel count)");
     table.write_csv("scaling_channels").expect("csv");
+    table.write_json("scaling_channels").expect("json");
 }

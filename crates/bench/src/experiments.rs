@@ -10,7 +10,10 @@ use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions, StreamResult
 use nmpic_mem::{BackendConfig, ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
 use nmpic_model::{adapter_area, AreaBreakdown, EfficiencyPoint};
 use nmpic_sparse::{suite, Csr, Sell, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
-use nmpic_system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig, SpmvReport};
+use nmpic_system::{
+    run_base_spmv, run_pack_spmv, run_sharded_spmv, BaseConfig, PackConfig, PartitionStrategy,
+    ShardedConfig, ShardedReport, SpmvReport,
+};
 
 use crate::runner::parallel_map;
 
@@ -475,6 +478,69 @@ pub fn scaling_channels(opts: &ExperimentOpts) -> Vec<ChannelScalingRow> {
     })
 }
 
+/// One unit-scaling measurement: a sharded multi-unit SpMV run.
+#[derive(Debug, Clone)]
+pub struct UnitScalingRow {
+    /// Number of parallel indexing/coalescing units (K).
+    pub units: usize,
+    /// Adapter variant name.
+    pub variant: String,
+    /// Aggregate peak bandwidth across all units' channel slices, GB/s.
+    pub peak_gbps: f64,
+    /// Full sharded-engine report.
+    pub report: ShardedReport,
+}
+
+/// The unit counts swept by [`scaling_units`].
+pub const SCALING_UNITS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the unit-scaling study: the sharded engine with 1/2/4/8
+/// MLP256 (and MLPnc) units over an 8-channel interleaved HBM stack,
+/// rows partitioned by nonzero count, all points in parallel.
+///
+/// One unit's 512 b upstream port caps delivered indirect bandwidth at
+/// 64 GB/s regardless of channel count; replicating the unit per channel
+/// group is what lets aggregate bandwidth keep scaling — the paper's
+/// per-channel PIC organization. Each row also carries the cross-shard
+/// imbalance metrics (`max/mean` nonzeros, cycles, bus busy), the other
+/// axis of multi-unit behaviour.
+///
+/// # Panics
+///
+/// Panics if any run fails its byte-identical golden verification.
+pub fn scaling_units(opts: &ExperimentOpts) -> Vec<UnitScalingRow> {
+    let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
+    let csr = spec.build_capped(opts.max_nnz.min(100_000));
+
+    let mut jobs = Vec::new();
+    for units in SCALING_UNITS {
+        for adapter in [AdapterConfig::mlp(256), AdapterConfig::mlp_nc()] {
+            jobs.push((units, adapter));
+        }
+    }
+    parallel_map(jobs, move |(units, adapter)| {
+        let cfg = ShardedConfig {
+            units,
+            adapter: adapter.clone(),
+            backend: BackendConfig::interleaved(8),
+            strategy: PartitionStrategy::ByNnz,
+        };
+        let peak_gbps = cfg.peak_bytes_per_cycle() as f64;
+        let report = run_sharded_spmv(&csr, &cfg);
+        assert!(
+            report.verified,
+            "scaling x{units}/{}: result bytes diverged from golden SpMV",
+            adapter.variant_name()
+        );
+        UnitScalingRow {
+            units,
+            variant: adapter.variant_name(),
+            peak_gbps,
+            report,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +583,42 @@ mod tests {
         let tw = &points[2];
         assert!(tw.onchip_cost() < points[0].onchip_cost());
         assert!(tw.onchip_cost() < points[1].onchip_cost());
+    }
+
+    #[test]
+    fn scaling_units_breaks_the_single_port_cap() {
+        let rows = scaling_units(&ExperimentOpts { max_nnz: 6_000 });
+        assert_eq!(rows.len(), SCALING_UNITS.len() * 2);
+        assert!(rows.iter().all(|r| r.report.verified));
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.units, SCALING_UNITS[i / 2]);
+            // 8 channels split across units: aggregate peak is constant.
+            assert_eq!(r.peak_gbps, 256.0);
+        }
+        let mlp: Vec<&UnitScalingRow> = rows.iter().filter(|r| r.variant == "MLP256").collect();
+        // The acceptance property: K=4 delivers strictly more aggregate
+        // indirect bandwidth than the K=1 baseline, whose single 512 b
+        // upstream port caps delivery at 64 GB/s.
+        let k1 = mlp.iter().find(|r| r.units == 1).expect("K=1 row");
+        let k4 = mlp.iter().find(|r| r.units == 4).expect("K=4 row");
+        assert!(k1.report.aggregate_gbps <= 64.0 + 1e-9);
+        assert!(
+            k4.report.aggregate_gbps > k1.report.aggregate_gbps,
+            "4 units must beat 1: {:.1} vs {:.1} GB/s",
+            k4.report.aggregate_gbps,
+            k1.report.aggregate_gbps
+        );
+        assert!(
+            k4.report.aggregate_gbps > 64.0,
+            "4 units must break past one port's 64 GB/s cap, got {:.1}",
+            k4.report.aggregate_gbps
+        );
+        // Imbalance metrics are present and sane.
+        for r in &rows {
+            assert!(r.report.nnz_imbalance >= 1.0);
+            assert!(r.report.cycle_imbalance >= 1.0);
+            assert!(r.report.bus_imbalance >= 1.0);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | Fig. 6a  | `fig6a`  | adapter area breakdown (kGE, mm²) |
 //! | Fig. 6b  | `fig6b`  | on-chip cost and SpMV efficiency vs A64FX / SX-Aurora |
 //! | extension | `scaling_channels` | indirect bandwidth vs interleaved channel count |
+//! | extension | `scaling_units` | sharded multi-unit SpMV vs unit count (aggregate GB/s + load imbalance) |
 //! | all      | `all_experiments` | everything above, CSVs under `results/` |
 //!
 //! Sweeps run their configuration points in parallel across CPU cores
@@ -33,8 +34,8 @@ pub mod timing;
 
 pub use experiments::{
     fig3, fig3_variants, fig4, fig4_variants, fig5, fig5_adapters, fig5_matrix, fig6a, fig6b,
-    measure_stream_gbps, scaling_channels, ChannelScalingRow, ExperimentOpts,
-    ExperimentOptsBuilder, StreamRow, SystemRow, SCALING_CHANNELS,
+    measure_stream_gbps, scaling_channels, scaling_units, ChannelScalingRow, ExperimentOpts,
+    ExperimentOptsBuilder, StreamRow, SystemRow, UnitScalingRow, SCALING_CHANNELS, SCALING_UNITS,
 };
 pub use output::{f, Table};
 pub use runner::{parallel_jobs, parallel_map};

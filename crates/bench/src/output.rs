@@ -101,11 +101,86 @@ impl Table {
     ///
     /// Propagates I/O errors.
     pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        self.write_file(name, "csv", &self.to_csv())
+    }
+
+    /// Renders the table as a JSON array of row objects keyed by header.
+    ///
+    /// Cells that parse as **finite** numbers are emitted as JSON
+    /// numbers; everything else — including `NaN`/`inf`, which JSON
+    /// cannot represent — is emitted as a string. CI's bench-smoke gate
+    /// relies on this: a NaN bandwidth shows up as the string `"NaN"`
+    /// and fails the result check.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nmpic_bench::Table;
+    /// let mut t = Table::new(vec!["matrix", "GB/s"]);
+    /// t.row(vec!["pwtk".into(), "31.2".into()]);
+    /// assert_eq!(t.to_json(), "[\n  {\"matrix\": \"pwtk\", \"GB/s\": 31.2}\n]\n");
+    /// ```
+    pub fn to_json(&self) -> String {
+        let quote = |s: &str| -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        };
+        let value = |cell: &str| -> String {
+            if is_json_number(cell) {
+                cell.to_string()
+            } else {
+                quote(cell)
+            }
+        };
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<String> = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| format!("{}: {}", quote(h), value(c)))
+                    .collect();
+                format!("  {{{}}}", fields.join(", "))
+            })
+            .collect();
+        if rows.is_empty() {
+            "[]\n".to_string()
+        } else {
+            format!("[\n{}\n]\n", rows.join(",\n"))
+        }
+    }
+
+    /// Writes the JSON under `results/<name>.json`, creating the
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, name: &str) -> std::io::Result<PathBuf> {
+        self.write_file(name, "json", &self.to_json())
+    }
+
+    fn write_file(&self, name: &str, ext: &str, content: &str) -> std::io::Result<PathBuf> {
         let dir = Path::new("results");
         fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{name}.csv"));
+        let path = dir.join(format!("{name}.{ext}"));
         let mut f = fs::File::create(&path)?;
-        f.write_all(self.to_csv().as_bytes())?;
+        f.write_all(content.as_bytes())?;
         Ok(path)
     }
 }
@@ -113,6 +188,48 @@ impl Table {
 /// Formats a float with the given number of decimals.
 pub fn f(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
+}
+
+/// `true` iff `s` is a valid **JSON** number literal. Stricter than
+/// `str::parse::<f64>`, which also accepts forms JSON forbids (`.5`,
+/// `5.`, `+1`, `inf`, `NaN`) — emitting those unquoted would corrupt
+/// the results files the CI gate consumes.
+fn is_json_number(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    let digits = |b: &[u8], mut i: usize| -> Option<usize> {
+        let start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        (i > start).then_some(i)
+    };
+    if i < b.len() && b[i] == b'-' {
+        i += 1;
+    }
+    // Integer part: `0` alone or a nonzero-led digit run.
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(c) if c.is_ascii_digit() => i = digits(b, i).expect("digit checked"),
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        match digits(b, i + 1) {
+            Some(end) => i = end,
+            None => return false,
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        match digits(b, i) {
+            Some(end) => i = end,
+            None => return false,
+        }
+    }
+    i == b.len()
 }
 
 #[cfg(test)]
@@ -148,5 +265,51 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(10.0, 0), "10");
+    }
+
+    #[test]
+    fn json_types_numbers_and_strings() {
+        let mut t = Table::new(vec!["name", "gbps", "note"]);
+        t.row(vec!["a\"b".into(), "1.5".into(), "fast".into()]);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "[\n  {\"name\": \"a\\\"b\", \"gbps\": 1.5, \"note\": \"fast\"}\n]\n"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["a\nb\tc\u{1}".into()]);
+        assert_eq!(t.to_json(), "[\n  {\"x\": \"a\\nb\\tc\\u0001\"}\n]\n");
+    }
+
+    #[test]
+    fn json_nan_is_detectable_not_silent() {
+        let mut t = Table::new(vec!["gbps"]);
+        t.row(vec![format!("{}", f64::NAN)]);
+        // NaN cannot be a JSON number; it must surface as a string the
+        // CI result gate can grep for.
+        assert!(t.to_json().contains("\"NaN\""));
+    }
+
+    #[test]
+    fn json_empty_table_is_empty_array() {
+        assert_eq!(Table::new(vec!["x"]).to_json(), "[]\n");
+    }
+
+    #[test]
+    fn json_number_grammar_is_strict() {
+        for ok in ["0", "-0", "7", "31.25", "-4.5", "1e9", "2.5E-3", "10"] {
+            assert!(is_json_number(ok), "{ok} is a JSON number");
+        }
+        // f64-parsable but not valid JSON — these must be quoted.
+        for bad in [".5", "5.", "+1", "01", "1.", "inf", "NaN", "1e", "", "-"] {
+            assert!(!is_json_number(bad), "{bad} is not a JSON number");
+        }
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec![".5".into()]);
+        assert_eq!(t.to_json(), "[\n  {\"x\": \".5\"}\n]\n");
     }
 }

@@ -15,15 +15,42 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of worker threads to use: the `NMPIC_JOBS` override when set
-/// and valid, otherwise the machine's available parallelism.
+/// and valid, otherwise the machine's available parallelism. The result
+/// is always ≥ 1: `NMPIC_JOBS=0` is clamped to serial execution (with a
+/// warning) instead of configuring an empty worker pool.
 pub fn parallel_jobs() -> usize {
-    if let Ok(v) = std::env::var("NMPIC_JOBS") {
-        match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => return n,
-            _ => eprintln!("warning: ignoring invalid NMPIC_JOBS='{v}' (want a positive integer)"),
-        }
+    let (jobs, warning) = jobs_from_env_value(std::env::var("NMPIC_JOBS").ok().as_deref());
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    jobs.max(1)
+}
+
+/// Pure worker-count policy behind [`parallel_jobs`], separated so the
+/// `NMPIC_JOBS` edge cases are unit-testable without touching the
+/// process environment. Returns the job count (always ≥ 1) and an
+/// optional warning for the caller to print.
+fn jobs_from_env_value(value: Option<&str>) -> (usize, Option<String>) {
+    let default = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match value {
+        None => (default(), None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => (n, None),
+            Ok(_) => (
+                1,
+                Some(
+                    "NMPIC_JOBS=0 would configure an empty worker pool; clamping to 1 (serial)"
+                        .to_string(),
+                ),
+            ),
+            Err(_) => (
+                default(),
+                Some(format!(
+                    "ignoring invalid NMPIC_JOBS='{v}' (want a positive integer)"
+                )),
+            ),
+        },
+    }
 }
 
 /// Maps `f` over `items` on up to [`parallel_jobs`] worker threads,
@@ -106,6 +133,28 @@ mod tests {
     #[test]
     fn jobs_default_is_positive() {
         assert!(parallel_jobs() >= 1);
+    }
+
+    /// Regression: `NMPIC_JOBS=0` used to be treated like any other
+    /// malformed value; the policy now clamps it to 1 explicitly so
+    /// `parallel_map` can never see an empty worker pool.
+    #[test]
+    fn jobs_zero_is_clamped_to_serial_with_warning() {
+        let (jobs, warning) = jobs_from_env_value(Some("0"));
+        assert_eq!(jobs, 1);
+        assert!(warning.expect("must warn").contains("clamping to 1"));
+        // Whitespace variants hit the same clamp.
+        assert_eq!(jobs_from_env_value(Some(" 0 ")).0, 1);
+    }
+
+    #[test]
+    fn jobs_env_value_policy() {
+        assert_eq!(jobs_from_env_value(Some("3")), (3, None));
+        let (jobs, warning) = jobs_from_env_value(Some("lots"));
+        assert!(jobs >= 1);
+        assert!(warning.expect("must warn").contains("invalid"));
+        let (jobs, warning) = jobs_from_env_value(None);
+        assert!(jobs >= 1 && warning.is_none());
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`run_indirect_stream`] — the ideal-requestor harness that generates
 //!   the paper's Fig. 3/Fig. 4 metrics and verifies gathered data against
 //!   a golden model.
+//! * [`ShardArbiter`] / [`MergedCollector`] — shard-aware round-robin
+//!   arbitration and merged result collection for multi-unit execution
+//!   (`nmpic_system`'s sharded engine feeds the merged stream through a
+//!   [`ScatterUnit`]).
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@ mod config;
 mod harness;
 mod request;
 mod scatter;
+mod shard;
 mod unit;
 
 pub use coalescer::{Coalescer, CoalescerStats};
@@ -54,4 +59,5 @@ pub use harness::{
 };
 pub use request::{ElemOut, ElemRequest};
 pub use scatter::{ScatterRequest, ScatterStats, ScatterUnit};
+pub use shard::{MergedCollector, ShardArbiter};
 pub use unit::{AdapterStats, BeginError, IndirectStreamUnit};

@@ -181,6 +181,57 @@ impl BackendConfig {
         self.kind.to_string()
     }
 
+    /// Divides this backend's channels across `units` parallel
+    /// indexing/coalescing units, returning the per-unit backend
+    /// configuration — the memory side of the paper's replicated-PIC
+    /// organization, where each unit sits in front of its own slice of
+    /// the HBM stack.
+    ///
+    /// An `Interleaved { channels }` backend splits into
+    /// `max(1, channels / units)` channels per unit. When `units` does
+    /// not divide `channels`, the `channels % units` remainder channels
+    /// are **left unused** — every unit gets the same `floor` share, so
+    /// K units model `K · floor(channels / K)` channels in total (e.g.
+    /// `hbm8.split(3)` models 6 of the 8 channels; consumers report peak
+    /// bandwidth from the split result, keeping the numbers honest).
+    /// When `units ≥ channels` each unit gets one full channel,
+    /// modelling the paper's one-unit-per-channel replication. `Ideal`
+    /// and `Hbm` are single-channel models, so every unit gets its own
+    /// copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nmpic_mem::{BackendConfig, BackendKind};
+    /// let hbm8 = BackendConfig::interleaved(8);
+    /// assert_eq!(hbm8.split(4).kind, BackendKind::Interleaved { channels: 2 });
+    /// assert_eq!(hbm8.split(8).kind, BackendKind::Hbm);
+    /// assert_eq!(hbm8.split(1).kind, hbm8.kind);
+    /// ```
+    pub fn split(&self, units: usize) -> BackendConfig {
+        assert!(units > 0, "at least one unit");
+        let kind = match self.kind {
+            BackendKind::Ideal => BackendKind::Ideal,
+            BackendKind::Hbm => BackendKind::Hbm,
+            BackendKind::Interleaved { channels } => {
+                let per_unit = (channels / units).max(1);
+                if per_unit == 1 {
+                    BackendKind::Hbm
+                } else {
+                    BackendKind::Interleaved { channels: per_unit }
+                }
+            }
+        };
+        Self {
+            kind,
+            ..self.clone()
+        }
+    }
+
     /// Peak deliverable bytes per cycle across all channels.
     pub fn peak_bytes_per_cycle(&self) -> u64 {
         match self.kind {
@@ -317,6 +368,28 @@ mod tests {
         assert_eq!(BackendConfig::interleaved(4).label(), "hbm x4");
         assert_eq!(BackendKind::Interleaved { channels: 4 }.channels(), 4);
         assert_eq!(BackendKind::Hbm.channels(), 1);
+    }
+
+    #[test]
+    fn split_divides_channels_across_units() {
+        let hbm8 = BackendConfig::interleaved(8);
+        // Total channels are preserved for unit counts dividing 8.
+        for units in [1usize, 2, 4, 8] {
+            let per = hbm8.split(units);
+            assert_eq!(
+                per.peak_bytes_per_cycle() * units as u64,
+                hbm8.peak_bytes_per_cycle(),
+                "{units} units"
+            );
+        }
+        // More units than channels: each unit still gets a full channel.
+        assert_eq!(hbm8.split(16).kind, BackendKind::Hbm);
+        // Non-dividing unit counts floor the share; the remainder
+        // channels go unused (3 units × 2 channels models 6 of 8).
+        assert_eq!(hbm8.split(3).kind, BackendKind::Interleaved { channels: 2 });
+        // Single-channel kinds replicate.
+        assert_eq!(BackendConfig::hbm().split(4).kind, BackendKind::Hbm);
+        assert_eq!(BackendConfig::ideal().split(4).kind, BackendKind::Ideal);
     }
 
     #[test]

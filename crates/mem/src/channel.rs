@@ -165,6 +165,23 @@ impl HbmStats {
         }
     }
 
+    /// Element-wise sum over any number of stat blocks — the aggregation
+    /// step for multi-channel backends and multi-unit (sharded) engines.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nmpic_mem::HbmStats;
+    /// let a = HbmStats { reads: 2, ..HbmStats::default() };
+    /// let b = HbmStats { reads: 3, ..HbmStats::default() };
+    /// assert_eq!(HbmStats::sum([a, b]).reads, 5);
+    /// ```
+    pub fn sum<I: IntoIterator<Item = HbmStats>>(stats: I) -> HbmStats {
+        stats
+            .into_iter()
+            .fold(HbmStats::default(), |acc, s| acc.merge(&s))
+    }
+
     /// Element-wise sum of two stat blocks (multi-channel aggregation).
     pub fn merge(&self, other: &HbmStats) -> HbmStats {
         HbmStats {

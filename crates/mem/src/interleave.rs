@@ -100,10 +100,7 @@ impl InterleavedChannels {
 
     /// Aggregate DRAM statistics summed over all channels.
     pub fn stats(&self) -> crate::HbmStats {
-        self.channels
-            .iter()
-            .map(HbmChannel::stats)
-            .fold(crate::HbmStats::default(), |acc, s| acc.merge(&s))
+        crate::HbmStats::sum(self.channels.iter().map(HbmChannel::stats))
     }
 }
 

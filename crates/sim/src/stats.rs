@@ -170,6 +170,88 @@ impl RunningMean {
     }
 }
 
+/// Min/max/mean accumulator for cross-shard load-imbalance reporting.
+///
+/// Multi-unit sweeps report how evenly work spread across units as
+/// `max / mean` of a per-shard quantity (nonzeros, cycles, bus busy
+/// cycles): 1.0 is perfect balance, 2.0 means the slowest unit did twice
+/// the average work.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sim::stats::Extrema;
+/// let mut e = Extrema::new();
+/// e.add(10.0);
+/// e.add(30.0);
+/// assert_eq!(e.max(), 30.0);
+/// assert_eq!(e.mean(), 20.0);
+/// assert!((e.imbalance() - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Extrema {
+    min: f64,
+    max: f64,
+    sum: f64,
+    count: u64,
+}
+
+impl Extrema {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: f64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Smallest sample, or 0.0 with no samples.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or 0.0 with no samples.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean of all samples, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples added.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Load imbalance `max / mean`, ≥ 1.0 for nonnegative samples.
+    /// Returns 1.0 when no samples were added or the mean is zero (an
+    /// all-idle set of shards is perfectly, if trivially, balanced).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max / mean
+        }
+    }
+}
+
 /// Geometric mean accumulator, used for speedup summaries across matrices
 /// (the conventional aggregate for ratio metrics).
 ///
@@ -265,6 +347,28 @@ mod tests {
     #[test]
     fn running_mean_empty_is_zero() {
         assert_eq!(RunningMean::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn extrema_tracks_min_max_mean() {
+        let mut e = Extrema::new();
+        for v in [4.0, 1.0, 7.0] {
+            e.add(v);
+        }
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 7.0);
+        assert_eq!(e.mean(), 4.0);
+        assert_eq!(e.count(), 3);
+        assert!((e.imbalance() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrema_empty_and_all_zero_are_balanced() {
+        assert_eq!(Extrema::new().imbalance(), 1.0);
+        let mut e = Extrema::new();
+        e.add(0.0);
+        e.add(0.0);
+        assert_eq!(e.imbalance(), 1.0);
     }
 
     #[test]

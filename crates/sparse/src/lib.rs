@@ -11,6 +11,8 @@
 //! * [`Sell`] → sliced ELLPACK, the format the vector processor consumes.
 //! * [`gen`] → structure-class generators (27-point stencil, banded FEM,
 //!   circuit, mesh, KKT, dense blocks, uniform random).
+//! * [`partition`] → nnz-balanced row partitioning with zero-copy
+//!   per-shard CSR/SELL views, for multi-unit SpMV.
 //! * [`suite`](suite()) → the twenty named matrices of Fig. 3.
 //!
 //! # Example
@@ -32,6 +34,7 @@ mod coo;
 mod csr;
 pub mod gen;
 mod mm;
+pub mod partition;
 mod sell;
 mod sellcs;
 mod suite;

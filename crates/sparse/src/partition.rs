@@ -1,0 +1,575 @@
+//! Row partitioning for multi-unit SpMV: split a matrix into K row
+//! shards, one per indexing/coalescing unit.
+//!
+//! SparseP (Giannoula et al.) shows that **nnz-balanced** row
+//! partitioning is the key lever for multi-unit SpMV scaling: equal row
+//! counts leave units idle whenever row density is skewed, while equal
+//! nonzero counts keep every unit's indirect stream the same length.
+//! [`by_nnz`] implements the standard prefix-sum split (shard boundaries
+//! at the row where the running nonzero count crosses `i·nnz/K`);
+//! [`by_rows`] is the naive equal-row baseline kept for comparison.
+//!
+//! Shards are **views**: [`CsrShard`] and [`SellShard`] borrow the parent
+//! matrix's `col_idx`/`values` arrays without copying, so partitioning a
+//! matrix for K units costs O(rows) bookkeeping, not O(nnz) data
+//! movement — exactly like handing each hardware unit a base pointer and
+//! a length.
+//!
+//! # Example
+//!
+//! ```
+//! use nmpic_sparse::{gen::banded_fem, partition};
+//!
+//! let csr = banded_fem(256, 6, 16, 1);
+//! let p = partition::by_nnz(&csr, 4);
+//! assert_eq!(p.shards(), 4);
+//! // Shards are a disjoint exact cover of the rows...
+//! assert_eq!(p.range(0).start, 0);
+//! assert_eq!(p.range(3).end, csr.rows());
+//! // ...and their nonzeros are balanced within one row of perfect.
+//! assert!(p.nnz_imbalance() < 1.2);
+//! ```
+
+use std::ops::Range;
+
+use crate::{Csr, Sell};
+
+/// A split of a matrix's rows into K contiguous shards.
+///
+/// Produced by [`by_rows`], [`by_nnz`] or [`by_nnz_aligned`]; consumed by
+/// [`Partition::csr_shard`] / [`Partition::sell_shard`] to obtain
+/// zero-copy per-shard views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `shards + 1` row boundaries: shard `i` owns rows
+    /// `boundaries[i]..boundaries[i + 1]`. Monotone, first 0, last `rows`.
+    boundaries: Vec<usize>,
+    /// Stored nonzeros per shard (excluding SELL padding).
+    nnz: Vec<u64>,
+}
+
+impl Partition {
+    fn from_boundaries(csr: &Csr, boundaries: Vec<usize>) -> Self {
+        debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        let nnz = boundaries
+            .windows(2)
+            .map(|w| (csr.row_ptr()[w[1]] - csr.row_ptr()[w[0]]) as u64)
+            .collect();
+        Self { boundaries, nnz }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Row range of shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shards`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        self.boundaries[i]..self.boundaries[i + 1]
+    }
+
+    /// Stored nonzeros of shard `i`.
+    pub fn nnz(&self, i: usize) -> u64 {
+        self.nnz[i]
+    }
+
+    /// Total nonzeros across all shards.
+    pub fn total_nnz(&self) -> u64 {
+        self.nnz.iter().sum()
+    }
+
+    /// Largest per-shard nonzero count.
+    pub fn max_nnz(&self) -> u64 {
+        self.nnz.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-shard nonzero count.
+    pub fn mean_nnz(&self) -> f64 {
+        self.total_nnz() as f64 / self.shards() as f64
+    }
+
+    /// Load imbalance `max / mean` of per-shard nonzeros, ≥ 1.0 (1.0 for
+    /// an empty matrix — nothing to imbalance).
+    pub fn nnz_imbalance(&self) -> f64 {
+        let mut ext = nmpic_sim::stats::Extrema::new();
+        for &n in &self.nnz {
+            ext.add(n as f64);
+        }
+        ext.imbalance()
+    }
+
+    /// Zero-copy CSR view of shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shards` or `csr` is not the matrix this partition
+    /// was built from (row count mismatch).
+    pub fn csr_shard<'a>(&self, csr: &'a Csr, i: usize) -> CsrShard<'a> {
+        assert_eq!(
+            *self.boundaries.last().expect("nonempty boundaries"),
+            csr.rows(),
+            "partition was built for a different matrix"
+        );
+        let rows = self.range(i);
+        let lo = csr.row_ptr()[rows.start] as usize;
+        let hi = csr.row_ptr()[rows.end] as usize;
+        CsrShard {
+            rows: rows.clone(),
+            row_ptr: &csr.row_ptr()[rows.start..=rows.end],
+            col_idx: &csr.col_idx()[lo..hi],
+            values: &csr.values()[lo..hi],
+            cols: csr.cols(),
+        }
+    }
+
+    /// Zero-copy SELL view of shard `i`. Requires every interior boundary
+    /// of a **non-empty** shard to be a multiple of the SELL slice height
+    /// (use [`by_nnz_aligned`] with `sell.slice_height()`), because SELL
+    /// data can only be split between slices. Empty shards — which
+    /// [`by_nnz_aligned`] itself produces when rounded boundaries clamp
+    /// to the row count — yield an empty view regardless of alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty shard's boundary is not slice-aligned or
+    /// the row counts disagree.
+    pub fn sell_shard<'a>(&self, sell: &'a Sell, i: usize) -> SellShard<'a> {
+        assert_eq!(
+            *self.boundaries.last().expect("nonempty boundaries"),
+            sell.rows(),
+            "partition was built for a different matrix"
+        );
+        let rows = self.range(i);
+        let h = sell.slice_height();
+        if rows.is_empty() {
+            let s = (rows.start / h).min(sell.n_slices());
+            return SellShard {
+                rows,
+                slice_height: h,
+                slice_ptr: &sell.slice_ptr()[s..=s],
+                col_idx: &[],
+                values: &[],
+            };
+        }
+        assert!(
+            rows.start.is_multiple_of(h) && (rows.end.is_multiple_of(h) || rows.end == sell.rows()),
+            "shard boundary {rows:?} not aligned to slice height {h}"
+        );
+        let s0 = rows.start / h;
+        let s1 = rows.end.div_ceil(h);
+        let e0 = sell.slice_ptr()[s0] as usize;
+        let e1 = sell.slice_ptr()[s1] as usize;
+        SellShard {
+            rows,
+            slice_height: h,
+            slice_ptr: &sell.slice_ptr()[s0..=s1],
+            col_idx: &sell.col_idx()[e0..e1],
+            values: &sell.values()[e0..e1],
+        }
+    }
+}
+
+/// Equal-row split: shard `i` gets `rows / k` rows (the first `rows % k`
+/// shards get one extra). The baseline partitioner — blind to density.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn by_rows(csr: &Csr, k: usize) -> Partition {
+    assert!(k > 0, "at least one shard");
+    let rows = csr.rows();
+    let boundaries = (0..=k).map(|i| i * (rows / k) + i.min(rows % k)).collect();
+    Partition::from_boundaries(csr, boundaries)
+}
+
+/// Nonzero-balanced split by prefix sums: boundary `i` is placed at the
+/// first row whose running nonzero count reaches `i · nnz / k`, so every
+/// shard's nonzero count is within one row of the perfect `nnz / k`.
+///
+/// **Balance bound**: because boundaries can only fall between rows, each
+/// shard holds at most `ceil(nnz / k) + max_row_nnz` nonzeros (and at
+/// least `floor(nnz / k) − max_row_nnz`, clamped to 0). The property test
+/// in `tests/partition.rs` pins this bound.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn by_nnz(csr: &Csr, k: usize) -> Partition {
+    by_nnz_aligned(csr, k, 1)
+}
+
+/// [`by_nnz`] with boundaries rounded to multiples of `align` rows, so
+/// the resulting shards are also valid SELL shards when `align` is the
+/// slice height. The balance bound loosens to
+/// `ceil(nnz / k) + align · max_row_nnz`.
+///
+/// # Panics
+///
+/// Panics if `k` or `align` is zero.
+pub fn by_nnz_aligned(csr: &Csr, k: usize, align: usize) -> Partition {
+    assert!(k > 0, "at least one shard");
+    assert!(align > 0, "alignment must be nonzero");
+    let rows = csr.rows();
+    let row_ptr = csr.row_ptr();
+    let total = csr.nnz() as u64;
+    let mut boundaries = Vec::with_capacity(k + 1);
+    boundaries.push(0usize);
+    for i in 1..k {
+        let target = total * i as u64 / k as u64;
+        // First row boundary where the prefix nonzero count reaches the
+        // target; row_ptr *is* the prefix-sum array.
+        let mut b = row_ptr.partition_point(|&p| (p as u64) < target);
+        // Round to the nearest aligned boundary (ties go down), keeping
+        // the partition monotone.
+        b = (b + align / 2) / align * align;
+        let prev = *boundaries.last().expect("pushed above");
+        boundaries.push(b.clamp(prev, rows));
+    }
+    boundaries.push(rows);
+    Partition::from_boundaries(csr, boundaries)
+}
+
+/// A zero-copy view of one CSR row shard.
+///
+/// `col_idx`/`values` borrow the parent matrix's arrays; `row_ptr` keeps
+/// the parent's absolute offsets, and accessors rebase them, so no
+/// per-shard arrays are materialized.
+#[derive(Debug, Clone)]
+pub struct CsrShard<'a> {
+    rows: Range<usize>,
+    /// Parent `row_ptr[rows.start..=rows.end]` — absolute offsets.
+    row_ptr: &'a [u32],
+    col_idx: &'a [u32],
+    values: &'a [f64],
+    cols: usize,
+}
+
+impl<'a> CsrShard<'a> {
+    /// Global row range this shard owns.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Number of rows in the shard.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column count of the parent matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored nonzeros in the shard.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The shard's slice of the parent column-index array — the indirect
+    /// stream this shard's unit gathers.
+    pub fn col_idx(&self) -> &'a [u32] {
+        self.col_idx
+    }
+
+    /// The shard's slice of the parent value array.
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Nonzeros of local row `r` (0-based within the shard).
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    }
+
+    /// Maps every stream position (0-based within the shard) to its
+    /// **global** row — the accumulation map a unit's result path uses.
+    pub fn row_of_positions(&self) -> Vec<u32> {
+        let mut map = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows() {
+            let global = (self.rows.start + r) as u32;
+            map.extend(std::iter::repeat_n(global, self.row_nnz(r)));
+        }
+        map
+    }
+
+    /// Accumulates this shard's contribution `y[r] += A_shard[r]·x` into
+    /// the **global** result vector, using the same per-row accumulation
+    /// order as [`Csr::spmv`] so a sharded run is bit-identical to the
+    /// unsharded one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len()` is smaller than the
+    /// shard's last global row.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        let base = self.row_ptr[0] as usize;
+        for r in 0..self.n_rows() {
+            let lo = self.row_ptr[r] as usize - base;
+            let hi = self.row_ptr[r + 1] as usize - base;
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[self.rows.start + r] += acc;
+        }
+    }
+}
+
+/// A zero-copy view of one SELL shard (whole slices only).
+#[derive(Debug, Clone)]
+pub struct SellShard<'a> {
+    rows: Range<usize>,
+    slice_height: usize,
+    /// Parent `slice_ptr[s0..=s1]` — absolute element offsets.
+    slice_ptr: &'a [u32],
+    col_idx: &'a [u32],
+    values: &'a [f64],
+}
+
+impl<'a> SellShard<'a> {
+    /// Global row range this shard owns.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Number of slices in the shard.
+    pub fn n_slices(&self) -> usize {
+        self.slice_ptr.len() - 1
+    }
+
+    /// Padded entries in the shard — its indirect-stream length.
+    pub fn padded_len(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The shard's slice of the parent padded column-index array.
+    pub fn col_idx(&self) -> &'a [u32] {
+        self.col_idx
+    }
+
+    /// The shard's slice of the parent padded value array.
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Accumulates the shard's contribution into the global result
+    /// vector, matching [`Sell::spmv`]'s traversal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` is smaller than the shard's last global row.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        let h = self.slice_height;
+        let base = self.slice_ptr[0] as usize;
+        for s in 0..self.n_slices() {
+            let lo = self.slice_ptr[s] as usize - base;
+            let width = (self.slice_ptr[s + 1] as usize - base - lo) / h;
+            let r0 = self.rows.start + s * h;
+            for j in 0..width {
+                for i in 0..h {
+                    let r = r0 + i;
+                    if r >= self.rows.end {
+                        continue;
+                    }
+                    let k = lo + j * h + i;
+                    y[r] += self.values[k] * x[self.col_idx[k] as usize];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{banded_fem, circuit};
+
+    fn x_for(csr: &Csr) -> Vec<f64> {
+        (0..csr.cols()).map(|i| (i as f64) * 0.75 - 2.0).collect()
+    }
+
+    #[test]
+    fn by_rows_splits_evenly() {
+        let csr = banded_fem(10, 3, 8, 1);
+        let p = by_rows(&csr, 3);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.range(0), 0..4);
+        assert_eq!(p.range(1), 4..7);
+        assert_eq!(p.range(2), 7..10);
+        assert_eq!(p.total_nnz(), csr.nnz() as u64);
+    }
+
+    #[test]
+    fn by_nnz_balances_skewed_matrix() {
+        // Circuit matrices have a few dense hub rows: equal-row splitting
+        // is visibly imbalanced, nnz splitting is not.
+        let csr = circuit(512, 4, 48, 0.08, 6, 3);
+        let rows_p = by_rows(&csr, 4);
+        let nnz_p = by_nnz(&csr, 4);
+        assert!(nnz_p.nnz_imbalance() <= rows_p.nnz_imbalance() + 1e-12);
+        let bound = csr.nnz() as u64 / 4 + csr.stats().max_row_nnz as u64 + 1;
+        for i in 0..4 {
+            assert!(
+                nnz_p.nnz(i) <= bound,
+                "shard {i}: {} > {bound}",
+                nnz_p.nnz(i)
+            );
+        }
+    }
+
+    #[test]
+    fn shards_cover_rows_exactly() {
+        let csr = banded_fem(97, 5, 12, 2);
+        for k in [1, 2, 3, 4, 7, 16, 200] {
+            for p in [by_rows(&csr, k), by_nnz(&csr, k)] {
+                assert_eq!(p.shards(), k);
+                assert_eq!(p.range(0).start, 0);
+                assert_eq!(p.range(k - 1).end, csr.rows());
+                for i in 1..k {
+                    assert_eq!(p.range(i - 1).end, p.range(i).start, "contiguous");
+                }
+                assert_eq!(p.total_nnz(), csr.nnz() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_shard_views_share_parent_storage() {
+        let csr = banded_fem(64, 4, 10, 3);
+        let p = by_nnz(&csr, 3);
+        let mut total = 0;
+        for i in 0..3 {
+            let s = p.csr_shard(&csr, i);
+            assert_eq!(s.nnz() as u64, p.nnz(i));
+            total += s.nnz();
+            // The view's arrays are literal subslices of the parent.
+            let lo = csr.row_ptr()[s.rows().start] as usize;
+            assert!(std::ptr::eq(s.col_idx().as_ptr(), &csr.col_idx()[lo]));
+            assert!(std::ptr::eq(s.values().as_ptr(), &csr.values()[lo]));
+        }
+        assert_eq!(total, csr.nnz());
+    }
+
+    #[test]
+    fn sharded_spmv_into_is_bit_identical_to_golden() {
+        let csr = circuit(300, 3, 24, 0.1, 5, 9);
+        let x = x_for(&csr);
+        let want = csr.spmv(&x);
+        for k in [1, 2, 4, 5] {
+            let p = by_nnz(&csr, k);
+            let mut y = vec![0.0; csr.rows()];
+            for i in 0..k {
+                p.csr_shard(&csr, i).spmv_into(&x, &mut y);
+            }
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_of_positions_matches_stream_order() {
+        let csr = banded_fem(40, 4, 9, 7);
+        let p = by_nnz(&csr, 3);
+        for i in 0..3 {
+            let s = p.csr_shard(&csr, i);
+            let map = s.row_of_positions();
+            assert_eq!(map.len(), s.nnz());
+            // Positions are row-major: map is non-decreasing and covers
+            // exactly the shard's row range (skipping empty rows).
+            assert!(map.windows(2).all(|w| w[0] <= w[1]));
+            for &r in &map {
+                assert!(s.rows().contains(&(r as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_partition_yields_sell_shards() {
+        let csr = banded_fem(200, 6, 14, 4);
+        let sell = Sell::from_csr(&csr, 32);
+        let p = by_nnz_aligned(&csr, 3, 32);
+        let x = x_for(&csr);
+        let want = sell.spmv(&x);
+        let mut y = vec![0.0; csr.rows()];
+        let mut padded = 0;
+        for i in 0..3 {
+            let s = p.sell_shard(&sell, i);
+            padded += s.padded_len();
+            s.spmv_into(&x, &mut y);
+        }
+        assert_eq!(padded, sell.padded_len());
+        assert_eq!(
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Regression: `by_nnz_aligned` can clamp a rounded boundary to an
+    /// unaligned row count, producing empty trailing shards; those must
+    /// yield empty SELL views instead of tripping the alignment assert.
+    #[test]
+    fn empty_aligned_shards_yield_empty_sell_views() {
+        let csr = banded_fem(220, 4, 8, 6); // 220 is not a multiple of 32
+        let sell = Sell::from_csr(&csr, 32);
+        let p = by_nnz_aligned(&csr, 19, 32);
+        let mut padded = 0;
+        let mut empties = 0;
+        for i in 0..p.shards() {
+            let s = p.sell_shard(&sell, i);
+            padded += s.padded_len();
+            if p.range(i).is_empty() {
+                empties += 1;
+                assert_eq!(s.padded_len(), 0);
+                assert_eq!(s.n_slices(), 0);
+            }
+        }
+        assert!(
+            empties > 0,
+            "19 aligned shards over 7 slices must leave empties"
+        );
+        assert_eq!(
+            padded,
+            sell.padded_len(),
+            "non-empty shards cover everything"
+        );
+    }
+
+    #[test]
+    fn more_shards_than_rows_leaves_empty_shards() {
+        let csr = banded_fem(5, 2, 4, 1);
+        let p = by_nnz(&csr, 8);
+        assert_eq!(p.shards(), 8);
+        assert_eq!(p.total_nnz(), csr.nnz() as u64);
+        let empty = (0..8).filter(|&i| p.range(i).is_empty()).count();
+        assert!(empty >= 3, "8 shards over 5 rows leaves ≥3 empty");
+        // Empty shards contribute nothing and break nothing.
+        let x = x_for(&csr);
+        let mut y = vec![0.0; csr.rows()];
+        for i in 0..8 {
+            p.csr_shard(&csr, i).spmv_into(&x, &mut y);
+        }
+        assert_eq!(y, csr.spmv(&x));
+    }
+
+    #[test]
+    fn imbalance_of_uniform_split_is_one() {
+        let csr = banded_fem(128, 4, 8, 1); // uniform rows
+        let p = by_nnz(&csr, 4);
+        assert!(p.nnz_imbalance() < 1.05, "{}", p.nnz_imbalance());
+        assert!(p.nnz_imbalance() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = by_nnz(&banded_fem(8, 2, 4, 1), 0);
+    }
+}

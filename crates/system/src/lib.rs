@@ -10,6 +10,11 @@
 //!   executing naive CSR SpMV with coupled indirect access (no
 //!   prefetcher).
 //!
+//! Beyond the paper's single-unit systems, [`run_sharded_spmv`] runs the
+//! **sharded multi-unit engine**: K indexing/coalescing units over an
+//! nnz-balanced row partition, each bound to its slice of a multi-channel
+//! backend, with results merged through one coalescing scatter unit.
+//!
 //! Both return an [`SpmvReport`] with the figure's metrics: runtime,
 //! indirect-access share, off-chip traffic vs the compulsory ideal, and
 //! bandwidth utilization. The pack system moves real data end to end and
@@ -37,8 +42,10 @@ mod base;
 mod cache;
 mod pack;
 mod report;
+mod shard;
 
 pub use base::{base_memory_size, run_base_spmv, run_base_spmv_on, BaseConfig};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use pack::{pack_label, pack_memory_size, run_pack_spmv, run_pack_spmv_on, PackConfig};
 pub use report::{golden_x, results_match, SpmvReport};
+pub use shard::{run_sharded_spmv, PartitionStrategy, ShardReport, ShardedConfig, ShardedReport};

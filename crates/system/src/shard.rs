@@ -1,0 +1,539 @@
+//! The sharded multi-unit SpMV engine: K parallel indexing/coalescing
+//! units, one per shard of an nnz-balanced row partition.
+//!
+//! The paper replicates its near-memory unit per memory channel; the
+//! single-unit harness in `nmpic-core` therefore under-reports what the
+//! proposed organization can deliver on a multi-channel stack — one
+//! adapter's 512 b upstream port caps delivered indirect bandwidth at
+//! 64 GB/s no matter how many channels sit behind it. [`run_sharded_spmv`]
+//! removes that cap:
+//!
+//! 1. **Partition** — rows split K ways by
+//!    [`nmpic_sparse::partition::by_nnz`] (prefix-sum nonzero balancing,
+//!    SparseP-style) or [`nmpic_sparse::partition::by_rows`].
+//! 2. **Gather + compute** — each shard gets its own
+//!    [`IndirectStreamUnit`] bound to its slice of the memory system
+//!    ([`BackendConfig::split`]), gathers `x[col]` for its portion of the
+//!    index stream, and accumulates its rows of `y`. Units share nothing,
+//!    so the phase's latency is the **slowest** shard's latency — the
+//!    quantity the imbalance metrics explain.
+//! 3. **Merged collection** — completed rows from all shards merge
+//!    through a [`MergedCollector`] (round-robin [`ShardArbiter`] order)
+//!    into one [`ScatterUnit`] burst that writes the global result array
+//!    with coalesced wide writes.
+//!
+//! The engine moves real data end to end: the result array read back
+//! from the collection channel must be **byte-identical** to the golden
+//! [`Csr::spmv`] (shards accumulate in the same per-row order, so even
+//! floating-point rounding matches).
+
+use nmpic_axi::{ElemSize, PackRequest, Packer, Unpacker};
+use nmpic_core::{
+    stream_memory_size, AdapterConfig, AdapterStats, IndirectStreamUnit, MergedCollector,
+    ScatterRequest, ScatterStats, ScatterUnit,
+};
+use nmpic_mem::{BackendConfig, ChannelPort, HbmStats, Memory, BLOCK_BYTES};
+use nmpic_sim::stats::Extrema;
+use nmpic_sparse::partition::{by_nnz, by_rows, CsrShard};
+use nmpic_sparse::Csr;
+
+use crate::report::golden_x;
+
+/// How rows are divided across units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Nonzero-balanced prefix-sum split (the default; SparseP's lever).
+    #[default]
+    ByNnz,
+    /// Equal row counts — the naive baseline, kept for comparison.
+    ByRows,
+}
+
+/// Configuration of the sharded engine.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of parallel indexing/coalescing units (K ≥ 1).
+    pub units: usize,
+    /// Adapter variant instantiated per unit.
+    pub adapter: AdapterConfig,
+    /// The **total** memory system; each unit drives
+    /// [`BackendConfig::split`]`(units)` of it.
+    pub backend: BackendConfig,
+    /// Row partitioning strategy.
+    pub strategy: PartitionStrategy,
+}
+
+impl ShardedConfig {
+    /// `units` MLP256 units over an 8-channel interleaved HBM stack —
+    /// the scaling-study configuration.
+    pub fn new(units: usize) -> Self {
+        Self {
+            units,
+            adapter: AdapterConfig::mlp(256),
+            backend: BackendConfig::interleaved(8),
+            strategy: PartitionStrategy::ByNnz,
+        }
+    }
+
+    /// Aggregate peak bytes/cycle across all units' backend slices.
+    pub fn peak_bytes_per_cycle(&self) -> u64 {
+        self.backend.split(self.units).peak_bytes_per_cycle() * self.units as u64
+    }
+}
+
+/// Per-shard measurement inside a [`ShardedReport`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Rows owned by the shard.
+    pub rows: usize,
+    /// Stored nonzeros (= gathered elements) of the shard.
+    pub nnz: u64,
+    /// Cycles this shard's unit needed to drain its gather stream.
+    pub cycles: u64,
+    /// Delivered indirect bandwidth of this unit in GB/s at 1 GHz.
+    pub indir_gbps: f64,
+    /// Adapter statistics of this unit.
+    pub adapter: AdapterStats,
+    /// DRAM statistics of this unit's backend slice, when modelled.
+    pub dram: Option<HbmStats>,
+}
+
+/// Result of one sharded SpMV run.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// `sharded x{K} ({variant}, {backend})`.
+    pub label: String,
+    /// Number of units.
+    pub units: usize,
+    /// Gather-phase latency: the slowest unit's cycle count.
+    pub gather_cycles: u64,
+    /// Merged write-back phase latency.
+    pub collect_cycles: u64,
+    /// End-to-end latency (`gather + collect`; collection starts once the
+    /// slowest unit has drained).
+    pub cycles: u64,
+    /// Total stored nonzeros.
+    pub nnz: u64,
+    /// Aggregate delivered indirect bandwidth: payload bytes of all units
+    /// over the gather-phase latency, in GB/s at 1 GHz. This is the
+    /// number that breaks past one unit's 64 GB/s upstream-port cap.
+    pub aggregate_gbps: f64,
+    /// Cross-shard nonzero imbalance (`max/mean`, 1.0 = perfect).
+    pub nnz_imbalance: f64,
+    /// Cross-shard gather-cycle imbalance.
+    pub cycle_imbalance: f64,
+    /// Cross-shard DRAM bus-busy imbalance (1.0 when DRAM is not
+    /// modelled).
+    pub bus_imbalance: f64,
+    /// Write-back scatter statistics (merged collection).
+    pub scatter: ScatterStats,
+    /// DRAM statistics merged across every unit's backend slice.
+    pub dram: Option<HbmStats>,
+    /// Per-shard detail rows.
+    pub per_shard: Vec<ShardReport>,
+    /// The computed result vector (for cross-run equivalence checks).
+    pub y: Vec<f64>,
+    /// `true` iff the written-back result array is byte-identical to the
+    /// golden [`Csr::spmv`].
+    pub verified: bool,
+}
+
+impl ShardedReport {
+    /// The result vector as raw bit patterns — byte-identity checks
+    /// across unit counts and backends compare these.
+    pub fn y_bits(&self) -> Vec<u64> {
+        self.y.iter().map(|v| v.to_bits()).collect()
+    }
+}
+
+/// Runs CSR SpMV on K parallel units over an nnz-balanced row partition
+/// and merges the result through one coalescing scatter unit.
+///
+/// # Panics
+///
+/// Panics on an empty matrix, a zero unit count, or a cycle-budget
+/// overrun in any phase (model deadlock).
+///
+/// # Example
+///
+/// ```
+/// use nmpic_sparse::gen::banded_fem;
+/// use nmpic_system::{run_sharded_spmv, ShardedConfig};
+///
+/// let csr = banded_fem(256, 6, 16, 1);
+/// let r = run_sharded_spmv(&csr, &ShardedConfig::new(4));
+/// assert!(r.verified, "result array must match the golden SpMV bytes");
+/// assert_eq!(r.per_shard.len(), 4);
+/// ```
+pub fn run_sharded_spmv(csr: &Csr, cfg: &ShardedConfig) -> ShardedReport {
+    assert!(cfg.units > 0, "at least one unit");
+    assert!(csr.rows() > 0 && csr.nnz() > 0, "empty matrix");
+    let partition = match cfg.strategy {
+        PartitionStrategy::ByNnz => by_nnz(csr, cfg.units),
+        PartitionStrategy::ByRows => by_rows(csr, cfg.units),
+    };
+    let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+    let per_unit_backend = cfg.backend.split(cfg.units);
+
+    // --- Phase 1: independent per-shard gather + compute. Units share no
+    // state (each owns its slice of the channels and a replica of x), so
+    // simulating them one after another is exact; the phase latency is
+    // the maximum over shards.
+    let mut y = vec![0.0f64; csr.rows()];
+    let mut per_shard = Vec::with_capacity(cfg.units);
+    let mut cycle_ext = Extrema::new();
+    let mut bus_ext = Extrema::new();
+    let mut payload_bytes = 0u64;
+    for i in 0..cfg.units {
+        let shard = partition.csr_shard(csr, i);
+        let (cycles, stats, dram) = if shard.nnz() == 0 {
+            (0, AdapterStats::default(), None)
+        } else {
+            run_shard_gather(&per_unit_backend, &cfg.adapter, &shard, &x, &mut y)
+        };
+        payload_bytes += stats.payload_bytes;
+        cycle_ext.add(cycles as f64);
+        if let Some(d) = &dram {
+            bus_ext.add(d.bus_busy_cycles as f64);
+        }
+        per_shard.push(ShardReport {
+            shard: i,
+            rows: shard.n_rows(),
+            nnz: shard.nnz() as u64,
+            cycles,
+            indir_gbps: if cycles == 0 {
+                0.0
+            } else {
+                stats.payload_bytes as f64 / cycles as f64
+            },
+            adapter: stats,
+            dram,
+        });
+    }
+    let gather_cycles = per_shard.iter().map(|s| s.cycles).max().unwrap_or(0);
+    let dram_merged = per_shard
+        .iter()
+        .any(|s| s.dram.is_some())
+        .then(|| HbmStats::sum(per_shard.iter().filter_map(|s| s.dram)));
+
+    // --- Phase 2: merged result collection. Completed rows from all
+    // shards interleave in round-robin arbiter order — one 64 B line of
+    // rows per grant, so the scatter unit's write warps keep coalescing —
+    // and stream through one scatter unit into the result array.
+    let mut collector = MergedCollector::with_chunk(cfg.units, BLOCK_BYTES / 8);
+    for i in 0..cfg.units {
+        for row in partition.range(i) {
+            collector.push(i, row as u32, y[row].to_bits());
+        }
+    }
+    let order = collector.drain();
+    let (collect_cycles, scatter_stats, result_bits) = run_merged_collection(cfg, csr, &order);
+
+    let golden_bits: Vec<u64> = csr.spmv(&x).iter().map(|v| v.to_bits()).collect();
+    let verified = result_bits == golden_bits;
+
+    let aggregate_gbps = if gather_cycles == 0 {
+        0.0
+    } else {
+        payload_bytes as f64 / gather_cycles as f64
+    };
+    ShardedReport {
+        label: format!(
+            "sharded x{} ({}, {})",
+            cfg.units,
+            cfg.adapter.variant_name(),
+            cfg.backend.label()
+        ),
+        units: cfg.units,
+        gather_cycles,
+        collect_cycles,
+        cycles: gather_cycles + collect_cycles,
+        nnz: csr.nnz() as u64,
+        aggregate_gbps,
+        nnz_imbalance: partition.nnz_imbalance(),
+        cycle_imbalance: cycle_ext.imbalance(),
+        bus_imbalance: bus_ext.imbalance(),
+        scatter: scatter_stats,
+        dram: dram_merged,
+        per_shard,
+        y,
+        verified,
+    }
+}
+
+/// Runs one shard's indirect gather and accumulates its rows of `y`.
+/// Returns `(cycles, adapter stats, dram stats)`.
+fn run_shard_gather(
+    backend: &BackendConfig,
+    adapter: &AdapterConfig,
+    shard: &CsrShard<'_>,
+    x: &[f64],
+    y: &mut [f64],
+) -> (u64, AdapterStats, Option<HbmStats>) {
+    let indices = shard.col_idx();
+    let values = shard.values();
+    let row_of_pos = shard.row_of_positions();
+    let count = indices.len() as u64;
+
+    let mut chan = backend.build(Memory::new(stream_memory_size(indices.len(), x.len())));
+    let mem = chan.memory_mut();
+    let idx_base = mem.alloc_array(count, 4);
+    let elem_base = mem.alloc_array(x.len() as u64, 8);
+    mem.write_u32_slice(idx_base, indices);
+    mem.write_f64_slice(elem_base, x);
+
+    let mut unit = IndirectStreamUnit::new(adapter.clone());
+    unit.begin(PackRequest::Indirect {
+        idx_base,
+        idx_size: ElemSize::B4,
+        count,
+        elem_base,
+        elem_size: ElemSize::B8,
+    })
+    .expect("fresh unit accepts a burst");
+
+    let mut unpacker = Unpacker::new(ElemSize::B8);
+    let mut pos = 0usize;
+    let mut now = 0u64;
+    let budget = 200_000 + count * 256;
+    while !unit.is_done() {
+        unit.tick(now, &mut *chan);
+        chan.tick(now);
+        while let Some(beat) = unit.pop_beat() {
+            unpacker.push_beat(&beat);
+            while let Some(bits) = unpacker.pop() {
+                // The packer restores stream order, so position `pos`
+                // pairs the gathered x element with its nonzero value;
+                // per-row accumulation order equals `Csr::spmv`'s.
+                y[row_of_pos[pos] as usize] += values[pos] * f64::from_bits(bits);
+                pos += 1;
+            }
+        }
+        now += 1;
+        assert!(now < budget, "shard gather deadlock after {now} cycles");
+    }
+    assert_eq!(pos, indices.len(), "every element delivered exactly once");
+    (now, unit.stats(), chan.dram_stats())
+}
+
+/// Streams the merged `(row, bits)` sequence through one scatter unit
+/// into a fresh result channel and reads the result array back. Returns
+/// `(cycles, scatter stats, per-row result bits)`.
+fn run_merged_collection(
+    cfg: &ShardedConfig,
+    csr: &Csr,
+    order: &[(u32, u64)],
+) -> (u64, ScatterStats, Vec<u64>) {
+    let rows = csr.rows();
+    // The write-back port is one channel wide: splitting by the full
+    // channel count leaves exactly one channel of the configured kind.
+    // The scatter's index and result arrays have the same shape as a
+    // `rows`-long stream over a `rows`-element vector.
+    let backend = cfg.backend.split(cfg.backend.kind.channels());
+    let mut chan = backend.build(Memory::new(stream_memory_size(rows, rows)));
+    let mem = chan.memory_mut();
+    let idx_base = mem.alloc_array(rows as u64, 4);
+    let res_base = mem.alloc_array(rows as u64, 8);
+    let merge_rows: Vec<u32> = order.iter().map(|&(row, _)| row).collect();
+    mem.write_u32_slice(idx_base, &merge_rows);
+
+    let mut unit = ScatterUnit::new(cfg.adapter.clone());
+    unit.begin(ScatterRequest {
+        idx_base,
+        idx_size: ElemSize::B4,
+        count: rows as u64,
+        elem_base: res_base,
+        elem_size: ElemSize::B8,
+    })
+    .expect("fresh scatter unit");
+
+    let mut packer = Packer::new(ElemSize::B8);
+    let mut pending = order.iter().map(|&(_, bits)| bits);
+    let mut exhausted = false;
+    let mut staged = None;
+    let mut now = 0u64;
+    let budget = 200_000 + rows as u64 * 256;
+    while !unit.is_done(&*chan) {
+        if staged.is_none() {
+            while packer.pending() < 8 && !exhausted {
+                match pending.next() {
+                    Some(bits) => packer.push(bits),
+                    None => exhausted = true,
+                }
+            }
+            staged = packer
+                .pop_beat()
+                .or_else(|| if exhausted { packer.flush() } else { None });
+        }
+        if let Some(beat) = staged.take() {
+            if !unit.push_beat(&beat) {
+                staged = Some(beat);
+            }
+        }
+        unit.tick(now, &mut *chan);
+        chan.tick(now);
+        now += 1;
+        assert!(
+            now < budget,
+            "merged collection deadlock after {now} cycles"
+        );
+    }
+
+    let result_bits = (0..rows as u64)
+        .map(|r| chan.memory().read_u64(res_base + 8 * r))
+        .collect();
+    (now, unit.stats(), result_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmpic_sparse::gen::{banded_fem, circuit};
+
+    #[test]
+    fn sharded_result_is_byte_identical_across_unit_counts() {
+        let csr = circuit(384, 4, 24, 0.1, 5, 11);
+        let baseline = run_sharded_spmv(&csr, &ShardedConfig::new(1));
+        assert!(baseline.verified);
+        for units in [2, 3, 4, 8] {
+            let r = run_sharded_spmv(&csr, &ShardedConfig::new(units));
+            assert!(r.verified, "x{units} failed golden verification");
+            assert_eq!(r.y_bits(), baseline.y_bits(), "x{units} diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_result_is_byte_identical_on_every_backend() {
+        let csr = banded_fem(300, 8, 24, 13);
+        let mut references: Option<Vec<u64>> = None;
+        for backend in [
+            BackendConfig::ideal(),
+            BackendConfig::hbm(),
+            BackendConfig::interleaved(4),
+        ] {
+            for units in [1usize, 4] {
+                let cfg = ShardedConfig {
+                    backend: backend.clone(),
+                    ..ShardedConfig::new(units)
+                };
+                let r = run_sharded_spmv(&csr, &cfg);
+                assert!(r.verified, "{} x{units}", backend.label());
+                match &references {
+                    Some(bits) => assert_eq!(&r.y_bits(), bits, "{}", backend.label()),
+                    None => references = Some(r.y_bits()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_units_cut_gather_latency_and_raise_aggregate_bandwidth() {
+        let csr = banded_fem(2048, 10, 48, 3);
+        let r1 = run_sharded_spmv(&csr, &ShardedConfig::new(1));
+        let r4 = run_sharded_spmv(&csr, &ShardedConfig::new(4));
+        assert!(r1.verified && r4.verified);
+        assert!(
+            r4.gather_cycles < r1.gather_cycles,
+            "4 units must drain faster: {} vs {}",
+            r4.gather_cycles,
+            r1.gather_cycles
+        );
+        assert!(
+            r4.aggregate_gbps > r1.aggregate_gbps,
+            "aggregate bandwidth must rise: {:.1} vs {:.1}",
+            r4.aggregate_gbps,
+            r1.aggregate_gbps
+        );
+    }
+
+    /// A deterministically skewed matrix: the first quarter of the rows
+    /// are dense (64 nnz), the rest sparse (4 nnz) — the hub-and-spoke
+    /// shape where equal-row splitting collapses.
+    fn skewed(rows: usize) -> Csr {
+        let mut row_ptr = vec![0u32];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..rows {
+            let width = if r < rows / 4 { 64 } else { 4 };
+            for j in 0..width {
+                col_idx.push(((r * 31 + j * 7) % rows) as u32);
+                values.push((r + j) as f64 * 0.25 - 1.0);
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Csr::from_parts(rows, rows, row_ptr, col_idx, values).unwrap()
+    }
+
+    #[test]
+    fn by_nnz_beats_by_rows_on_skewed_matrices() {
+        let csr = skewed(512);
+        let nnz = run_sharded_spmv(
+            &csr,
+            &ShardedConfig {
+                strategy: PartitionStrategy::ByNnz,
+                ..ShardedConfig::new(4)
+            },
+        );
+        let rows = run_sharded_spmv(
+            &csr,
+            &ShardedConfig {
+                strategy: PartitionStrategy::ByRows,
+                ..ShardedConfig::new(4)
+            },
+        );
+        assert!(nnz.verified && rows.verified);
+        // Equal rows put all dense rows in shard 0: imbalance ≈ 2.6.
+        assert!(
+            nnz.nnz_imbalance < 1.1 && rows.nnz_imbalance > 2.0,
+            "nnz split must balance what row split cannot: {:.3} vs {:.3}",
+            nnz.nnz_imbalance,
+            rows.nnz_imbalance
+        );
+        assert!(
+            (nnz.gather_cycles as f64) < 0.7 * rows.gather_cycles as f64,
+            "balanced shards must drain clearly faster: {} vs {}",
+            nnz.gather_cycles,
+            rows.gather_cycles
+        );
+    }
+
+    #[test]
+    fn report_accounts_phases_and_stats() {
+        let csr = banded_fem(256, 6, 16, 5);
+        let r = run_sharded_spmv(&csr, &ShardedConfig::new(2));
+        assert_eq!(r.cycles, r.gather_cycles + r.collect_cycles);
+        assert!(r.collect_cycles > 0);
+        assert_eq!(r.nnz, csr.nnz() as u64);
+        assert!(r.nnz_imbalance >= 1.0 && r.cycle_imbalance >= 1.0);
+        assert_eq!(r.scatter.elements_in, csr.rows() as u64);
+        assert!(r.scatter.coalesce_rate() > 2.0, "rows coalesce into lines");
+        let dram = r.dram.expect("hbm-backed run has dram stats");
+        assert!(dram.reads > 0);
+        assert_eq!(r.per_shard.len(), 2);
+        assert!(r.label.contains("sharded x2"));
+    }
+
+    #[test]
+    fn empty_shards_are_tolerated() {
+        // 8 units over 3 rows: most shards own nothing.
+        let csr = banded_fem(3, 2, 4, 1);
+        let r = run_sharded_spmv(&csr, &ShardedConfig::new(8));
+        assert!(r.verified);
+        assert_eq!(r.per_shard.iter().map(|s| s.nnz).sum::<u64>(), r.nnz);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_panics() {
+        let csr = banded_fem(8, 2, 4, 1);
+        let _ = run_sharded_spmv(
+            &csr,
+            &ShardedConfig {
+                units: 0,
+                ..ShardedConfig::new(1)
+            },
+        );
+    }
+}

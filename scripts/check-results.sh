@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Gate on experiment result files: every JSON result passed as an
+# argument must exist, contain at least one row, and contain no NaN /
+# infinite values. Used by the CI bench-smoke job and scripts/ci-local.sh.
+#
+# Usage: scripts/check-results.sh results/scaling_units.json [more.json ...]
+set -euo pipefail
+
+if [ "$#" -eq 0 ]; then
+    echo "usage: $0 <results.json> [...]" >&2
+    exit 2
+fi
+
+fail=0
+for file in "$@"; do
+    bad=0
+    if [ ! -s "$file" ]; then
+        echo "FAIL: $file is missing or empty" >&2
+        fail=1
+        continue
+    fi
+    # Table::to_json emits one `{...}` object per data row; an experiment
+    # that produced no rows serializes to a bare `[]`.
+    rows=$(grep -c '{' "$file" || true)
+    if [ "$rows" -eq 0 ]; then
+        echo "FAIL: $file contains zero result rows" >&2
+        bad=1
+    fi
+    # NaN / infinity cannot be JSON numbers, so Table::to_json emits them
+    # as strings — their presence means an experiment produced a
+    # meaningless bandwidth.
+    if grep -qiE '"(nan|-?inf(inity)?)"' "$file"; then
+        echo "FAIL: $file contains NaN/infinite values:" >&2
+        grep -niE '"(nan|-?inf(inity)?)"' "$file" >&2
+        bad=1
+    fi
+    if [ "$bad" -eq 0 ]; then
+        echo "OK: $file ($rows rows, all values finite)"
+    else
+        fail=1
+    fi
+done
+exit "$fail"

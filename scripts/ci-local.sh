@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Reproduces the CI matrix locally so contributors can pre-flight before
+# pushing. Mirrors .github/workflows/ci.yml job for job:
+#
+#   lint        cargo fmt --check + clippy -D warnings
+#   test        release build + quick-scale test suite (stable, plus the
+#               MSRV toolchain when rustup has it installed)
+#   bench-smoke scaling_units + scaling_channels at NMPIC_QUICK=1, then
+#               gate the JSON results on zero rows / NaN bandwidth
+#   doc         rustdoc with broken intra-doc links as errors
+#
+# Usage: scripts/ci-local.sh [lint|test|bench|doc]...  (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MSRV=$(sed -n 's/^rust-version = "\(.*\)"/\1/p' Cargo.toml | head -n1)
+
+step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+run_lint() {
+    step "lint: rustfmt"
+    cargo fmt --all --check
+    step "lint: clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+run_test() {
+    step "test: release build (stable)"
+    cargo build --release --workspace --all-targets
+    step "test: quick-scale suite (stable)"
+    NMPIC_QUICK=1 cargo test -q --release --workspace
+    # The MSRV leg runs only when the pinned toolchain is available, so
+    # the script stays useful on machines without rustup.
+    if command -v rustup >/dev/null 2>&1 && rustup toolchain list | grep -q "^$MSRV"; then
+        step "test: quick-scale suite (MSRV $MSRV)"
+        NMPIC_QUICK=1 cargo "+$MSRV" test -q --release --workspace
+    else
+        echo "note: MSRV $MSRV toolchain not installed; skipping the MSRV leg"
+        echo "      (CI still runs it — install with: rustup toolchain install $MSRV)"
+    fi
+}
+
+run_bench() {
+    step "bench-smoke: scaling_units + scaling_channels (NMPIC_QUICK=1)"
+    NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_units
+    NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_channels
+    step "bench-smoke: gating results"
+    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json
+}
+
+run_doc() {
+    step "doc: rustdoc -D warnings"
+    RUSTDOCFLAGS="-D warnings --cfg docsrs" cargo doc --workspace --no-deps
+}
+
+if [ "$#" -eq 0 ]; then
+    set -- lint test bench doc
+fi
+for job in "$@"; do
+    case "$job" in
+        lint) run_lint ;;
+        test) run_test ;;
+        bench) run_bench ;;
+        doc) run_doc ;;
+        *)
+            echo "unknown job '$job' (want lint|test|bench|doc)" >&2
+            exit 2
+            ;;
+    esac
+done
+printf '\n\033[1mall requested CI jobs passed\033[0m\n'

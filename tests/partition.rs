@@ -1,0 +1,160 @@
+//! Property tests for the row partitioner and the sharded engine
+//! (hand-rolled, seeded — the workspace has no proptest):
+//!
+//! 1. `by_nnz` / `by_rows` partitions are a **disjoint exact cover** of
+//!    the rows for arbitrary matrices and shard counts;
+//! 2. per-shard nonzeros respect the documented balance bound
+//!    `ceil(nnz/K) + max_row_nnz`;
+//! 3. sharded SpMV output is **byte-identical** to the single-unit path
+//!    on every memory backend.
+
+use nmpic::mem::BackendConfig;
+use nmpic::sim::SimRng;
+use nmpic::sparse::partition::{by_nnz, by_rows, Partition};
+use nmpic::sparse::{Coo, Csr};
+use nmpic::system::{run_sharded_spmv, PartitionStrategy, ShardedConfig};
+
+/// A random sparse matrix with skewed row densities (a few hub rows),
+/// the shape that separates nnz balancing from row balancing.
+fn arb_matrix(rng: &mut SimRng) -> Csr {
+    let rows = rng.gen_u64(1, 200) as usize;
+    let cols = rng.gen_u64(1, 200) as usize;
+    let mut coo = Coo::new(rows, cols);
+    let entries = rng.gen_u64(0, 600);
+    for _ in 0..entries {
+        // ~1 in 8 entries lands in a hub row (the first few rows).
+        let r = if rng.gen_u64(0, 8) == 0 {
+            rng.gen_u64(0, (rows as u64).min(3))
+        } else {
+            rng.gen_u64(0, rows as u64)
+        } as u32;
+        let c = rng.gen_u64(0, cols as u64) as u32;
+        let v = rng.gen_u64(0, 400) as i64 - 200;
+        coo.push(r, c, v as f64 * 0.125);
+    }
+    coo.to_csr()
+}
+
+fn assert_disjoint_exact_cover(p: &Partition, csr: &Csr, k: usize, seed: u64) {
+    assert_eq!(p.shards(), k, "seed {seed}");
+    // Contiguous, monotone, starting at row 0 and ending at `rows`:
+    // together that makes the shards disjoint and exactly covering.
+    assert_eq!(p.range(0).start, 0, "seed {seed}");
+    assert_eq!(p.range(k - 1).end, csr.rows(), "seed {seed}");
+    for i in 1..k {
+        assert_eq!(
+            p.range(i - 1).end,
+            p.range(i).start,
+            "seed {seed}, gap at {i}"
+        );
+    }
+    // Every row is owned by exactly one shard, and shard nnz counts are
+    // consistent with the rows they own.
+    let mut owner = vec![usize::MAX; csr.rows()];
+    for i in 0..k {
+        for r in p.range(i) {
+            assert_eq!(owner[r], usize::MAX, "seed {seed}: row {r} owned twice");
+            owner[r] = i;
+        }
+        let rows_nnz: usize = p.range(i).map(|r| csr.row_nnz(r)).sum();
+        assert_eq!(p.nnz(i), rows_nnz as u64, "seed {seed}, shard {i}");
+    }
+    assert!(
+        owner.iter().all(|&o| o != usize::MAX),
+        "seed {seed}: unowned row"
+    );
+    assert_eq!(p.total_nnz(), csr.nnz() as u64, "seed {seed}");
+}
+
+#[test]
+fn partitions_are_disjoint_exact_covers() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::new(seed + 0x5EED);
+        let csr = arb_matrix(&mut rng);
+        for k in [1usize, 2, 3, 4, 7, 8, 13] {
+            assert_disjoint_exact_cover(&by_nnz(&csr, k), &csr, k, seed);
+            assert_disjoint_exact_cover(&by_rows(&csr, k), &csr, k, seed);
+        }
+    }
+}
+
+#[test]
+fn by_nnz_respects_the_documented_balance_bound() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::new(seed + 0xBA1A);
+        let csr = arb_matrix(&mut rng);
+        let max_row = csr.stats().max_row_nnz as u64;
+        for k in [2usize, 3, 4, 8] {
+            let p = by_nnz(&csr, k);
+            let bound = (csr.nnz() as u64).div_ceil(k as u64) + max_row;
+            for i in 0..k {
+                assert!(
+                    p.nnz(i) <= bound,
+                    "seed {seed}, k={k}, shard {i}: {} nnz exceeds bound {bound} \
+                     (total {}, max row {max_row})",
+                    p.nnz(i),
+                    csr.nnz()
+                );
+            }
+            // The imbalance metric agrees with the raw counts.
+            assert!(p.nnz_imbalance() >= 1.0, "seed {seed}");
+        }
+    }
+}
+
+/// Sharded SpMV must produce the same bytes as the single-unit path on
+/// every backend the factory can build, for every partitioning strategy.
+#[test]
+fn sharded_spmv_bytes_match_single_unit_on_every_backend() {
+    let mut rng = SimRng::new(0xC0FE);
+    for case in 0..4u64 {
+        let csr = {
+            // Reroll until the matrix is non-empty (the engine rejects
+            // matrices with no nonzeros).
+            let mut m = arb_matrix(&mut rng);
+            while m.nnz() == 0 {
+                m = arb_matrix(&mut rng);
+            }
+            m
+        };
+        for backend in [
+            BackendConfig::ideal(),
+            BackendConfig::hbm(),
+            BackendConfig::interleaved(4),
+            BackendConfig::interleaved(8),
+        ] {
+            let single = run_sharded_spmv(
+                &csr,
+                &ShardedConfig {
+                    backend: backend.clone(),
+                    ..ShardedConfig::new(1)
+                },
+            );
+            assert!(single.verified, "case {case}, {}", backend.label());
+            for units in [2usize, 4] {
+                for strategy in [PartitionStrategy::ByNnz, PartitionStrategy::ByRows] {
+                    let sharded = run_sharded_spmv(
+                        &csr,
+                        &ShardedConfig {
+                            units,
+                            backend: backend.clone(),
+                            strategy,
+                            ..ShardedConfig::new(units)
+                        },
+                    );
+                    assert!(
+                        sharded.verified,
+                        "case {case}, {} x{units} {strategy:?}: golden mismatch",
+                        backend.label()
+                    );
+                    assert_eq!(
+                        sharded.y_bits(),
+                        single.y_bits(),
+                        "case {case}, {} x{units} {strategy:?}: bytes diverged",
+                        backend.label()
+                    );
+                }
+            }
+        }
+    }
+}
