@@ -15,6 +15,7 @@ fn main() {
         "fig6b",
         "scaling_channels",
         "scaling_units",
+        "batched_spmv",
     ] {
         println!("==================== {bin} ====================");
         let status = Command::new(dir.join(bin))

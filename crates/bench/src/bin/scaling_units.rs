@@ -30,16 +30,17 @@ fn main() {
         "verified",
     ]);
     for r in &rows {
+        let d = r.report.shards().expect("sharded runs carry detail");
         table.row(vec![
             r.units.to_string(),
             r.variant.clone(),
             f(r.peak_gbps, 0),
-            f(r.report.aggregate_gbps, 2),
-            r.report.gather_cycles.to_string(),
-            r.report.collect_cycles.to_string(),
-            f(r.report.nnz_imbalance, 3),
-            f(r.report.cycle_imbalance, 3),
-            f(r.report.bus_imbalance, 3),
+            f(d.aggregate_gbps, 2),
+            d.gather_cycles.to_string(),
+            d.collect_cycles.to_string(),
+            f(d.nnz_imbalance, 3),
+            f(d.cycle_imbalance, 3),
+            f(d.bus_imbalance, 3),
             r.report.verified.to_string(),
         ]);
     }

@@ -10,26 +10,31 @@ use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions, StreamResult
 use nmpic_mem::{BackendConfig, ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
 use nmpic_model::{adapter_area, AreaBreakdown, EfficiencyPoint};
 use nmpic_sparse::{suite, Csr, Sell, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
-use nmpic_system::{
-    run_base_spmv, run_pack_spmv, run_sharded_spmv, BaseConfig, PackConfig, PartitionStrategy,
-    ShardedConfig, ShardedReport, SpmvReport,
-};
+use nmpic_system::{golden_x, PartitionStrategy, RunReport, SpmvEngine, SystemKind};
 
 use crate::runner::parallel_map;
 
 /// Common experiment options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExperimentOpts {
     /// Cap on nonzeros per matrix; specs are scaled down to fit (the
     /// paper runs full-size matrices on RTL farms — cycle-accurate Rust
     /// runs scale them, preserving structure; see EXPERIMENTS.md).
     pub max_nnz: u64,
+    /// System-kind override for experiments with a selectable system
+    /// (`NMPIC_SYSTEM`, e.g. `pack256`, `base`, `sharded4`); `None`
+    /// leaves each experiment's default in place.
+    pub system: Option<SystemKind>,
+    /// Partition-strategy override for sharded systems
+    /// (`NMPIC_PARTITION`, `nnz` or `rows`).
+    pub partition: Option<PartitionStrategy>,
 }
 
 impl ExperimentOpts {
     /// Reads options from the environment (`NMPIC_QUICK`,
-    /// `NMPIC_MAX_NNZ`), warning on stderr about malformed values instead
-    /// of silently falling back. See [`ExperimentOptsBuilder`].
+    /// `NMPIC_MAX_NNZ`, `NMPIC_SYSTEM`, `NMPIC_PARTITION`), warning on
+    /// stderr about malformed values instead of silently falling back.
+    /// See [`ExperimentOptsBuilder`].
     pub fn from_env() -> Self {
         ExperimentOptsBuilder::new().from_env().build()
     }
@@ -37,7 +42,11 @@ impl ExperimentOpts {
 
 impl Default for ExperimentOpts {
     fn default() -> Self {
-        Self { max_nnz: 150_000 }
+        Self {
+            max_nnz: 150_000,
+            system: None,
+            partition: None,
+        }
     }
 }
 
@@ -69,6 +78,8 @@ impl Default for ExperimentOpts {
 pub struct ExperimentOptsBuilder {
     max_nnz: Option<u64>,
     quick: bool,
+    system: Option<SystemKind>,
+    partition: Option<PartitionStrategy>,
     warnings: Vec<String>,
 }
 
@@ -97,8 +108,21 @@ impl ExperimentOptsBuilder {
         self
     }
 
-    /// Reads `NMPIC_QUICK` and `NMPIC_MAX_NNZ`, recording a warning for
-    /// every malformed value instead of silently ignoring it.
+    /// Selects the system kind for experiments that accept one.
+    pub fn system(mut self, system: SystemKind) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// Selects the partition strategy for sharded systems.
+    pub fn partition(mut self, partition: PartitionStrategy) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Reads `NMPIC_QUICK`, `NMPIC_MAX_NNZ`, `NMPIC_SYSTEM` and
+    /// `NMPIC_PARTITION`, recording a warning for every malformed value
+    /// instead of silently ignoring it.
     pub fn from_env(mut self) -> Self {
         if let Ok(v) = std::env::var("NMPIC_QUICK") {
             match v.trim() {
@@ -120,6 +144,22 @@ impl ExperimentOptsBuilder {
                 )),
             }
         }
+        if let Ok(v) = std::env::var("NMPIC_SYSTEM") {
+            if !v.trim().is_empty() {
+                match v.parse::<SystemKind>() {
+                    Ok(kind) => self.system = Some(kind),
+                    Err(e) => self.warnings.push(format!("ignoring NMPIC_SYSTEM: {e}")),
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("NMPIC_PARTITION") {
+            if !v.trim().is_empty() {
+                match v.parse::<PartitionStrategy>() {
+                    Ok(s) => self.partition = Some(s),
+                    Err(e) => self.warnings.push(format!("ignoring NMPIC_PARTITION: {e}")),
+                }
+            }
+        }
         self
     }
 
@@ -136,7 +176,11 @@ impl ExperimentOptsBuilder {
         let max_nnz = self
             .max_nnz
             .unwrap_or(if self.quick { 20_000 } else { 150_000 });
-        ExperimentOpts { max_nnz }
+        ExperimentOpts {
+            max_nnz,
+            system: self.system,
+            partition: self.partition,
+        }
     }
 }
 
@@ -267,7 +311,7 @@ pub struct SystemRow {
     /// Matrix name.
     pub matrix: String,
     /// Full system report (`base`, `pack0`, `pack64`, `pack256`).
-    pub report: SpmvReport,
+    pub report: RunReport,
 }
 
 /// The pack-system adapter variants of Fig. 5.
@@ -295,7 +339,9 @@ enum SystemJob<'a> {
 fn run_system_jobs(jobs: Vec<SystemJob<'_>>) -> Vec<SystemRow> {
     parallel_map(jobs, |job| match job {
         SystemJob::Base { matrix, csr } => {
-            let report = run_base_spmv(csr, &BaseConfig::default());
+            let engine = SpmvEngine::builder().system(SystemKind::Base).build();
+            let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+            let report = engine.prepare(csr).run(&x);
             assert!(report.verified, "{matrix}/base: verification failed");
             SystemRow {
                 matrix: matrix.to_string(),
@@ -307,7 +353,11 @@ fn run_system_jobs(jobs: Vec<SystemJob<'_>>) -> Vec<SystemRow> {
             sell,
             adapter,
         } => {
-            let report = run_pack_spmv(sell, &PackConfig::with_adapter(adapter));
+            let engine = SpmvEngine::builder()
+                .system(SystemKind::Pack(adapter))
+                .build();
+            let x: Vec<f64> = (0..sell.cols()).map(golden_x).collect();
+            let report = engine.prepare_sell(sell).run(&x);
             assert!(
                 report.verified,
                 "{matrix}/{}: datapath mismatch",
@@ -403,11 +453,15 @@ pub fn fig6b(opts: &ExperimentOpts) -> Vec<EfficiencyPoint> {
     let matrices = build_matrices(&EFFICIENCY_THREE, opts);
     let pack = adapter.clone();
     let reports = parallel_map(matrices, move |(name, _, sell)| {
-        let report = run_pack_spmv(&sell, &PackConfig::with_adapter(pack.clone()));
+        let engine = SpmvEngine::builder()
+            .system(SystemKind::Pack(pack.clone()))
+            .build();
+        let x: Vec<f64> = (0..sell.cols()).map(golden_x).collect();
+        let report = engine.prepare_sell(&sell).run(&x);
         assert!(report.verified, "{name}: datapath mismatch");
         report
     });
-    let gflops_sum: f64 = reports.iter().map(SpmvReport::gflops).sum();
+    let gflops_sum: f64 = reports.iter().map(RunReport::gflops).sum();
     let n = reports.len() as f64;
     let stream = measure_stream_gbps();
     vec![
@@ -487,8 +541,9 @@ pub struct UnitScalingRow {
     pub variant: String,
     /// Aggregate peak bandwidth across all units' channel slices, GB/s.
     pub peak_gbps: f64,
-    /// Full sharded-engine report.
-    pub report: ShardedReport,
+    /// Full engine report; `report.shards()` carries the multi-unit
+    /// detail (aggregate GB/s, imbalance metrics, per-shard rows).
+    pub report: RunReport,
 }
 
 /// The unit counts swept by [`scaling_units`].
@@ -511,6 +566,7 @@ pub const SCALING_UNITS: [usize; 4] = [1, 2, 4, 8];
 pub fn scaling_units(opts: &ExperimentOpts) -> Vec<UnitScalingRow> {
     let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
     let csr = spec.build_capped(opts.max_nnz.min(100_000));
+    let strategy = opts.partition.unwrap_or_default();
 
     let mut jobs = Vec::new();
     for units in SCALING_UNITS {
@@ -519,14 +575,15 @@ pub fn scaling_units(opts: &ExperimentOpts) -> Vec<UnitScalingRow> {
         }
     }
     parallel_map(jobs, move |(units, adapter)| {
-        let cfg = ShardedConfig {
-            units,
-            adapter: adapter.clone(),
-            backend: BackendConfig::interleaved(8),
-            strategy: PartitionStrategy::ByNnz,
-        };
-        let peak_gbps = cfg.peak_bytes_per_cycle() as f64;
-        let report = run_sharded_spmv(&csr, &cfg);
+        let backend = BackendConfig::interleaved(8);
+        let peak_gbps = (backend.split(units).peak_bytes_per_cycle() * units as u64) as f64;
+        let engine = SpmvEngine::builder()
+            .backend(backend)
+            .system(SystemKind::Sharded { units, strategy })
+            .sharded_adapter(adapter.clone())
+            .build();
+        let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+        let report = engine.prepare(&csr).run(&x);
         assert!(
             report.verified,
             "scaling x{units}/{}: result bytes diverged from golden SpMV",
@@ -541,12 +598,118 @@ pub fn scaling_units(opts: &ExperimentOpts) -> Vec<UnitScalingRow> {
     })
 }
 
+/// One batched-SpMV measurement: a prepared plan running B vectors.
+#[derive(Debug, Clone)]
+pub struct BatchRow {
+    /// Vectors per batch (B).
+    pub batch: usize,
+    /// System label of the plan.
+    pub label: String,
+    /// Total batch runtime in cycles.
+    pub cycles: u64,
+    /// Amortized per-vector runtime of the batched plan, in cycles.
+    pub per_vector_cycles: f64,
+    /// Per-vector runtime of the plan-rebuild path (a fresh
+    /// `prepare` + `run` per vector), in cycles.
+    pub rebuild_per_vector_cycles: f64,
+    /// `rebuild_per_vector_cycles / per_vector_cycles` — how much the
+    /// prepare-once/execute-many structure saves (≥ ~1.0).
+    pub amortization: f64,
+    /// Per-vector off-chip traffic of the batched plan, in bytes.
+    pub per_vector_offchip_bytes: f64,
+    /// Whether every vector of the batch verified against the golden
+    /// SpMV.
+    pub verified: bool,
+}
+
+/// The batch sizes swept by [`batched_spmv`].
+pub const BATCH_SIZES: [usize; 3] = [1, 4, 16];
+
+/// Deterministic per-vector input pattern for batched workloads: vector
+/// `b` gets a distinct but equally bounded variant of
+/// [`nmpic_system::golden_x`].
+pub fn batch_x(b: usize, i: usize) -> f64 {
+    0.5 + ((i as u64)
+        .wrapping_add((b as u64).wrapping_mul(7919))
+        .wrapping_mul(2654435761)
+        % 1000) as f64
+        * 1e-3
+}
+
+/// Runs the batched multi-vector SpMV study: one prepared plan executing
+/// B = 1/4/16 vectors per [`nmpic_system::SpmvPlan::run_batch`] call,
+/// against the per-vector plan-rebuild baseline (`prepare` + `run` for
+/// every vector — what the legacy one-shot API forced).
+///
+/// Default configuration: the pack system with the MLP256 adapter over
+/// an 8-channel interleaved HBM stack; override with `NMPIC_SYSTEM` /
+/// `NMPIC_PARTITION` ([`ExperimentOpts::system`] /
+/// [`ExperimentOpts::partition`]). On the pack system each tile's slice
+/// pointers and nonzeros are fetched once per batch, so per-vector
+/// runtime drops as B grows; the baseline amortizes through warm LLC
+/// matrix lines; the sharded engine runs vectors back to back (no
+/// per-tile streams to amortize), so its curve stays flat.
+///
+/// # Panics
+///
+/// Panics if any run fails its golden verification.
+pub fn batched_spmv(opts: &ExperimentOpts) -> Vec<BatchRow> {
+    let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
+    let csr = spec.build_capped(opts.max_nnz.min(100_000));
+    let system = match (&opts.system, opts.partition) {
+        (Some(SystemKind::Sharded { units, .. }), Some(strategy)) => SystemKind::Sharded {
+            units: *units,
+            strategy,
+        },
+        (Some(kind), _) => kind.clone(),
+        (None, _) => SystemKind::Pack(AdapterConfig::mlp(256)),
+    };
+    let engine = SpmvEngine::builder()
+        .backend(BackendConfig::interleaved(8))
+        .system(system)
+        .batch_capacity(*BATCH_SIZES.iter().max().expect("non-empty sweep"))
+        .build();
+
+    // The plan-rebuild path: every vector pays `prepare` + `run` on a
+    // fresh plan, exactly like the legacy one-shot API. Its per-vector
+    // cycle cost is one single-vector run.
+    let rebuild_per_vector = {
+        let x: Vec<f64> = (0..csr.cols()).map(|i| batch_x(0, i)).collect();
+        engine.prepare(&csr).run(&x).cycles as f64
+    };
+
+    let jobs: Vec<usize> = BATCH_SIZES.to_vec();
+    let engine2 = engine.clone();
+    parallel_map(jobs, move |batch| {
+        let xs: Vec<Vec<f64>> = (0..batch)
+            .map(|b| (0..csr.cols()).map(|i| batch_x(b, i)).collect())
+            .collect();
+        let mut plan = engine2.prepare(&csr);
+        let report = plan.run_batch(&xs);
+        assert!(report.verified, "B={batch}: golden mismatch");
+        let per_vector = report.cycles_per_vector();
+        BatchRow {
+            batch,
+            label: report.label.clone(),
+            cycles: report.cycles,
+            per_vector_cycles: per_vector,
+            rebuild_per_vector_cycles: rebuild_per_vector,
+            amortization: rebuild_per_vector / per_vector,
+            per_vector_offchip_bytes: report.offchip_bytes as f64 / batch as f64,
+            verified: report.verified,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tiny() -> ExperimentOpts {
-        ExperimentOpts { max_nnz: 4_000 }
+        ExperimentOpts {
+            max_nnz: 4_000,
+            ..ExperimentOpts::default()
+        }
     }
 
     #[test]
@@ -587,7 +750,10 @@ mod tests {
 
     #[test]
     fn scaling_units_breaks_the_single_port_cap() {
-        let rows = scaling_units(&ExperimentOpts { max_nnz: 6_000 });
+        let rows = scaling_units(&ExperimentOpts {
+            max_nnz: 6_000,
+            ..ExperimentOpts::default()
+        });
         assert_eq!(rows.len(), SCALING_UNITS.len() * 2);
         assert!(rows.iter().all(|r| r.report.verified));
         for (i, r) in rows.iter().enumerate() {
@@ -595,35 +761,67 @@ mod tests {
             // 8 channels split across units: aggregate peak is constant.
             assert_eq!(r.peak_gbps, 256.0);
         }
+        let gbps = |r: &UnitScalingRow| r.report.shards().expect("sharded").aggregate_gbps;
         let mlp: Vec<&UnitScalingRow> = rows.iter().filter(|r| r.variant == "MLP256").collect();
         // The acceptance property: K=4 delivers strictly more aggregate
         // indirect bandwidth than the K=1 baseline, whose single 512 b
         // upstream port caps delivery at 64 GB/s.
         let k1 = mlp.iter().find(|r| r.units == 1).expect("K=1 row");
         let k4 = mlp.iter().find(|r| r.units == 4).expect("K=4 row");
-        assert!(k1.report.aggregate_gbps <= 64.0 + 1e-9);
+        assert!(gbps(k1) <= 64.0 + 1e-9);
         assert!(
-            k4.report.aggregate_gbps > k1.report.aggregate_gbps,
+            gbps(k4) > gbps(k1),
             "4 units must beat 1: {:.1} vs {:.1} GB/s",
-            k4.report.aggregate_gbps,
-            k1.report.aggregate_gbps
+            gbps(k4),
+            gbps(k1)
         );
         assert!(
-            k4.report.aggregate_gbps > 64.0,
+            gbps(k4) > 64.0,
             "4 units must break past one port's 64 GB/s cap, got {:.1}",
-            k4.report.aggregate_gbps
+            gbps(k4)
         );
         // Imbalance metrics are present and sane.
         for r in &rows {
-            assert!(r.report.nnz_imbalance >= 1.0);
-            assert!(r.report.cycle_imbalance >= 1.0);
-            assert!(r.report.bus_imbalance >= 1.0);
+            let d = r.report.shards().expect("sharded detail");
+            assert!(d.nnz_imbalance >= 1.0);
+            assert!(d.cycle_imbalance >= 1.0);
+            assert!(d.bus_imbalance >= 1.0);
+        }
+    }
+
+    #[test]
+    fn batched_runs_amortize_per_vector_runtime() {
+        let rows = batched_spmv(&ExperimentOpts {
+            max_nnz: 6_000,
+            ..ExperimentOpts::default()
+        });
+        assert_eq!(rows.len(), BATCH_SIZES.len());
+        assert!(rows.iter().all(|r| r.verified));
+        for (r, b) in rows.iter().zip(BATCH_SIZES) {
+            assert_eq!(r.batch, b);
+            assert_eq!(r.label, "pack256");
+            assert!(r.per_vector_cycles > 0.0);
+        }
+        // The acceptance property: a B >= 4 batch on one prepared plan is
+        // strictly faster per vector than rebuilding the plan per vector.
+        for r in rows.iter().filter(|r| r.batch >= 4) {
+            assert!(
+                r.per_vector_cycles < r.rebuild_per_vector_cycles,
+                "B={}: batched {:.0} must undercut rebuild {:.0} cycles/vector",
+                r.batch,
+                r.per_vector_cycles,
+                r.rebuild_per_vector_cycles
+            );
+            assert!(r.amortization > 1.0);
         }
     }
 
     #[test]
     fn scaling_channels_rows_cover_sweep_and_mlp_bandwidth_is_monotone() {
-        let rows = scaling_channels(&ExperimentOpts { max_nnz: 3_000 });
+        let rows = scaling_channels(&ExperimentOpts {
+            max_nnz: 3_000,
+            ..ExperimentOpts::default()
+        });
         assert_eq!(rows.len(), SCALING_CHANNELS.len() * 2);
         assert!(rows.iter().all(|r| r.result.verified));
         // Order is (channels × variant), and peak scales with channels.
@@ -694,6 +892,23 @@ mod opts_tests {
     #[should_panic(expected = "positive")]
     fn builder_rejects_zero_cap() {
         let _ = ExperimentOptsBuilder::new().max_nnz(0);
+    }
+
+    #[test]
+    fn builder_system_and_partition_setters() {
+        let opts = ExperimentOptsBuilder::new()
+            .system("sharded4".parse().unwrap())
+            .partition("rows".parse().unwrap())
+            .build();
+        assert_eq!(
+            opts.system,
+            Some(SystemKind::Sharded {
+                units: 4,
+                strategy: PartitionStrategy::ByNnz
+            })
+        );
+        assert_eq!(opts.partition, Some(PartitionStrategy::ByRows));
+        assert!(ExperimentOptsBuilder::new().build().system.is_none());
     }
 
     #[test]

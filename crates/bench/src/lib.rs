@@ -14,6 +14,7 @@
 //! | Fig. 6b  | `fig6b`  | on-chip cost and SpMV efficiency vs A64FX / SX-Aurora |
 //! | extension | `scaling_channels` | indirect bandwidth vs interleaved channel count |
 //! | extension | `scaling_units` | sharded multi-unit SpMV vs unit count (aggregate GB/s + load imbalance) |
+//! | extension | `batched_spmv` | multi-vector SpMV on one prepared plan vs per-vector plan rebuild |
 //! | all      | `all_experiments` | everything above, CSVs under `results/` |
 //!
 //! Sweeps run their configuration points in parallel across CPU cores
@@ -22,7 +23,9 @@
 //!
 //! Scale control: experiments cap matrix size with
 //! `NMPIC_MAX_NNZ=<nnz>` (default 150 000) or `NMPIC_QUICK=1`; worker
-//! threads with `NMPIC_JOBS=<n>` (default: all cores).
+//! threads with `NMPIC_JOBS=<n>` (default: all cores). Experiments with
+//! a selectable system honour `NMPIC_SYSTEM=<base|packN|shardedK>` and
+//! `NMPIC_PARTITION=<nnz|rows>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,9 +36,10 @@ pub mod runner;
 pub mod timing;
 
 pub use experiments::{
-    fig3, fig3_variants, fig4, fig4_variants, fig5, fig5_adapters, fig5_matrix, fig6a, fig6b,
-    measure_stream_gbps, scaling_channels, scaling_units, ChannelScalingRow, ExperimentOpts,
-    ExperimentOptsBuilder, StreamRow, SystemRow, UnitScalingRow, SCALING_CHANNELS, SCALING_UNITS,
+    batch_x, batched_spmv, fig3, fig3_variants, fig4, fig4_variants, fig5, fig5_adapters,
+    fig5_matrix, fig6a, fig6b, measure_stream_gbps, scaling_channels, scaling_units, BatchRow,
+    ChannelScalingRow, ExperimentOpts, ExperimentOptsBuilder, StreamRow, SystemRow, UnitScalingRow,
+    BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS,
 };
 pub use output::{f, Table};
 pub use runner::{parallel_jobs, parallel_map};

@@ -146,6 +146,18 @@ impl AdapterConfig {
         }
     }
 
+    /// Report label in the SpMV systems' convention (`pack0`, `pack64`,
+    /// `pack256`, `packSEQ64`). The engine's pack and sharded reports both
+    /// derive their labels from this, keeping labeling uniform across
+    /// execution paths.
+    pub fn label(&self) -> String {
+        match self.mode {
+            CoalescerMode::None => "pack0".to_string(),
+            CoalescerMode::Parallel => format!("pack{}", self.window),
+            CoalescerMode::Sequential => format!("packSEQ{}", self.window),
+        }
+    }
+
     /// Validates the structural constraints from the paper ("both N and W
     /// must be powers of two and W ≥ N").
     ///

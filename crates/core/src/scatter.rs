@@ -192,6 +192,23 @@ impl ScatterUnit {
         self.stats
     }
 
+    /// Returns the unit to its just-constructed state so a prepared plan
+    /// can start a fresh scatter burst on a warm unit. Unlike
+    /// [`ScatterUnit::begin`], which refuses to follow a completed burst,
+    /// this clears the completed-burst state and the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if writes from the current burst are still in flight.
+    pub fn reset(&mut self) {
+        assert!(
+            !self.active
+                || (self.written == self.target && self.warp.is_none() && self.write_q.is_empty()),
+            "reset with writes in flight"
+        );
+        *self = Self::new(self.cfg.clone());
+    }
+
     /// Starts a scatter burst.
     ///
     /// # Errors

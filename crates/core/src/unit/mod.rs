@@ -356,6 +356,20 @@ impl IndirectStreamUnit {
         self.is_done_internal()
     }
 
+    /// Returns the unit to its just-constructed state: idle, zeroed
+    /// statistics, cleared coalescer/arbiter history. A prepared SpMV
+    /// plan calls this between runs so one warm unit serves the whole
+    /// session instead of being rebuilt per call, with every run seeing
+    /// the same deterministic initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a burst is still in flight.
+    pub fn reset(&mut self) {
+        assert!(self.is_done_internal(), "reset with a burst in flight");
+        *self = Self::new(self.cfg.clone());
+    }
+
     fn is_done_internal(&self) -> bool {
         self.burst_delivered == self.burst_target
             && self.beats.is_empty()

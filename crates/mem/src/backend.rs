@@ -307,6 +307,10 @@ impl<T: ChannelPort + ?Sized> ChannelPort for Box<T> {
     fn dram_stats(&self) -> Option<HbmStats> {
         (**self).dram_stats()
     }
+
+    fn reset_run_state(&mut self) {
+        (**self).reset_run_state()
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +401,29 @@ mod tests {
         assert_eq!(BackendConfig::hbm().peak_bytes_per_cycle(), 32);
         assert_eq!(BackendConfig::interleaved(8).peak_bytes_per_cycle(), 8 * 32);
         assert_eq!(BackendConfig::ideal().peak_bytes_per_cycle(), 32);
+    }
+
+    #[test]
+    fn reset_run_state_keeps_memory_but_clears_traffic() {
+        for cfg in [
+            BackendConfig::ideal(),
+            BackendConfig::hbm(),
+            BackendConfig::interleaved(2),
+        ] {
+            let mut mem = Memory::new(1 << 12);
+            mem.write_u64(128, 77);
+            let mut chan = build_backend(&cfg, mem);
+            assert_eq!(drain_one(&mut *chan, 128), 77);
+            assert!(chan.data_bytes() > 0);
+            chan.reset_run_state();
+            assert_eq!(chan.data_bytes(), 0, "{}", cfg.label());
+            if let Some(s) = chan.dram_stats() {
+                assert_eq!(s.reads, 0, "{}", cfg.label());
+            }
+            // The memory image survives and a rerun from cycle 0 behaves
+            // exactly like the first run did.
+            assert_eq!(drain_one(&mut *chan, 128), 77, "{}", cfg.label());
+        }
     }
 
     #[test]

@@ -484,6 +484,17 @@ impl ChannelPort for HbmChannel {
     fn dram_stats(&self) -> Option<HbmStats> {
         Some(self.stats())
     }
+
+    fn reset_run_state(&mut self) {
+        assert!(self.is_idle(), "reset_run_state on a busy HBM channel");
+        self.banks = vec![BankState::default(); self.cfg.banks];
+        self.bus_free_at = 0;
+        self.last_group = None;
+        self.next_read_seq = 0;
+        self.next_deliver_seq = 0;
+        self.bus = BusyTracker::new();
+        self.stats = HbmStats::default();
+    }
 }
 
 #[cfg(test)]

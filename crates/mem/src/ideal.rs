@@ -134,6 +134,12 @@ impl ChannelPort for IdealChannel {
     fn peak_bytes_per_cycle(&self) -> u64 {
         BLOCK_BYTES as u64 / self.t_bl
     }
+
+    fn reset_run_state(&mut self) {
+        assert!(self.is_idle(), "reset_run_state on a busy ideal channel");
+        self.next_issue_at = 0;
+        self.data_bytes = 0;
+    }
 }
 
 #[cfg(test)]

@@ -193,6 +193,18 @@ impl ChannelPort for InterleavedChannels {
     fn dram_stats(&self) -> Option<crate::HbmStats> {
         Some(self.stats())
     }
+
+    fn reset_run_state(&mut self) {
+        assert!(
+            self.is_idle(),
+            "reset_run_state on busy interleaved channels"
+        );
+        for ch in &mut self.channels {
+            ch.reset_run_state();
+        }
+        self.next_seq = 0;
+        self.next_deliver = 0;
+    }
 }
 
 #[cfg(test)]

@@ -215,6 +215,22 @@ pub trait ChannelPort {
     fn dram_stats(&self) -> Option<HbmStats> {
         None
     }
+
+    /// Resets the channel's *run* state — controller timing (bank state,
+    /// bus reservations, in-order sequencing) and traffic statistics —
+    /// while leaving the backing [`Memory`] image untouched.
+    ///
+    /// This is what lets a prepared SpMV plan reuse a warm backend across
+    /// runs: the matrix arrays stay resident, only the vector is
+    /// rewritten, and each run starts from a deterministic cold
+    /// controller at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are still queued or in flight
+    /// (`!`[`ChannelPort::is_idle`]) — resetting mid-burst would lose
+    /// responses.
+    fn reset_run_state(&mut self);
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use nmpic_mem::{BackendConfig, ChannelPort, Memory, WideRequest, BLOCK_BYTES};
 use nmpic_sparse::Csr;
 
 use crate::cache::{Cache, CacheConfig};
-use crate::report::{golden_x, SpmvReport};
+use crate::report::{bits_equal, golden_x, SpmvReport};
 
 /// Configuration of the baseline system.
 #[derive(Debug, Clone)]
@@ -84,14 +84,22 @@ enum GatherState {
 ///
 /// ```
 /// use nmpic_sparse::gen::banded_fem;
+/// # #[allow(deprecated)]
 /// use nmpic_system::{run_base_spmv, BaseConfig};
 /// let m = banded_fem(256, 6, 16, 1);
+/// # #[allow(deprecated)]
 /// let r = run_base_spmv(&m, &BaseConfig::default());
 /// assert!(r.verified);
 /// assert!(r.cycles > 0);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session instead: `SpmvEngine::builder().backend(..).system(SystemKind::Base)\
+            .build().prepare(csr).run(&x)` (see README § Engine API)"
+)]
 pub fn run_base_spmv(csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
     let mut chan = cfg.backend.build(Memory::new(base_memory_size(csr)));
+    #[allow(deprecated)]
     run_base_spmv_on(&mut *chan, csr, cfg)
 }
 
@@ -114,27 +122,105 @@ pub fn base_memory_size(csr: &Csr) -> usize {
 ///
 /// Panics on an empty matrix, an undersized channel memory, or a
 /// cycle-budget overrun (model deadlock).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session instead: `SpmvEngine::builder().backend(..).system(SystemKind::Base)\
+            .build().prepare(csr).run(&x)` (see README § Engine API)"
+)]
 pub fn run_base_spmv_on(chan: &mut dyn ChannelPort, csr: &Csr, cfg: &BaseConfig) -> SpmvReport {
+    let data_bytes_before = chan.data_bytes();
+    let layout = layout_base(chan, csr);
+    let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+    write_base_vector(chan, &layout, &x);
+    let mut llc = Cache::new(cfg.llc);
+    let run = exec_base(chan, csr, cfg, &layout, &mut llc, &x);
+    let verified = bits_equal(&run.y, &csr.spmv(&x));
+    SpmvReport {
+        label: "base".to_string(),
+        cycles: run.cycles,
+        indir_cycles: run.indir_cycles,
+        nnz: csr.nnz() as u64,
+        entries: csr.nnz() as u64,
+        offchip_bytes: chan.data_bytes() - data_bytes_before,
+        ideal_bytes: base_ideal_bytes(csr, 1),
+        verified,
+    }
+}
+
+/// DRAM home locations of the baseline system's five arrays.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BaseLayout {
+    pub(crate) ptr_base: u64,
+    pub(crate) idx_base: u64,
+    pub(crate) val_base: u64,
+    pub(crate) vec_base: u64,
+    pub(crate) res_base: u64,
+}
+
+/// Allocates the baseline arrays in the channel's memory and writes the
+/// **matrix** image (row pointers, column indices, values). The vector is
+/// written separately — per run — by [`write_base_vector`].
+pub(crate) fn layout_base(chan: &mut dyn ChannelPort, csr: &Csr) -> BaseLayout {
+    assert!(csr.nnz() > 0, "empty matrix");
+    let mem = chan.memory_mut();
+    let layout = BaseLayout {
+        ptr_base: mem.alloc_array(csr.rows() as u64 + 1, 4),
+        idx_base: mem.alloc_array(csr.nnz() as u64, 4),
+        val_base: mem.alloc_array(csr.nnz() as u64, 8),
+        vec_base: mem.alloc_array(csr.cols() as u64, 8),
+        res_base: mem.alloc_array(csr.rows() as u64, 8),
+    };
+    mem.write_u32_slice(layout.ptr_base, csr.row_ptr());
+    mem.write_u32_slice(layout.idx_base, csr.col_idx());
+    mem.write_f64_slice(layout.val_base, csr.values());
+    layout
+}
+
+/// Rewrites only the vector region of a laid-out memory image — the
+/// per-run step of a prepared plan.
+pub(crate) fn write_base_vector(chan: &mut dyn ChannelPort, layout: &BaseLayout, x: &[f64]) {
+    chan.memory_mut().write_f64_slice(layout.vec_base, x);
+}
+
+/// Compulsory off-chip bytes for `vectors` SpMVs on one laid-out matrix:
+/// the matrix arrays once, each vector and result once.
+pub(crate) fn base_ideal_bytes(csr: &Csr, vectors: u64) -> u64 {
+    4 * (csr.rows() as u64 + 1)
+        + 12 * csr.nnz() as u64
+        + vectors * 8 * (csr.cols() + csr.rows()) as u64
+}
+
+/// One baseline execution's measurements.
+pub(crate) struct BaseRun {
+    pub(crate) cycles: u64,
+    pub(crate) indir_cycles: u64,
+    pub(crate) y: Vec<f64>,
+}
+
+/// Executes one baseline SpMV against an already laid-out memory image,
+/// starting the channel clock at 0. The result vector is accumulated in
+/// row-major element order — byte-identical to [`Csr::spmv`].
+pub(crate) fn exec_base(
+    chan: &mut dyn ChannelPort,
+    csr: &Csr,
+    cfg: &BaseConfig,
+    layout: &BaseLayout,
+    llc: &mut Cache,
+    x: &[f64],
+) -> BaseRun {
     assert!(csr.nnz() > 0, "empty matrix");
     let nnz = csr.nnz();
     let rows = csr.rows();
-    let cols = csr.cols();
-    let data_bytes_before = chan.data_bytes();
-
-    // DRAM layout.
-    let mem = chan.memory_mut();
-    let ptr_base = mem.alloc_array(rows as u64 + 1, 4);
-    let idx_base = mem.alloc_array(nnz as u64, 4);
-    let val_base = mem.alloc_array(nnz as u64, 8);
-    let vec_base = mem.alloc_array(cols as u64, 8);
-    let res_base = mem.alloc_array(rows as u64, 8);
-    mem.write_u32_slice(ptr_base, csr.row_ptr());
-    mem.write_u32_slice(idx_base, csr.col_idx());
-    mem.write_f64_slice(val_base, csr.values());
-    let x: Vec<f64> = (0..cols).map(golden_x).collect();
-    mem.write_f64_slice(vec_base, &x);
-
-    let mut llc = Cache::new(cfg.llc);
+    let BaseLayout {
+        ptr_base,
+        idx_base,
+        val_base,
+        vec_base,
+        res_base,
+    } = *layout;
+    let values = csr.values();
+    let mut y = vec![0.0f64; rows];
+    let mut acc_row = 0usize;
 
     let mut now: u64 = 0;
     let mut indir_cycles: u64 = 0;
@@ -158,16 +244,11 @@ pub fn run_base_spmv_on(chan: &mut dyn ChannelPort, csr: &Csr, cfg: &BaseConfig)
             }
         };
         for k in k0..k1 {
-            push_line(&mut fetch, &mut llc, idx_base + 4 * k as u64, true);
-            push_line(&mut fetch, &mut llc, val_base + 8 * k as u64, false);
+            push_line(&mut fetch, llc, idx_base + 4 * k as u64, true);
+            push_line(&mut fetch, llc, val_base + 8 * k as u64, false);
         }
         // Row pointers consumed as rows advance (cheap, sequential).
-        push_line(
-            &mut fetch,
-            &mut llc,
-            ptr_base + 4 * rows_retired as u64,
-            true,
-        );
+        push_line(&mut fetch, llc, ptr_base + 4 * rows_retired as u64, true);
 
         let mut idx_done_at = now;
         let mut to_issue = fetch.clone();
@@ -264,6 +345,14 @@ pub fn run_base_spmv_on(chan: &mut dyn ChannelPort, csr: &Csr, cfg: &BaseConfig)
 
         // --- Phase 3: MACs (coupled, so they serialize after the gather).
         now += (total as u64).div_ceil(cfg.macs_per_cycle as u64);
+        // Accumulate the chunk's products in row-major element order —
+        // the same floating-point addition sequence as `Csr::spmv`.
+        for k in k0..k1 {
+            while csr.row_ptr()[acc_row + 1] as usize <= k {
+                acc_row += 1;
+            }
+            y[acc_row] += values[k] * x[col_idx[k] as usize];
+        }
 
         // Retire rows whose nonzeros are fully processed: each row costs
         // the coupled scalar overhead (row pointers, vsetvl, reduction).
@@ -288,21 +377,10 @@ pub fn run_base_spmv_on(chan: &mut dyn ChannelPort, csr: &Csr, cfg: &BaseConfig)
         assert!(now < budget, "baseline drain deadlock");
     }
 
-    // Golden verification (the baseline datapath is the golden path; this
-    // guards the harness).
-    let y = csr.spmv(&x);
-    let verified = y.len() == rows;
-
-    let ideal = 4 * (rows as u64 + 1) + 12 * nnz as u64 + 8 * cols as u64 + 8 * rows as u64;
-    SpmvReport {
-        label: "base".to_string(),
+    BaseRun {
         cycles: now,
         indir_cycles,
-        nnz: nnz as u64,
-        entries: nnz as u64,
-        offchip_bytes: chan.data_bytes() - data_bytes_before,
-        ideal_bytes: ideal,
-        verified,
+        y,
     }
 }
 
@@ -315,6 +393,7 @@ fn drain_writes(chan: &mut dyn ChannelPort, pending: &mut Vec<WideRequest>, now:
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nmpic_sparse::gen::{banded_fem, random_uniform};
@@ -390,6 +469,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod behaviour_tests {
     use super::*;
     use nmpic_sparse::gen::banded_fem;

@@ -149,6 +149,28 @@ impl Cache {
         let (set, tag) = self.set_and_tag(addr);
         self.tags[set].contains(&Some(tag))
     }
+
+    /// Invalidates every resident line whose address falls in
+    /// `[lo, hi)`. The baseline system's batched runs use this to drop
+    /// the stale vector region when `x` is rewritten between vectors,
+    /// while the matrix lines stay warm.
+    pub fn invalidate_range(&mut self, lo: u64, hi: u64) {
+        if hi <= lo {
+            return;
+        }
+        let line_bytes = self.cfg.line_bytes as u64;
+        let mut line = lo - lo % line_bytes;
+        while line < hi {
+            let (set, tag) = self.set_and_tag(line);
+            for w in 0..self.cfg.ways {
+                if self.tags[set][w] == Some(tag) {
+                    self.tags[set][w] = None;
+                    self.stamps[set][w] = 0;
+                }
+            }
+            line += line_bytes;
+        }
+    }
 }
 
 #[cfg(test)]

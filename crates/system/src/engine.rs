@@ -1,0 +1,959 @@
+//! The session API: build an engine once, prepare a plan per matrix,
+//! run it against many vectors.
+//!
+//! The paper's value proposition is amortizing indirect-access cost
+//! across an entire SpMV workload, which the one-shot free functions
+//! (`run_base_spmv` & co.) could not express: they rebuilt memory,
+//! backend and unit state on every call. The session API splits the
+//! lifecycle the way SparseP-style systems do:
+//!
+//! * [`SpmvEngine`] — immutable system choice: memory backend
+//!   ([`BackendConfig`]) plus [`SystemKind`] (baseline LLC system,
+//!   AXI-Pack system with a chosen adapter, or the sharded multi-unit
+//!   engine).
+//! * [`SpmvEngine::prepare`] → [`SpmvPlan`] — performs partitioning,
+//!   format conversion and DRAM layout **once** per matrix. The matrix
+//!   image stays resident in the plan's warm backend.
+//! * [`SpmvPlan::run`] / [`SpmvPlan::run_batch`] — execute SpMVs against
+//!   the warm state: only the vector region of memory is rewritten, the
+//!   controller/unit state is reset to a deterministic cold start, and a
+//!   unified [`RunReport`] comes back for every system kind. Batched runs
+//!   amortize each tile's contiguous streams across the batch on the
+//!   pack system and keep the LLC's matrix lines warm on the baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use nmpic_core::AdapterConfig;
+//! use nmpic_mem::BackendConfig;
+//! use nmpic_sparse::gen::banded_fem;
+//! use nmpic_system::{golden_x, SpmvEngine, SystemKind};
+//!
+//! let csr = banded_fem(128, 6, 16, 1);
+//! let engine = SpmvEngine::builder()
+//!     .backend(BackendConfig::hbm())
+//!     .system(SystemKind::Pack(AdapterConfig::mlp(64)))
+//!     .build();
+//! let mut plan = engine.prepare(&csr);
+//! let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+//! let one = plan.run(&x);
+//! let batch = plan.run_batch(&[x.clone(), x]);
+//! assert!(one.verified && batch.verified);
+//! assert_eq!(batch.vectors, 2);
+//! assert_eq!(one.y_bits(), batch.y_bits(), "plan reuse is deterministic");
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use nmpic_core::{stream_memory_size, AdapterConfig, IndirectStreamUnit, ScatterUnit};
+use nmpic_mem::{BackendConfig, ChannelPort, HbmStats, Memory};
+use nmpic_sim::stats::Extrema;
+use nmpic_sparse::partition::{by_nnz, by_rows, Partition};
+use nmpic_sparse::{Csr, Sell};
+
+use crate::base::{
+    base_ideal_bytes, base_memory_size, exec_base, layout_base, write_base_vector, BaseLayout,
+};
+use crate::cache::Cache;
+use crate::pack::{
+    exec_pack, layout_pack, pack_ideal_bytes, pack_plan_memory_size, row_map, write_pack_vector,
+    PackLayout,
+};
+use crate::report::{bits_equal, results_match, RunReport, ShardDetail};
+use crate::shard::{
+    exec_merged_collection, exec_shard_gather, merge_order, PartitionStrategy, ShardReport,
+};
+use crate::{BaseConfig, PackConfig};
+
+/// Which end-to-end system a [`SpmvEngine`] simulates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemKind {
+    /// The baseline vector processor behind a 1 MiB LLC, running naive
+    /// CSR SpMV with coupled indirect access.
+    Base,
+    /// The AXI-Pack system with the given adapter variant, running tiled
+    /// SELL SpMV through the coalescing-enhanced adapter.
+    Pack(AdapterConfig),
+    /// The sharded multi-unit engine: `units` indexing/coalescing units
+    /// over a row partition, results merged through one scatter unit.
+    Sharded {
+        /// Number of parallel units (K ≥ 1).
+        units: usize,
+        /// How rows are divided across units.
+        strategy: PartitionStrategy,
+    },
+}
+
+impl Default for SystemKind {
+    /// The paper's headline system: pack with the MLP256 adapter.
+    fn default() -> Self {
+        SystemKind::Pack(AdapterConfig::mlp(256))
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemKind::Base => write!(f, "base"),
+            SystemKind::Pack(a) => write!(f, "{}", a.label()),
+            SystemKind::Sharded { units, .. } => write!(f, "sharded{units}"),
+        }
+    }
+}
+
+/// Error returned when a system name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSystemError(String);
+
+impl fmt::Display for ParseSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown system '{}': expected 'base', 'pack'/'pack0'/'packN'/'packseqN' \
+             (N a power of two >= 8, e.g. pack256), or 'sharded'/'shardedK' (K units, \
+             e.g. sharded4)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSystemError {}
+
+impl FromStr for SystemKind {
+    type Err = ParseSystemError;
+
+    /// Parses `base`, `pack` (= pack256), `pack0`, `pack<N>`,
+    /// `packseq<N>`, `sharded` (= one unit) or `sharded<K>` — mirroring
+    /// the `hbmN` backend grammar so experiments can select a system via
+    /// the `NMPIC_SYSTEM` environment knob.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        let window = |digits: &str| -> Option<usize> {
+            let w: usize = digits.parse().ok()?;
+            (w.is_power_of_two() && w >= 8).then_some(w)
+        };
+        match t.as_str() {
+            "base" => return Ok(SystemKind::Base),
+            "pack" => return Ok(SystemKind::Pack(AdapterConfig::mlp(256))),
+            "pack0" => return Ok(SystemKind::Pack(AdapterConfig::mlp_nc())),
+            "sharded" => {
+                return Ok(SystemKind::Sharded {
+                    units: 1,
+                    strategy: PartitionStrategy::default(),
+                })
+            }
+            _ => {}
+        }
+        if let Some(digits) = t.strip_prefix("packseq") {
+            if let Some(w) = window(digits) {
+                return Ok(SystemKind::Pack(AdapterConfig::seq(w)));
+            }
+        } else if let Some(digits) = t.strip_prefix("pack") {
+            if let Some(w) = window(digits) {
+                return Ok(SystemKind::Pack(AdapterConfig::mlp(w)));
+            }
+        } else if let Some(digits) = t.strip_prefix("sharded") {
+            if let Ok(units) = digits.parse::<usize>() {
+                if units > 0 {
+                    return Ok(SystemKind::Sharded {
+                        units,
+                        strategy: PartitionStrategy::default(),
+                    });
+                }
+            }
+        }
+        Err(ParseSystemError(s.to_string()))
+    }
+}
+
+/// Builder for [`SpmvEngine`]. Obtain via [`SpmvEngine::builder`].
+#[derive(Debug, Clone)]
+pub struct SpmvEngineBuilder {
+    backend: BackendConfig,
+    system: SystemKind,
+    base: BaseConfig,
+    pack: PackConfig,
+    sharded_adapter: AdapterConfig,
+    batch_capacity: usize,
+}
+
+impl Default for SpmvEngineBuilder {
+    fn default() -> Self {
+        Self {
+            backend: BackendConfig::hbm(),
+            system: SystemKind::default(),
+            base: BaseConfig::default(),
+            pack: PackConfig::default(),
+            sharded_adapter: AdapterConfig::mlp(256),
+            batch_capacity: 1,
+        }
+    }
+}
+
+impl SpmvEngineBuilder {
+    /// Selects the memory backend every plan of this engine runs against
+    /// (default: one HBM2 channel).
+    pub fn backend(mut self, backend: BackendConfig) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the system kind (default: pack with MLP256).
+    pub fn system(mut self, system: SystemKind) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Overrides the baseline system's tuning (LLC geometry, VLSU rates).
+    /// The config's own `backend` field is ignored — the engine backend
+    /// wins.
+    pub fn base_config(mut self, cfg: BaseConfig) -> Self {
+        self.base = cfg;
+        self
+    }
+
+    /// Overrides the pack system's tuning (L2 size, compute rate). The
+    /// config's `adapter`/`backend` fields are ignored — the
+    /// [`SystemKind::Pack`] adapter and the engine backend win.
+    pub fn pack_config(mut self, cfg: PackConfig) -> Self {
+        self.pack = cfg;
+        self
+    }
+
+    /// Adapter variant instantiated per unit by
+    /// [`SystemKind::Sharded`] plans (default: MLP256).
+    pub fn sharded_adapter(mut self, adapter: AdapterConfig) -> Self {
+        self.sharded_adapter = adapter;
+        self
+    }
+
+    /// Maximum vectors of a batch resident in a pack plan's memory image
+    /// at once (default 1, so single-vector plans pay no extra memory
+    /// and keep the legacy DRAM layout). Larger batches are processed in
+    /// chunks of this size, so the amortization window is bounded by it
+    /// — raise it to the intended batch width before calling
+    /// [`SpmvPlan::run_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn batch_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        self.batch_capacity = capacity;
+        self
+    }
+
+    /// Finalizes the engine.
+    pub fn build(self) -> SpmvEngine {
+        SpmvEngine {
+            backend: self.backend,
+            system: self.system,
+            base: self.base,
+            pack: self.pack,
+            sharded_adapter: self.sharded_adapter,
+            batch_capacity: self.batch_capacity,
+        }
+    }
+}
+
+/// A configured SpMV session: one memory backend plus one system kind.
+/// [`SpmvEngine::prepare`] turns matrices into reusable [`SpmvPlan`]s.
+#[derive(Debug, Clone)]
+pub struct SpmvEngine {
+    backend: BackendConfig,
+    system: SystemKind,
+    base: BaseConfig,
+    pack: PackConfig,
+    sharded_adapter: AdapterConfig,
+    batch_capacity: usize,
+}
+
+impl SpmvEngine {
+    /// Starts building an engine (HBM backend, pack/MLP256 system by
+    /// default).
+    pub fn builder() -> SpmvEngineBuilder {
+        SpmvEngineBuilder::default()
+    }
+
+    /// The engine's memory backend.
+    pub fn backend(&self) -> &BackendConfig {
+        &self.backend
+    }
+
+    /// The engine's system kind.
+    pub fn system(&self) -> &SystemKind {
+        &self.system
+    }
+
+    /// Prepares a plan for `csr`: partitioning (sharded), format
+    /// conversion (pack converts to SELL), and DRAM layout of the matrix
+    /// image all happen here, **once** — every subsequent
+    /// [`SpmvPlan::run`] reuses the warm state and rewrites only the
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty matrix.
+    pub fn prepare(&self, csr: &Csr) -> SpmvPlan {
+        match &self.system {
+            SystemKind::Base => {
+                let cfg = BaseConfig {
+                    backend: self.backend.clone(),
+                    ..self.base.clone()
+                };
+                let mut chan = self.backend.build(Memory::new(base_memory_size(csr)));
+                let layout = layout_base(&mut *chan, csr);
+                SpmvPlan {
+                    inner: PlanInner::Base(Box::new(BasePlan {
+                        cfg,
+                        csr: csr.clone(),
+                        chan,
+                        layout,
+                    })),
+                }
+            }
+            SystemKind::Pack(_) => self.prepare_sell_owned(Sell::from_csr_default(csr)),
+            SystemKind::Sharded { units, strategy } => self.prepare_sharded(csr, *units, *strategy),
+        }
+    }
+
+    /// Prepares a pack plan directly from an already-converted SELL
+    /// matrix (skipping the CSR→SELL conversion [`SpmvEngine::prepare`]
+    /// would perform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's system is not [`SystemKind::Pack`] — SELL
+    /// is the pack system's format; the baseline and sharded systems
+    /// execute CSR and must go through [`SpmvEngine::prepare`].
+    pub fn prepare_sell(&self, sell: &Sell) -> SpmvPlan {
+        self.prepare_sell_owned(sell.clone())
+    }
+
+    fn prepare_sell_owned(&self, sell: Sell) -> SpmvPlan {
+        let SystemKind::Pack(adapter) = &self.system else {
+            panic!(
+                "prepare_sell is only valid for SystemKind::Pack; use prepare(&Csr) for `{}`",
+                self.system
+            );
+        };
+        let cfg = PackConfig {
+            adapter: adapter.clone(),
+            backend: self.backend.clone(),
+            ..self.pack.clone()
+        };
+        let slots = self.batch_capacity;
+        let mut chan = self
+            .backend
+            .build(Memory::new(pack_plan_memory_size(&sell, slots)));
+        let layout = layout_pack(&mut *chan, &sell, slots);
+        let row_of = row_map(&sell);
+        let unit = IndirectStreamUnit::new(cfg.adapter.clone());
+        SpmvPlan {
+            inner: PlanInner::Pack(Box::new(PackPlan {
+                cfg,
+                sell,
+                row_of,
+                chan,
+                layout,
+                unit,
+            })),
+        }
+    }
+
+    fn prepare_sharded(&self, csr: &Csr, units: usize, strategy: PartitionStrategy) -> SpmvPlan {
+        assert!(units > 0, "at least one unit");
+        assert!(csr.rows() > 0 && csr.nnz() > 0, "empty matrix");
+        let partition = match strategy {
+            PartitionStrategy::ByNnz => by_nnz(csr, units),
+            PartitionStrategy::ByRows => by_rows(csr, units),
+        };
+        let per_unit_backend = self.backend.split(units);
+        let slots: Vec<ShardSlot> = (0..units)
+            .map(|i| {
+                let shard = partition.csr_shard(csr, i);
+                let indices = shard.col_idx();
+                let mut chan = per_unit_backend
+                    .build(Memory::new(stream_memory_size(indices.len(), csr.cols())));
+                let mem = chan.memory_mut();
+                let idx_base = mem.alloc_array(indices.len().max(1) as u64, 4);
+                let x_base = mem.alloc_array(csr.cols() as u64, 8);
+                mem.write_u32_slice(idx_base, indices);
+                ShardSlot {
+                    chan,
+                    unit: IndirectStreamUnit::new(self.sharded_adapter.clone()),
+                    idx_base,
+                    x_base,
+                    rows: shard.n_rows(),
+                    nnz: shard.nnz() as u64,
+                    row_of: shard.row_of_positions(),
+                }
+            })
+            .collect();
+
+        // The write-back port is one channel wide: splitting by the full
+        // channel count leaves exactly one channel of the configured
+        // kind. Its index array (the merge order) depends only on the
+        // partition, so it is written once, here.
+        let rows = csr.rows();
+        let collect_backend = self.backend.split(self.backend.kind.channels());
+        let mut collect_chan = collect_backend.build(Memory::new(stream_memory_size(rows, rows)));
+        let merge_rows = merge_order(&partition, units);
+        let mem = collect_chan.memory_mut();
+        let collect_idx_base = mem.alloc_array(rows as u64, 4);
+        let collect_res_base = mem.alloc_array(rows as u64, 8);
+        mem.write_u32_slice(collect_idx_base, &merge_rows);
+        let scatter = ScatterUnit::new(self.sharded_adapter.clone());
+
+        SpmvPlan {
+            inner: PlanInner::Sharded(Box::new(ShardedPlan {
+                adapter: self.sharded_adapter.clone(),
+                backend: self.backend.clone(),
+                units,
+                csr: csr.clone(),
+                partition,
+                slots,
+                collect_chan,
+                scatter,
+                collect_idx_base,
+                collect_res_base,
+                merge_rows,
+            })),
+        }
+    }
+}
+
+struct BasePlan {
+    cfg: BaseConfig,
+    csr: Csr,
+    chan: Box<dyn ChannelPort>,
+    layout: BaseLayout,
+}
+
+struct PackPlan {
+    cfg: PackConfig,
+    sell: Sell,
+    row_of: Vec<u32>,
+    chan: Box<dyn ChannelPort>,
+    layout: PackLayout,
+    unit: IndirectStreamUnit,
+}
+
+struct ShardSlot {
+    chan: Box<dyn ChannelPort>,
+    unit: IndirectStreamUnit,
+    idx_base: u64,
+    x_base: u64,
+    rows: usize,
+    nnz: u64,
+    row_of: Vec<u32>,
+}
+
+struct ShardedPlan {
+    adapter: AdapterConfig,
+    backend: BackendConfig,
+    units: usize,
+    csr: Csr,
+    partition: Partition,
+    slots: Vec<ShardSlot>,
+    collect_chan: Box<dyn ChannelPort>,
+    scatter: ScatterUnit,
+    collect_idx_base: u64,
+    collect_res_base: u64,
+    merge_rows: Vec<u32>,
+}
+
+enum PlanInner {
+    Base(Box<BasePlan>),
+    Pack(Box<PackPlan>),
+    Sharded(Box<ShardedPlan>),
+}
+
+/// A prepared SpMV plan: matrix image resident in a warm backend,
+/// partitioning/conversion done. Run it against as many vectors as the
+/// workload brings.
+pub struct SpmvPlan {
+    inner: PlanInner,
+}
+
+impl SpmvPlan {
+    /// Executes one SpMV (`y = A·x`) against the warm plan state and
+    /// returns the unified report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the matrix's column count, or on
+    /// a cycle-budget overrun (model deadlock).
+    pub fn run(&mut self, x: &[f64]) -> RunReport {
+        self.run_vectors(&[x])
+    }
+
+    /// Executes a batch of SpMVs (one per vector of `xs`) and returns a
+    /// single report with per-batch amortized stats. On the pack system
+    /// each tile's slice pointers and nonzeros are fetched once for the
+    /// whole batch (up to the engine's batch capacity per chunk); on the
+    /// baseline the LLC's matrix lines stay warm across the batch. The
+    /// sharded engine runs vectors back to back on warm units.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or mismatched vector lengths.
+    pub fn run_batch(&mut self, xs: &[Vec<f64>]) -> RunReport {
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        self.run_vectors(&refs)
+    }
+
+    /// The plan's report label (`base`, `pack256`, `sharded x4 (...)`).
+    pub fn label(&self) -> String {
+        match &self.inner {
+            PlanInner::Base(_) => "base".to_string(),
+            PlanInner::Pack(p) => p.cfg.adapter.label(),
+            PlanInner::Sharded(p) => sharded_label(p),
+        }
+    }
+
+    /// Rows of the prepared matrix.
+    pub fn rows(&self) -> usize {
+        match &self.inner {
+            PlanInner::Base(p) => p.csr.rows(),
+            PlanInner::Pack(p) => p.sell.rows(),
+            PlanInner::Sharded(p) => p.csr.rows(),
+        }
+    }
+
+    /// Columns of the prepared matrix (= required vector length).
+    pub fn cols(&self) -> usize {
+        match &self.inner {
+            PlanInner::Base(p) => p.csr.cols(),
+            PlanInner::Pack(p) => p.sell.cols(),
+            PlanInner::Sharded(p) => p.csr.cols(),
+        }
+    }
+
+    fn run_vectors(&mut self, xs: &[&[f64]]) -> RunReport {
+        assert!(!xs.is_empty(), "at least one vector");
+        for x in xs {
+            assert_eq!(x.len(), self.cols(), "vector length must equal cols");
+        }
+        match &mut self.inner {
+            PlanInner::Base(p) => run_base_plan(p, xs),
+            PlanInner::Pack(p) => run_pack_plan(p, xs),
+            PlanInner::Sharded(p) => run_sharded_plan(p, xs),
+        }
+    }
+}
+
+fn sharded_label(p: &ShardedPlan) -> String {
+    format!(
+        "sharded x{} ({}, {})",
+        p.units,
+        p.adapter.label(),
+        p.backend.label()
+    )
+}
+
+fn run_base_plan(plan: &mut BasePlan, xs: &[&[f64]]) -> RunReport {
+    let cols = plan.csr.cols();
+    let vec_lo = plan.layout.vec_base;
+    let vec_hi = vec_lo + 8 * cols as u64;
+    // One LLC for the whole batch: matrix lines stay warm across
+    // vectors (the batch amortization); the stale vector region is
+    // invalidated whenever x is rewritten.
+    let mut llc = Cache::new(plan.cfg.llc);
+    let mut cycles = 0u64;
+    let mut indir_cycles = 0u64;
+    let mut offchip = 0u64;
+    let mut verified = true;
+    let mut ys = Vec::with_capacity(xs.len());
+    for (i, x) in xs.iter().enumerate() {
+        plan.chan.reset_run_state();
+        write_base_vector(&mut *plan.chan, &plan.layout, x);
+        if i > 0 {
+            llc.invalidate_range(vec_lo, vec_hi);
+        }
+        let run = exec_base(
+            &mut *plan.chan,
+            &plan.csr,
+            &plan.cfg,
+            &plan.layout,
+            &mut llc,
+            x,
+        );
+        cycles += run.cycles;
+        indir_cycles += run.indir_cycles;
+        offchip += plan.chan.data_bytes();
+        verified &= bits_equal(&run.y, &plan.csr.spmv(x));
+        ys.push(run.y);
+    }
+    RunReport {
+        label: "base".to_string(),
+        cycles,
+        vectors: xs.len(),
+        indir_cycles,
+        nnz: plan.csr.nnz() as u64,
+        entries: plan.csr.nnz() as u64,
+        offchip_bytes: offchip,
+        ideal_bytes: base_ideal_bytes(&plan.csr, xs.len() as u64),
+        verified,
+        ys,
+        shards: None,
+    }
+}
+
+fn run_pack_plan(plan: &mut PackPlan, xs: &[&[f64]]) -> RunReport {
+    let capacity = plan.layout.vec_bases.len();
+    let mut cycles = 0u64;
+    let mut indir_cycles = 0u64;
+    let mut offchip = 0u64;
+    let mut verified = true;
+    let mut ys = Vec::with_capacity(xs.len());
+    for chunk in xs.chunks(capacity) {
+        plan.chan.reset_run_state();
+        plan.unit.reset();
+        for (slot, x) in chunk.iter().enumerate() {
+            write_pack_vector(&mut *plan.chan, &plan.layout, slot, x);
+        }
+        let run = exec_pack(
+            &mut *plan.chan,
+            &mut plan.unit,
+            &plan.sell,
+            &plan.cfg,
+            &plan.layout,
+            &plan.row_of,
+            chunk,
+        );
+        cycles += run.cycles;
+        indir_cycles += run.indir_cycles;
+        offchip += plan.chan.data_bytes();
+        for (x, y) in chunk.iter().zip(run.ys) {
+            verified &= results_match(&y, &plan.sell.spmv(x));
+            ys.push(y);
+        }
+    }
+    RunReport {
+        label: plan.cfg.adapter.label(),
+        cycles,
+        vectors: xs.len(),
+        indir_cycles,
+        nnz: plan.sell.nnz() as u64,
+        entries: plan.sell.padded_len() as u64,
+        offchip_bytes: offchip,
+        ideal_bytes: pack_ideal_bytes(&plan.sell, xs.len() as u64),
+        verified,
+        ys,
+        shards: None,
+    }
+}
+
+fn run_sharded_plan(plan: &mut ShardedPlan, xs: &[&[f64]]) -> RunReport {
+    let csr = &plan.csr;
+    let partition = &plan.partition;
+    let rows = csr.rows();
+    let mut gather_cycles = 0u64;
+    let mut collect_cycles = 0u64;
+    let mut payload_bytes = 0u64;
+    let mut offchip = 0u64;
+    let mut verified = true;
+    let mut ys = Vec::with_capacity(xs.len());
+    let mut per_shard: Vec<ShardReport> = Vec::new();
+    let mut cycle_ext = Extrema::new();
+    let mut bus_ext = Extrema::new();
+    let mut scatter_stats = None;
+    let mut dram_acc: Option<HbmStats> = None;
+
+    for (v, x) in xs.iter().enumerate() {
+        let mut y = vec![0.0f64; rows];
+        let mut vec_gather = 0u64;
+        for (i, slot) in plan.slots.iter_mut().enumerate() {
+            let (shard_cycles, stats, dram) = if slot.nnz == 0 {
+                (0, Default::default(), None)
+            } else {
+                slot.chan.reset_run_state();
+                slot.chan.memory_mut().write_f64_slice(slot.x_base, x);
+                slot.unit.reset();
+                let shard = partition.csr_shard(csr, i);
+                let out = exec_shard_gather(
+                    &mut *slot.chan,
+                    &mut slot.unit,
+                    slot.idx_base,
+                    slot.x_base,
+                    shard.values(),
+                    &slot.row_of,
+                    &mut y,
+                );
+                offchip += slot.chan.data_bytes();
+                out
+            };
+            payload_bytes += stats.payload_bytes;
+            vec_gather = vec_gather.max(shard_cycles);
+            // Detail stats (dram, scatter, per-shard rows) all describe
+            // one vector's worth of work; gather timing and DRAM
+            // counters do not depend on vector values, so the first
+            // vector is representative of every one in the batch.
+            if v == 0 {
+                if let Some(d) = dram {
+                    dram_acc = Some(match dram_acc {
+                        Some(acc) => acc.merge(&d),
+                        None => d,
+                    });
+                }
+                cycle_ext.add(shard_cycles as f64);
+                if let Some(d) = &dram {
+                    bus_ext.add(d.bus_busy_cycles as f64);
+                }
+                per_shard.push(ShardReport {
+                    shard: i,
+                    rows: slot.rows,
+                    nnz: slot.nnz,
+                    cycles: shard_cycles,
+                    indir_gbps: if shard_cycles == 0 {
+                        0.0
+                    } else {
+                        stats.payload_bytes as f64 / shard_cycles as f64
+                    },
+                    adapter: stats,
+                    dram,
+                });
+            }
+        }
+        gather_cycles += vec_gather;
+
+        // Merged collection of this vector's result rows.
+        plan.collect_chan.reset_run_state();
+        plan.scatter.reset();
+        let bits: Vec<u64> = plan
+            .merge_rows
+            .iter()
+            .map(|&r| y[r as usize].to_bits())
+            .collect();
+        let (ccycles, sstats, result_bits) = exec_merged_collection(
+            &mut *plan.collect_chan,
+            &mut plan.scatter,
+            plan.collect_idx_base,
+            plan.collect_res_base,
+            &bits,
+            rows,
+        );
+        collect_cycles += ccycles;
+        offchip += plan.collect_chan.data_bytes();
+        scatter_stats.get_or_insert(sstats);
+        let golden_bits: Vec<u64> = csr.spmv(x).iter().map(|v| v.to_bits()).collect();
+        verified &= result_bits == golden_bits;
+        ys.push(y);
+    }
+
+    let detail = ShardDetail {
+        units: plan.units,
+        gather_cycles,
+        collect_cycles,
+        aggregate_gbps: if gather_cycles == 0 {
+            0.0
+        } else {
+            payload_bytes as f64 / gather_cycles as f64
+        },
+        nnz_imbalance: partition.nnz_imbalance(),
+        cycle_imbalance: cycle_ext.imbalance(),
+        bus_imbalance: bus_ext.imbalance(),
+        scatter: scatter_stats.unwrap_or_default(),
+        dram: dram_acc,
+        per_shard,
+    };
+    RunReport {
+        label: sharded_label(plan),
+        cycles: gather_cycles + collect_cycles,
+        vectors: xs.len(),
+        indir_cycles: gather_cycles,
+        nnz: csr.nnz() as u64,
+        entries: csr.nnz() as u64,
+        offchip_bytes: offchip,
+        ideal_bytes: base_ideal_bytes(csr, xs.len() as u64),
+        verified,
+        ys,
+        shards: Some(detail),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::golden_x;
+    use nmpic_sparse::gen::banded_fem;
+
+    fn x_for(csr: &Csr) -> Vec<f64> {
+        (0..csr.cols()).map(golden_x).collect()
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let e = SpmvEngine::builder().build();
+        assert_eq!(e.backend().label(), "hbm");
+        assert_eq!(e.system(), &SystemKind::Pack(AdapterConfig::mlp(256)));
+        let e = SpmvEngine::builder()
+            .backend(BackendConfig::interleaved(4))
+            .system(SystemKind::Base)
+            .build();
+        assert_eq!(e.backend().label(), "hbm x4");
+        assert_eq!(e.system(), &SystemKind::Base);
+    }
+
+    #[test]
+    fn every_kind_runs_and_verifies() {
+        let csr = banded_fem(192, 6, 16, 2);
+        let x = x_for(&csr);
+        for system in [
+            SystemKind::Base,
+            SystemKind::Pack(AdapterConfig::mlp(64)),
+            SystemKind::Sharded {
+                units: 2,
+                strategy: PartitionStrategy::ByNnz,
+            },
+        ] {
+            let engine = SpmvEngine::builder().system(system.clone()).build();
+            let mut plan = engine.prepare(&csr);
+            let r = plan.run(&x);
+            assert!(r.verified, "{system}: golden mismatch");
+            assert!(r.cycles > 0);
+            assert_eq!(r.vectors, 1);
+            assert_eq!(r.ys.len(), 1);
+            assert_eq!(
+                r.shards.is_some(),
+                matches!(system, SystemKind::Sharded { .. })
+            );
+        }
+    }
+
+    #[test]
+    fn plan_runs_are_deterministic() {
+        let csr = banded_fem(256, 8, 24, 7);
+        let x = x_for(&csr);
+        let engine = SpmvEngine::builder()
+            .system(SystemKind::Pack(AdapterConfig::mlp(256)))
+            .build();
+        let mut plan = engine.prepare(&csr);
+        let a = plan.run(&x);
+        let b = plan.run(&x);
+        assert_eq!(a.cycles, b.cycles, "warm plan must not drift");
+        assert_eq!(a.offchip_bytes, b.offchip_bytes);
+        assert_eq!(a.y_bits(), b.y_bits());
+    }
+
+    #[test]
+    fn batch_amortizes_contiguous_streams_on_pack() {
+        let csr = banded_fem(1024, 10, 48, 9);
+        let x = x_for(&csr);
+        let engine = SpmvEngine::builder()
+            .system(SystemKind::Pack(AdapterConfig::mlp(256)))
+            .batch_capacity(4)
+            .build();
+        let mut plan = engine.prepare(&csr);
+        let single = plan.run(&x);
+        let batch = plan.run_batch(&vec![x.clone(); 4]);
+        assert!(single.verified && batch.verified);
+        assert_eq!(batch.vectors, 4);
+        for ybits in batch
+            .ys
+            .iter()
+            .map(|y| y.iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+        {
+            assert_eq!(ybits, single.y_bits(), "batch results must match run()");
+        }
+        assert!(
+            batch.cycles_per_vector() < single.cycles_per_vector(),
+            "B=4 must amortize: {:.0} vs {:.0} cycles/vector",
+            batch.cycles_per_vector(),
+            single.cycles_per_vector()
+        );
+        // Off-chip traffic amortizes too: the matrix streams moved once.
+        assert!(
+            (batch.offchip_bytes as f64) < 4.0 * single.offchip_bytes as f64,
+            "batch traffic {} must undercut 4x single {}",
+            batch.offchip_bytes,
+            single.offchip_bytes
+        );
+    }
+
+    #[test]
+    fn batches_larger_than_capacity_chunk() {
+        let csr = banded_fem(128, 6, 16, 3);
+        let x = x_for(&csr);
+        let engine = SpmvEngine::builder()
+            .system(SystemKind::Pack(AdapterConfig::mlp(64)))
+            .batch_capacity(2)
+            .build();
+        let mut plan = engine.prepare(&csr);
+        let r = plan.run_batch(&vec![x.clone(); 5]);
+        assert!(r.verified);
+        assert_eq!(r.vectors, 5);
+        assert_eq!(r.ys.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "prepare_sell is only valid")]
+    fn prepare_sell_rejects_non_pack() {
+        let csr = banded_fem(64, 4, 8, 1);
+        let sell = Sell::from_csr_default(&csr);
+        let engine = SpmvEngine::builder().system(SystemKind::Base).build();
+        let _ = engine.prepare_sell(&sell);
+    }
+
+    #[test]
+    fn system_kind_parses_from_str() {
+        assert_eq!("base".parse::<SystemKind>().unwrap(), SystemKind::Base);
+        assert_eq!(
+            "pack".parse::<SystemKind>().unwrap(),
+            SystemKind::Pack(AdapterConfig::mlp(256))
+        );
+        assert_eq!(
+            "pack0".parse::<SystemKind>().unwrap(),
+            SystemKind::Pack(AdapterConfig::mlp_nc())
+        );
+        assert_eq!(
+            "PACK64".parse::<SystemKind>().unwrap(),
+            SystemKind::Pack(AdapterConfig::mlp(64))
+        );
+        assert_eq!(
+            "packseq256".parse::<SystemKind>().unwrap(),
+            SystemKind::Pack(AdapterConfig::seq(256))
+        );
+        assert_eq!(
+            "sharded4".parse::<SystemKind>().unwrap(),
+            SystemKind::Sharded {
+                units: 4,
+                strategy: PartitionStrategy::ByNnz
+            }
+        );
+        assert_eq!(
+            "sharded".parse::<SystemKind>().unwrap(),
+            SystemKind::Sharded {
+                units: 1,
+                strategy: PartitionStrategy::ByNnz
+            }
+        );
+        // Invalid windows and unit counts are rejected, not panicked on.
+        for bad in ["pack48", "pack4", "sharded0", "dramsys", ""] {
+            assert!(bad.parse::<SystemKind>().is_err(), "{bad}");
+        }
+        let err = "pack48".parse::<SystemKind>().unwrap_err();
+        assert!(err.to_string().contains("pack48"));
+    }
+
+    #[test]
+    fn labels_follow_convention() {
+        let csr = banded_fem(64, 4, 8, 1);
+        let engine = SpmvEngine::builder().system(SystemKind::Base).build();
+        assert_eq!(engine.prepare(&csr).label(), "base");
+        let engine = SpmvEngine::builder()
+            .system(SystemKind::Pack(AdapterConfig::mlp(64)))
+            .build();
+        assert_eq!(engine.prepare(&csr).label(), "pack64");
+        let engine = SpmvEngine::builder()
+            .backend(BackendConfig::interleaved(8))
+            .system(SystemKind::Sharded {
+                units: 2,
+                strategy: PartitionStrategy::ByNnz,
+            })
+            .build();
+        assert_eq!(engine.prepare(&csr).label(), "sharded x2 (pack256, hbm x8)");
+    }
+}

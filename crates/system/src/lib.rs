@@ -1,38 +1,47 @@
 //! # nmpic-system — end-to-end SpMV system models
 //!
-//! The two vector-processor systems the paper compares in Fig. 5:
+//! The public entry point is the **session API** ([`SpmvEngine`]):
+//! build an engine once (memory backend + [`SystemKind`]), prepare a
+//! [`SpmvPlan`] per matrix — partitioning, format conversion and DRAM
+//! layout happen here, once — then run it against as many vectors as the
+//! workload brings ([`SpmvPlan::run`], [`SpmvPlan::run_batch`]). Every
+//! run returns the same unified [`RunReport`].
 //!
-//! * [`run_pack_spmv`] — the AXI-Pack system (Section II-C): CVA6+Ara VPC
-//!   with a 384 kB double-buffered L2 scratchpad and a prefetcher issuing
-//!   AXI-Pack bursts through the coalescing adapter. Variants `pack0`
-//!   (`MLPnc`), `pack64`, `pack256` come from the adapter configuration.
-//! * [`run_base_spmv`] — the baseline: the same VPC behind a 1 MiB LLC,
-//!   executing naive CSR SpMV with coupled indirect access (no
-//!   prefetcher).
+//! Three system kinds, covering the paper's Fig. 5 comparison plus the
+//! multi-unit extension:
 //!
-//! Beyond the paper's single-unit systems, [`run_sharded_spmv`] runs the
-//! **sharded multi-unit engine**: K indexing/coalescing units over an
-//! nnz-balanced row partition, each bound to its slice of a multi-channel
-//! backend, with results merged through one coalescing scatter unit.
+//! * [`SystemKind::Pack`] — the AXI-Pack system (Section II-C): CVA6+Ara
+//!   VPC with a 384 kB double-buffered L2 scratchpad and a prefetcher
+//!   issuing AXI-Pack bursts through the coalescing adapter (`pack0` /
+//!   `pack64` / `pack256` by adapter choice).
+//! * [`SystemKind::Base`] — the baseline: the same VPC behind a 1 MiB
+//!   LLC, executing naive CSR SpMV with coupled indirect access.
+//! * [`SystemKind::Sharded`] — K indexing/coalescing units over an
+//!   nnz-balanced row partition of a multi-channel backend, merged
+//!   through one coalescing scatter unit.
 //!
-//! Both return an [`SpmvReport`] with the figure's metrics: runtime,
-//! indirect-access share, off-chip traffic vs the compulsory ideal, and
-//! bandwidth utilization. The pack system moves real data end to end and
-//! verifies its result against the golden SpMV.
+//! The legacy one-shot free functions (`run_base_spmv[_on]`,
+//! `run_pack_spmv[_on]`, `run_sharded_spmv`) remain as deprecated shims
+//! delegating to the engine.
 //!
 //! # Example
 //!
 //! ```
 //! use nmpic_core::AdapterConfig;
-//! use nmpic_sparse::{gen::banded_fem, Sell};
-//! use nmpic_system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
+//! use nmpic_sparse::gen::banded_fem;
+//! use nmpic_system::{golden_x, SpmvEngine, SystemKind};
 //!
 //! let csr = banded_fem(256, 6, 16, 1);
-//! let sell = Sell::from_csr_default(&csr);
-//! let base = run_base_spmv(&csr, &BaseConfig::default());
-//! let pack = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
-//! assert!(pack.verified && base.verified);
-//! assert!(pack.speedup_over(&base) > 1.0, "pack must beat the baseline");
+//! let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+//! let mut base = SpmvEngine::builder().system(SystemKind::Base).build().prepare(&csr);
+//! let mut pack = SpmvEngine::builder()
+//!     .system(SystemKind::Pack(AdapterConfig::mlp(256)))
+//!     .build()
+//!     .prepare(&csr);
+//! let b = base.run(&x);
+//! let p = pack.run(&x);
+//! assert!(b.verified && p.verified);
+//! assert!(p.speedup_over(&b) > 1.0, "pack must beat the baseline");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -40,12 +49,20 @@
 
 mod base;
 mod cache;
+mod engine;
 mod pack;
 mod report;
 mod shard;
 
+#[allow(deprecated)]
 pub use base::{base_memory_size, run_base_spmv, run_base_spmv_on, BaseConfig};
 pub use cache::{Cache, CacheConfig, CacheStats};
+pub use engine::{ParseSystemError, SpmvEngine, SpmvEngineBuilder, SpmvPlan, SystemKind};
+#[allow(deprecated)]
 pub use pack::{pack_label, pack_memory_size, run_pack_spmv, run_pack_spmv_on, PackConfig};
-pub use report::{golden_x, results_match, SpmvReport};
-pub use shard::{run_sharded_spmv, PartitionStrategy, ShardReport, ShardedConfig, ShardedReport};
+pub use report::{golden_x, results_match, RunReport, ShardDetail, SpmvReport};
+#[allow(deprecated)]
+pub use shard::{
+    run_sharded_spmv, ParsePartitionError, PartitionStrategy, ShardReport, ShardedConfig,
+    ShardedReport,
+};

@@ -10,6 +10,14 @@
 //! burst that the adapter coalesces. Result lines are written back to
 //! DRAM as rows complete.
 //!
+//! **Batched (multi-vector) execution**: when a prepared plan runs a
+//! batch of B vectors, each tile's slice pointers and nonzeros are
+//! fetched **once** and followed by B indirect bursts (one per vector's
+//! packed elements) and B accumulation passes. The contiguous streams
+//! amortize across the batch — the prepare-once/execute-many win the
+//! session API exists for — at the cost of splitting the double-buffered
+//! vector array B ways ([`PackConfig::tile_entries_batched`]).
+//!
 //! The simulation moves real data end to end: the packed vector values
 //! delivered by the adapter are combined with the nonzeros to produce the
 //! result vector, which is checked against the golden CSR/SELL SpMV.
@@ -52,7 +60,17 @@ impl PackConfig {
     /// Entries per tile: one L2 array (a sixth of the scratchpad) of 64 b
     /// values.
     pub fn tile_entries(&self) -> usize {
-        (self.l2_bytes / 6) / 8
+        self.tile_entries_batched(1)
+    }
+
+    /// Entries per tile when `vectors` dense vectors are multiplied per
+    /// pass. The L2 then holds `4 + 2·vectors` equally-sized arrays:
+    /// slice pointers, results, double-buffered nonzeros, and a
+    /// double-buffered packed-element array per vector — so tiles shrink
+    /// as the batch widens (1 vector → the classic six-way split).
+    pub fn tile_entries_batched(&self, vectors: usize) -> usize {
+        let arrays = 4 + 2 * vectors.max(1);
+        (self.l2_bytes / arrays) / 8
     }
 }
 
@@ -66,7 +84,8 @@ impl Default for PackConfig {
 enum Stage {
     Ptr,
     Val,
-    Indirect,
+    /// Indirect packed-element burst for batch vector `b`.
+    Indirect(usize),
 }
 
 /// Runs tiled SELL SpMV on the pack system and reports Fig. 5 metrics.
@@ -81,23 +100,40 @@ enum Stage {
 /// ```
 /// use nmpic_core::AdapterConfig;
 /// use nmpic_sparse::{gen::banded_fem, Sell};
+/// # #[allow(deprecated)]
 /// use nmpic_system::{run_pack_spmv, PackConfig};
 ///
 /// let sell = Sell::from_csr_default(&banded_fem(128, 6, 16, 1));
+/// # #[allow(deprecated)]
 /// let r = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(64)));
 /// assert!(r.verified, "simulated result must match the golden SpMV");
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session instead: `SpmvEngine::builder().backend(..)\
+            .system(SystemKind::Pack(adapter)).build().prepare_sell(sell).run(&x)` \
+            (see README § Engine API)"
+)]
 pub fn run_pack_spmv(sell: &Sell, cfg: &PackConfig) -> SpmvReport {
     let mut chan = cfg.backend.build(Memory::new(pack_memory_size(sell)));
+    #[allow(deprecated)]
     run_pack_spmv_on(&mut *chan, sell, cfg)
 }
 
 /// Memory footprint needed by [`run_pack_spmv_on`] for a matrix (the six
 /// logical arrays' home locations plus slack), rounded to a power of two.
 pub fn pack_memory_size(sell: &Sell) -> usize {
+    pack_plan_memory_size(sell, 1)
+}
+
+/// Memory footprint for a prepared pack plan holding `slots` resident
+/// vector/result pairs (batched runs keep every vector of a batch in
+/// DRAM simultaneously), rounded to a power of two.
+pub(crate) fn pack_plan_memory_size(sell: &Sell, slots: usize) -> usize {
+    let slots = slots.max(1) as u64;
     let need = 4 * sell.slice_ptr().len() as u64
         + 12 * sell.padded_len() as u64
-        + 8 * (sell.cols() + sell.rows()) as u64
+        + slots * 8 * (sell.cols() + sell.rows()) as u64
         + 16384;
     (need.next_multiple_of(BLOCK_BYTES as u64) as usize).next_power_of_two()
 }
@@ -111,33 +147,127 @@ pub fn pack_memory_size(sell: &Sell) -> usize {
 ///
 /// Panics on an empty matrix, an undersized channel memory, or a
 /// cycle-budget overrun (model deadlock).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session instead: `SpmvEngine::builder().backend(..)\
+            .system(SystemKind::Pack(adapter)).build().prepare_sell(sell).run(&x)` \
+            (see README § Engine API)"
+)]
 pub fn run_pack_spmv_on(chan: &mut dyn ChannelPort, sell: &Sell, cfg: &PackConfig) -> SpmvReport {
-    assert!(sell.padded_len() > 0, "empty matrix");
-    let entries = sell.padded_len();
-    let rows = sell.rows();
-    let cols = sell.cols();
-    let n_ptr = sell.slice_ptr().len();
     let data_bytes_before = chan.data_bytes();
+    let layout = layout_pack(chan, sell, 1);
+    let x: Vec<f64> = (0..sell.cols()).map(golden_x).collect();
+    write_pack_vector(chan, &layout, 0, &x);
+    let row_of = row_map(sell);
+    let mut unit = IndirectStreamUnit::new(cfg.adapter.clone());
+    let run = exec_pack(chan, &mut unit, sell, cfg, &layout, &row_of, &[&x]);
+    let want = sell.spmv(&x);
+    let verified = results_match(&run.ys[0], &want);
+    #[allow(deprecated)]
+    let label = pack_label(&cfg.adapter);
+    SpmvReport {
+        label,
+        cycles: run.cycles,
+        indir_cycles: run.indir_cycles,
+        nnz: sell.nnz() as u64,
+        entries: sell.padded_len() as u64,
+        offchip_bytes: chan.data_bytes() - data_bytes_before,
+        ideal_bytes: pack_ideal_bytes(sell, 1),
+        verified,
+    }
+}
 
-    // DRAM layout: the six logical arrays' home locations.
+/// DRAM home locations of the pack system's arrays. `vec_bases[s]` /
+/// `res_bases[s]` are the vector/result home of batch slot `s`.
+#[derive(Debug, Clone)]
+pub(crate) struct PackLayout {
+    pub(crate) ptr_base: u64,
+    pub(crate) idx_base: u64,
+    pub(crate) val_base: u64,
+    pub(crate) vec_bases: Vec<u64>,
+    pub(crate) res_bases: Vec<u64>,
+}
+
+/// Allocates the pack arrays (with `slots` resident vector/result pairs)
+/// and writes the **matrix** image. Vectors are written separately — per
+/// run — by [`write_pack_vector`].
+pub(crate) fn layout_pack(chan: &mut dyn ChannelPort, sell: &Sell, slots: usize) -> PackLayout {
+    assert!(sell.padded_len() > 0, "empty matrix");
+    let slots = slots.max(1);
     let mem = chan.memory_mut();
-    let ptr_base = mem.alloc_array(n_ptr as u64, 4);
-    let idx_base = mem.alloc_array(entries as u64, 4);
-    let val_base = mem.alloc_array(entries as u64, 8);
-    let vec_base = mem.alloc_array(cols as u64, 8);
-    let res_base = mem.alloc_array(rows as u64, 8);
+    let ptr_base = mem.alloc_array(sell.slice_ptr().len() as u64, 4);
+    let idx_base = mem.alloc_array(sell.padded_len() as u64, 4);
+    let val_base = mem.alloc_array(sell.padded_len() as u64, 8);
+    let vec_bases: Vec<u64> = (0..slots)
+        .map(|_| mem.alloc_array(sell.cols() as u64, 8))
+        .collect();
+    let res_bases: Vec<u64> = (0..slots)
+        .map(|_| mem.alloc_array(sell.rows() as u64, 8))
+        .collect();
     mem.write_u32_slice(ptr_base, sell.slice_ptr());
     mem.write_u32_slice(idx_base, sell.col_idx());
     mem.write_f64_slice(val_base, sell.values());
-    let x: Vec<f64> = (0..cols).map(golden_x).collect();
-    mem.write_f64_slice(vec_base, &x);
+    PackLayout {
+        ptr_base,
+        idx_base,
+        val_base,
+        vec_bases,
+        res_bases,
+    }
+}
 
-    // Row of each padded stream position, for software accumulation.
-    let row_of_pos = row_map(sell);
+/// Rewrites only batch slot `slot`'s vector region — the per-run step of
+/// a prepared plan.
+pub(crate) fn write_pack_vector(
+    chan: &mut dyn ChannelPort,
+    layout: &PackLayout,
+    slot: usize,
+    x: &[f64],
+) {
+    chan.memory_mut().write_f64_slice(layout.vec_bases[slot], x);
+}
 
-    let mut unit = IndirectStreamUnit::new(cfg.adapter.clone());
+/// Compulsory off-chip bytes for `vectors` SpMVs on one laid-out SELL
+/// matrix.
+pub(crate) fn pack_ideal_bytes(sell: &Sell, vectors: u64) -> u64 {
+    4 * sell.slice_ptr().len() as u64
+        + 12 * sell.padded_len() as u64
+        + vectors * 8 * (sell.cols() + sell.rows()) as u64
+}
 
-    let tile_entries = cfg.tile_entries().max(64);
+/// One pack execution's measurements (a batch counts as one execution).
+pub(crate) struct PackRun {
+    pub(crate) cycles: u64,
+    pub(crate) indir_cycles: u64,
+    pub(crate) ys: Vec<Vec<f64>>,
+}
+
+/// Executes tiled SELL SpMV for `xs.len()` vectors against an already
+/// laid-out memory image, starting the channel clock at 0. Per tile, the
+/// slice-pointer and nonzero bursts run once and are followed by one
+/// indirect burst + accumulation pass per vector.
+pub(crate) fn exec_pack(
+    chan: &mut dyn ChannelPort,
+    unit: &mut IndirectStreamUnit,
+    sell: &Sell,
+    cfg: &PackConfig,
+    layout: &PackLayout,
+    row_of_pos: &[u32],
+    xs: &[&[f64]],
+) -> PackRun {
+    assert!(sell.padded_len() > 0, "empty matrix");
+    let b_n = xs.len();
+    assert!(b_n >= 1, "at least one vector");
+    assert!(
+        b_n <= layout.vec_bases.len(),
+        "batch of {b_n} vectors exceeds the plan's {} resident slots",
+        layout.vec_bases.len()
+    );
+    let entries = sell.padded_len();
+    let rows = sell.rows();
+    let n_ptr = sell.slice_ptr().len();
+
+    let tile_entries = cfg.tile_entries_batched(b_n).max(64);
     let n_tiles = entries.div_ceil(tile_entries);
     let ptr_per_tile = (n_ptr as u64).div_ceil(n_tiles as u64).max(1);
 
@@ -149,22 +279,27 @@ pub fn run_pack_spmv_on(chan: &mut dyn ChannelPort, sell: &Sell, cfg: &PackConfi
     let mut vals_unp = Unpacker::new(ElemSize::B8);
     let mut vec_unp = Unpacker::new(ElemSize::B8);
     let mut tile_vals: Vec<u64> = Vec::with_capacity(tile_entries);
-    let mut tile_vecs: Vec<u64> = Vec::with_capacity(tile_entries);
-    let mut ready_tiles: std::collections::VecDeque<(Vec<u64>, Vec<u64>)> = Default::default();
+    // `vec![elem; n]` clones, and cloning an empty Vec drops its
+    // reserved capacity — build each buffer explicitly.
+    let fresh_vecs =
+        || -> Vec<Vec<u64>> { (0..b_n).map(|_| Vec::with_capacity(tile_entries)).collect() };
+    let mut tile_vecs: Vec<Vec<u64>> = fresh_vecs();
+    type TileData = (Vec<u64>, Vec<Vec<u64>>);
+    let mut ready_tiles: std::collections::VecDeque<TileData> = Default::default();
 
     // VPC state.
     let mut computed_tiles = 0usize;
     let mut vpc_busy_until = 0u64;
     let mut vpc_running = false;
-    let mut cur_tile: Option<(Vec<u64>, Vec<u64>)> = None;
-    let mut y = vec![0.0f64; rows];
+    let mut cur_tile: Option<TileData> = None;
+    let mut ys = vec![vec![0.0f64; rows]; b_n];
     let mut pos_cursor = 0usize; // global stream position of computed data
     let mut rows_written = 0usize;
     let mut pending_writes: Vec<WideRequest> = Vec::new();
 
     let mut indir_cycles = 0u64;
     let mut now = 0u64;
-    let budget = 500_000 + entries as u64 * 300;
+    let budget = 500_000 + entries as u64 * 300 * b_n as u64;
 
     while computed_tiles < n_tiles || !pending_writes.is_empty() || !chan.is_idle() {
         // --- Prefetcher: fetch tiles while fewer than two are buffered
@@ -176,39 +311,41 @@ pub fn run_pack_spmv_on(chan: &mut dyn ChannelPort, sell: &Sell, cfg: &PackConfi
             if !burst_begun {
                 let req = match stage {
                     Stage::Ptr => PackRequest::Contiguous {
-                        base: ptr_base + 4 * (pf_tile as u64 * ptr_per_tile).min(n_ptr as u64 - 1),
+                        base: layout.ptr_base
+                            + 4 * (pf_tile as u64 * ptr_per_tile).min(n_ptr as u64 - 1),
                         elem_size: ElemSize::B4,
                         count: ptr_per_tile.min(n_ptr as u64),
                     },
                     Stage::Val => PackRequest::Contiguous {
-                        base: val_base + 8 * lo as u64,
+                        base: layout.val_base + 8 * lo as u64,
                         elem_size: ElemSize::B8,
                         count,
                     },
-                    Stage::Indirect => PackRequest::Indirect {
-                        idx_base: idx_base + 4 * lo as u64,
+                    Stage::Indirect(b) => PackRequest::Indirect {
+                        idx_base: layout.idx_base + 4 * lo as u64,
                         idx_size: ElemSize::B4,
                         count,
-                        elem_base: vec_base,
+                        elem_base: layout.vec_bases[b],
                         elem_size: ElemSize::B8,
                     },
                 };
                 unit.begin(req).expect("unit drained between bursts");
                 burst_begun = true;
             }
-            if stage == Stage::Indirect {
+            if matches!(stage, Stage::Indirect(_)) {
                 indir_cycles += 1;
             }
             if unit.is_done() && burst_begun {
                 burst_begun = false;
                 stage = match stage {
                     Stage::Ptr => Stage::Val,
-                    Stage::Val => Stage::Indirect,
-                    Stage::Indirect => {
-                        // Tile fully fetched.
+                    Stage::Val => Stage::Indirect(0),
+                    Stage::Indirect(b) if b + 1 < b_n => Stage::Indirect(b + 1),
+                    Stage::Indirect(_) => {
+                        // Tile fully fetched for every vector of the batch.
                         ready_tiles.push_back((
                             std::mem::take(&mut tile_vals),
-                            std::mem::take(&mut tile_vecs),
+                            std::mem::replace(&mut tile_vecs, fresh_vecs()),
                         ));
                         fetched_tiles += 1;
                         pf_tile += 1;
@@ -226,34 +363,37 @@ pub fn run_pack_spmv_on(chan: &mut dyn ChannelPort, sell: &Sell, cfg: &PackConfi
                     vals_unp.push_beat(&beat);
                     tile_vals.extend(vals_unp.drain());
                 }
-                Stage::Indirect => {
+                Stage::Indirect(b) => {
                     vec_unp.push_beat(&beat);
-                    tile_vecs.extend(vec_unp.drain());
+                    tile_vecs[b].extend(vec_unp.drain());
                 }
             }
         }
 
         // --- VPC compute: start when a tile is buffered, finish after the
-        // tile's compute time.
+        // tile's compute time (one pass per batch vector).
         if !vpc_running {
             if let Some(tile) = ready_tiles.pop_front() {
-                let n = tile.0.len();
+                let n = tile.0.len() * b_n;
                 vpc_busy_until = now + (n as f64 / cfg.compute_elems_per_cycle).ceil() as u64;
                 cur_tile = Some(tile);
                 vpc_running = true;
             }
         } else if now >= vpc_busy_until {
             let (vals, vecs) = cur_tile.take().expect("running tile");
-            debug_assert_eq!(vals.len(), vecs.len());
-            for k in 0..vals.len() {
-                let a = f64::from_bits(vals[k]);
-                let b = f64::from_bits(vecs[k]);
-                y[row_of_pos[pos_cursor + k] as usize] += a * b;
+            for (b, vecs_b) in vecs.iter().enumerate() {
+                debug_assert_eq!(vals.len(), vecs_b.len());
+                for k in 0..vals.len() {
+                    let a = f64::from_bits(vals[k]);
+                    let v = f64::from_bits(vecs_b[k]);
+                    ys[b][row_of_pos[pos_cursor + k] as usize] += a * v;
+                }
             }
             pos_cursor += vals.len();
             vpc_running = false;
             computed_tiles += 1;
-            // Write back completed result rows, one 64 B line at a time.
+            // Write back completed result rows, one 64 B line per vector
+            // at a time.
             let rows_done = if computed_tiles == n_tiles {
                 rows
             } else {
@@ -262,8 +402,10 @@ pub fn run_pack_spmv_on(chan: &mut dyn ChannelPort, sell: &Sell, cfg: &PackConfi
                 complete_rows(sell, pos_cursor)
             };
             while rows_written < rows_done {
-                let line = (res_base + 8 * rows_written as u64) & !(BLOCK_BYTES as u64 - 1);
-                pending_writes.push(WideRequest::write(line, 0, [0u8; BLOCK_BYTES]));
+                for res_base in layout.res_bases.iter().take(b_n) {
+                    let line = (res_base + 8 * rows_written as u64) & !(BLOCK_BYTES as u64 - 1);
+                    pending_writes.push(WideRequest::write(line, 0, [0u8; BLOCK_BYTES]));
+                }
                 rows_written += 8;
             }
             rows_written = rows_written.min(rows);
@@ -284,35 +426,22 @@ pub fn run_pack_spmv_on(chan: &mut dyn ChannelPort, sell: &Sell, cfg: &PackConfi
         );
     }
 
-    // Golden verification of the full datapath.
-    let want = sell.spmv(&x);
-    let verified = results_match(&y, &want);
-
-    let ideal = 4 * n_ptr as u64 + 12 * entries as u64 + 8 * cols as u64 + 8 * rows as u64;
-    SpmvReport {
-        label: pack_label(&cfg.adapter),
+    PackRun {
         cycles: now,
         indir_cycles,
-        nnz: sell.nnz() as u64,
-        entries: entries as u64,
-        offchip_bytes: chan.data_bytes() - data_bytes_before,
-        ideal_bytes: ideal,
-        verified,
+        ys,
     }
 }
 
 /// Paper-style system label for an adapter variant (`pack0`, `pack64`,
 /// `pack256`, `packSEQ64`, ...).
+#[deprecated(since = "0.2.0", note = "use `AdapterConfig::label()` instead")]
 pub fn pack_label(adapter: &AdapterConfig) -> String {
-    match adapter.mode {
-        nmpic_core::CoalescerMode::None => "pack0".to_string(),
-        nmpic_core::CoalescerMode::Parallel => format!("pack{}", adapter.window),
-        nmpic_core::CoalescerMode::Sequential => format!("packSEQ{}", adapter.window),
-    }
+    adapter.label()
 }
 
 /// Maps each padded SELL stream position to its row.
-fn row_map(sell: &Sell) -> Vec<u32> {
+pub(crate) fn row_map(sell: &Sell) -> Vec<u32> {
     let mut map = vec![0u32; sell.padded_len()];
     let h = sell.slice_height();
     for s in 0..sell.n_slices() {
@@ -345,6 +474,7 @@ fn complete_rows(sell: &Sell, pos: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nmpic_sparse::gen::{banded_fem, circuit};
@@ -410,6 +540,14 @@ mod tests {
         assert_eq!(pack_label(&AdapterConfig::mlp_nc()), "pack0");
         assert_eq!(pack_label(&AdapterConfig::mlp(64)), "pack64");
         assert_eq!(pack_label(&AdapterConfig::seq(256)), "packSEQ256");
+        // The deprecated free function and the config method agree.
+        for a in [
+            AdapterConfig::mlp_nc(),
+            AdapterConfig::mlp(64),
+            AdapterConfig::seq(256),
+        ] {
+            assert_eq!(pack_label(&a), a.label());
+        }
     }
 
     #[test]
@@ -434,6 +572,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod behaviour_tests {
     use super::*;
     use nmpic_core::AdapterConfig;
@@ -449,6 +588,9 @@ mod behaviour_tests {
             ..PackConfig::default()
         };
         assert_eq!(small.tile_entries(), 2048);
+        // A batch of 4 splits the L2 into 4 + 2·4 = 12 arrays.
+        assert_eq!(cfg.tile_entries_batched(4), 384 * 1024 / 12 / 8);
+        assert_eq!(cfg.tile_entries_batched(1), cfg.tile_entries());
     }
 
     #[test]

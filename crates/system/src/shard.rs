@@ -5,8 +5,9 @@
 //! single-unit harness in `nmpic-core` therefore under-reports what the
 //! proposed organization can deliver on a multi-channel stack — one
 //! adapter's 512 b upstream port caps delivered indirect bandwidth at
-//! 64 GB/s no matter how many channels sit behind it. [`run_sharded_spmv`]
-//! removes that cap:
+//! 64 GB/s no matter how many channels sit behind it. The sharded system
+//! (built through [`crate::SpmvEngine`] with
+//! [`crate::SystemKind::Sharded`]) removes that cap:
 //!
 //! 1. **Partition** — rows split K ways by
 //!    [`nmpic_sparse::partition::by_nnz`] (prefix-sum nonzero balancing,
@@ -18,25 +19,28 @@
 //!    so the phase's latency is the **slowest** shard's latency — the
 //!    quantity the imbalance metrics explain.
 //! 3. **Merged collection** — completed rows from all shards merge
-//!    through a [`MergedCollector`] (round-robin [`ShardArbiter`] order)
-//!    into one [`ScatterUnit`] burst that writes the global result array
-//!    with coalesced wide writes.
+//!    through a [`MergedCollector`] (round-robin
+//!    [`nmpic_core::ShardArbiter`] order) into one [`ScatterUnit`] burst
+//!    that writes the global result array with coalesced wide writes.
 //!
 //! The engine moves real data end to end: the result array read back
 //! from the collection channel must be **byte-identical** to the golden
 //! [`Csr::spmv`] (shards accumulate in the same per-row order, so even
 //! floating-point rounding matches).
 
+use std::fmt;
+use std::str::FromStr;
+
 use nmpic_axi::{ElemSize, PackRequest, Packer, Unpacker};
 use nmpic_core::{
-    stream_memory_size, AdapterConfig, AdapterStats, IndirectStreamUnit, MergedCollector,
-    ScatterRequest, ScatterStats, ScatterUnit,
+    AdapterConfig, AdapterStats, IndirectStreamUnit, MergedCollector, ScatterRequest, ScatterStats,
+    ScatterUnit,
 };
-use nmpic_mem::{BackendConfig, ChannelPort, HbmStats, Memory, BLOCK_BYTES};
-use nmpic_sim::stats::Extrema;
-use nmpic_sparse::partition::{by_nnz, by_rows, CsrShard};
+use nmpic_mem::{BackendConfig, ChannelPort, HbmStats, BLOCK_BYTES};
+use nmpic_sparse::partition::Partition;
 use nmpic_sparse::Csr;
 
+use crate::engine::{SpmvEngine, SystemKind};
 use crate::report::golden_x;
 
 /// How rows are divided across units.
@@ -47,6 +51,47 @@ pub enum PartitionStrategy {
     ByNnz,
     /// Equal row counts — the naive baseline, kept for comparison.
     ByRows,
+}
+
+impl fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionStrategy::ByNnz => write!(f, "nnz"),
+            PartitionStrategy::ByRows => write!(f, "rows"),
+        }
+    }
+}
+
+/// Error returned when a partition-strategy name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePartitionError(String);
+
+impl fmt::Display for ParsePartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown partition strategy '{}': expected 'nnz' (nonzero-balanced) or 'rows'",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePartitionError {}
+
+impl FromStr for PartitionStrategy {
+    type Err = ParsePartitionError;
+
+    /// Parses `nnz`/`by_nnz` or `rows`/`by_rows` (case-insensitive), so
+    /// experiments can select the strategy via the `NMPIC_PARTITION`
+    /// environment knob the same way `NMPIC_BACKEND`-style strings pick
+    /// backends.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().replace('-', "_").as_str() {
+            "nnz" | "by_nnz" | "bynnz" => Ok(PartitionStrategy::ByNnz),
+            "rows" | "by_rows" | "byrows" => Ok(PartitionStrategy::ByRows),
+            _ => Err(ParsePartitionError(s.to_string())),
+        }
+    }
 }
 
 /// Configuration of the sharded engine.
@@ -81,7 +126,8 @@ impl ShardedConfig {
     }
 }
 
-/// Per-shard measurement inside a [`ShardedReport`].
+/// Per-shard measurement inside a [`ShardedReport`] or a
+/// [`crate::ShardDetail`].
 #[derive(Debug, Clone)]
 pub struct ShardReport {
     /// Shard index.
@@ -100,10 +146,11 @@ pub struct ShardReport {
     pub dram: Option<HbmStats>,
 }
 
-/// Result of one sharded SpMV run.
+/// Result of one sharded SpMV run (the legacy report type; the session
+/// API returns the unified [`crate::RunReport`] instead).
 #[derive(Debug, Clone)]
 pub struct ShardedReport {
-    /// `sharded x{K} ({variant}, {backend})`.
+    /// `sharded x{K} ({adapter label}, {backend})`.
     pub label: String,
     /// Number of units.
     pub units: usize,
@@ -160,131 +207,82 @@ impl ShardedReport {
 ///
 /// ```
 /// use nmpic_sparse::gen::banded_fem;
+/// # #[allow(deprecated)]
 /// use nmpic_system::{run_sharded_spmv, ShardedConfig};
 ///
 /// let csr = banded_fem(256, 6, 16, 1);
+/// # #[allow(deprecated)]
 /// let r = run_sharded_spmv(&csr, &ShardedConfig::new(4));
 /// assert!(r.verified, "result array must match the golden SpMV bytes");
 /// assert_eq!(r.per_shard.len(), 4);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session instead: `SpmvEngine::builder().backend(..)\
+            .system(SystemKind::Sharded { units, strategy }).build().prepare(csr).run(&x)` \
+            (see README § Engine API)"
+)]
 pub fn run_sharded_spmv(csr: &Csr, cfg: &ShardedConfig) -> ShardedReport {
-    assert!(cfg.units > 0, "at least one unit");
-    assert!(csr.rows() > 0 && csr.nnz() > 0, "empty matrix");
-    let partition = match cfg.strategy {
-        PartitionStrategy::ByNnz => by_nnz(csr, cfg.units),
-        PartitionStrategy::ByRows => by_rows(csr, cfg.units),
-    };
+    let engine = SpmvEngine::builder()
+        .backend(cfg.backend.clone())
+        .system(SystemKind::Sharded {
+            units: cfg.units,
+            strategy: cfg.strategy,
+        })
+        .sharded_adapter(cfg.adapter.clone())
+        .build();
+    let mut plan = engine.prepare(csr);
     let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
-    let per_unit_backend = cfg.backend.split(cfg.units);
-
-    // --- Phase 1: independent per-shard gather + compute. Units share no
-    // state (each owns its slice of the channels and a replica of x), so
-    // simulating them one after another is exact; the phase latency is
-    // the maximum over shards.
-    let mut y = vec![0.0f64; csr.rows()];
-    let mut per_shard = Vec::with_capacity(cfg.units);
-    let mut cycle_ext = Extrema::new();
-    let mut bus_ext = Extrema::new();
-    let mut payload_bytes = 0u64;
-    for i in 0..cfg.units {
-        let shard = partition.csr_shard(csr, i);
-        let (cycles, stats, dram) = if shard.nnz() == 0 {
-            (0, AdapterStats::default(), None)
-        } else {
-            run_shard_gather(&per_unit_backend, &cfg.adapter, &shard, &x, &mut y)
-        };
-        payload_bytes += stats.payload_bytes;
-        cycle_ext.add(cycles as f64);
-        if let Some(d) = &dram {
-            bus_ext.add(d.bus_busy_cycles as f64);
-        }
-        per_shard.push(ShardReport {
-            shard: i,
-            rows: shard.n_rows(),
-            nnz: shard.nnz() as u64,
-            cycles,
-            indir_gbps: if cycles == 0 {
-                0.0
-            } else {
-                stats.payload_bytes as f64 / cycles as f64
-            },
-            adapter: stats,
-            dram,
-        });
-    }
-    let gather_cycles = per_shard.iter().map(|s| s.cycles).max().unwrap_or(0);
-    let dram_merged = per_shard
-        .iter()
-        .any(|s| s.dram.is_some())
-        .then(|| HbmStats::sum(per_shard.iter().filter_map(|s| s.dram)));
-
-    // --- Phase 2: merged result collection. Completed rows from all
-    // shards interleave in round-robin arbiter order — one 64 B line of
-    // rows per grant, so the scatter unit's write warps keep coalescing —
-    // and stream through one scatter unit into the result array.
-    let mut collector = MergedCollector::with_chunk(cfg.units, BLOCK_BYTES / 8);
-    for i in 0..cfg.units {
-        for row in partition.range(i) {
-            collector.push(i, row as u32, y[row].to_bits());
-        }
-    }
-    let order = collector.drain();
-    let (collect_cycles, scatter_stats, result_bits) = run_merged_collection(cfg, csr, &order);
-
-    let golden_bits: Vec<u64> = csr.spmv(&x).iter().map(|v| v.to_bits()).collect();
-    let verified = result_bits == golden_bits;
-
-    let aggregate_gbps = if gather_cycles == 0 {
-        0.0
-    } else {
-        payload_bytes as f64 / gather_cycles as f64
-    };
+    let mut report = plan.run(&x);
+    let detail = report.shards.take().expect("sharded plan carries detail");
     ShardedReport {
-        label: format!(
-            "sharded x{} ({}, {})",
-            cfg.units,
-            cfg.adapter.variant_name(),
-            cfg.backend.label()
-        ),
-        units: cfg.units,
-        gather_cycles,
-        collect_cycles,
-        cycles: gather_cycles + collect_cycles,
-        nnz: csr.nnz() as u64,
-        aggregate_gbps,
-        nnz_imbalance: partition.nnz_imbalance(),
-        cycle_imbalance: cycle_ext.imbalance(),
-        bus_imbalance: bus_ext.imbalance(),
-        scatter: scatter_stats,
-        dram: dram_merged,
-        per_shard,
-        y,
-        verified,
+        label: report.label,
+        units: detail.units,
+        gather_cycles: detail.gather_cycles,
+        collect_cycles: detail.collect_cycles,
+        cycles: report.cycles,
+        nnz: report.nnz,
+        aggregate_gbps: detail.aggregate_gbps,
+        nnz_imbalance: detail.nnz_imbalance,
+        cycle_imbalance: detail.cycle_imbalance,
+        bus_imbalance: detail.bus_imbalance,
+        scatter: detail.scatter,
+        dram: detail.dram,
+        per_shard: detail.per_shard,
+        y: report.ys.swap_remove(0),
+        verified: report.verified,
     }
 }
 
-/// Runs one shard's indirect gather and accumulates its rows of `y`.
-/// Returns `(cycles, adapter stats, dram stats)`.
-fn run_shard_gather(
-    backend: &BackendConfig,
-    adapter: &AdapterConfig,
-    shard: &CsrShard<'_>,
-    x: &[f64],
+/// Builds the merged write-back row order for a partition: each shard
+/// contributes its rows in ascending order, interleaved one 64 B line
+/// (8 rows) per round-robin grant so the scatter unit's write warps keep
+/// coalescing. Depends only on the partition, so prepared plans compute
+/// it once.
+pub(crate) fn merge_order(partition: &Partition, units: usize) -> Vec<u32> {
+    let mut collector = MergedCollector::with_chunk(units, BLOCK_BYTES / 8);
+    for i in 0..units {
+        for row in partition.range(i) {
+            collector.push(i, row as u32, 0);
+        }
+    }
+    collector.drain().into_iter().map(|(row, _)| row).collect()
+}
+
+/// Runs one shard's indirect gather on a **warm** channel/unit pair (the
+/// caller resets both and writes `x` at `elem_base` beforehand; the index
+/// array at `idx_base` was written at prepare time) and accumulates the
+/// shard's rows of `y`. Returns `(cycles, adapter stats, dram stats)`.
+pub(crate) fn exec_shard_gather(
+    chan: &mut dyn ChannelPort,
+    unit: &mut IndirectStreamUnit,
+    idx_base: u64,
+    elem_base: u64,
+    values: &[f64],
+    row_of_pos: &[u32],
     y: &mut [f64],
 ) -> (u64, AdapterStats, Option<HbmStats>) {
-    let indices = shard.col_idx();
-    let values = shard.values();
-    let row_of_pos = shard.row_of_positions();
-    let count = indices.len() as u64;
-
-    let mut chan = backend.build(Memory::new(stream_memory_size(indices.len(), x.len())));
-    let mem = chan.memory_mut();
-    let idx_base = mem.alloc_array(count, 4);
-    let elem_base = mem.alloc_array(x.len() as u64, 8);
-    mem.write_u32_slice(idx_base, indices);
-    mem.write_f64_slice(elem_base, x);
-
-    let mut unit = IndirectStreamUnit::new(adapter.clone());
+    let count = values.len() as u64;
     unit.begin(PackRequest::Indirect {
         idx_base,
         idx_size: ElemSize::B4,
@@ -292,14 +290,14 @@ fn run_shard_gather(
         elem_base,
         elem_size: ElemSize::B8,
     })
-    .expect("fresh unit accepts a burst");
+    .expect("reset unit accepts a burst");
 
     let mut unpacker = Unpacker::new(ElemSize::B8);
     let mut pos = 0usize;
     let mut now = 0u64;
     let budget = 200_000 + count * 256;
     while !unit.is_done() {
-        unit.tick(now, &mut *chan);
+        unit.tick(now, chan);
         chan.tick(now);
         while let Some(beat) = unit.pop_beat() {
             unpacker.push_beat(&beat);
@@ -314,32 +312,22 @@ fn run_shard_gather(
         now += 1;
         assert!(now < budget, "shard gather deadlock after {now} cycles");
     }
-    assert_eq!(pos, indices.len(), "every element delivered exactly once");
+    assert_eq!(pos, values.len(), "every element delivered exactly once");
     (now, unit.stats(), chan.dram_stats())
 }
 
-/// Streams the merged `(row, bits)` sequence through one scatter unit
-/// into a fresh result channel and reads the result array back. Returns
-/// `(cycles, scatter stats, per-row result bits)`.
-fn run_merged_collection(
-    cfg: &ShardedConfig,
-    csr: &Csr,
-    order: &[(u32, u64)],
+/// Streams the merged result bits through a **warm** scatter unit (the
+/// caller resets the channel and unit; the merge-order index array at
+/// `idx_base` was written at prepare time) into the result array and
+/// reads it back. Returns `(cycles, scatter stats, per-row result bits)`.
+pub(crate) fn exec_merged_collection(
+    chan: &mut dyn ChannelPort,
+    unit: &mut ScatterUnit,
+    idx_base: u64,
+    res_base: u64,
+    bits_in_order: &[u64],
+    rows: usize,
 ) -> (u64, ScatterStats, Vec<u64>) {
-    let rows = csr.rows();
-    // The write-back port is one channel wide: splitting by the full
-    // channel count leaves exactly one channel of the configured kind.
-    // The scatter's index and result arrays have the same shape as a
-    // `rows`-long stream over a `rows`-element vector.
-    let backend = cfg.backend.split(cfg.backend.kind.channels());
-    let mut chan = backend.build(Memory::new(stream_memory_size(rows, rows)));
-    let mem = chan.memory_mut();
-    let idx_base = mem.alloc_array(rows as u64, 4);
-    let res_base = mem.alloc_array(rows as u64, 8);
-    let merge_rows: Vec<u32> = order.iter().map(|&(row, _)| row).collect();
-    mem.write_u32_slice(idx_base, &merge_rows);
-
-    let mut unit = ScatterUnit::new(cfg.adapter.clone());
     unit.begin(ScatterRequest {
         idx_base,
         idx_size: ElemSize::B4,
@@ -347,10 +335,10 @@ fn run_merged_collection(
         elem_base: res_base,
         elem_size: ElemSize::B8,
     })
-    .expect("fresh scatter unit");
+    .expect("reset scatter unit");
 
     let mut packer = Packer::new(ElemSize::B8);
-    let mut pending = order.iter().map(|&(_, bits)| bits);
+    let mut pending = bits_in_order.iter().copied();
     let mut exhausted = false;
     let mut staged = None;
     let mut now = 0u64;
@@ -372,7 +360,7 @@ fn run_merged_collection(
                 staged = Some(beat);
             }
         }
-        unit.tick(now, &mut *chan);
+        unit.tick(now, chan);
         chan.tick(now);
         now += 1;
         assert!(
@@ -388,6 +376,7 @@ fn run_merged_collection(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nmpic_sparse::gen::{banded_fem, circuit};
@@ -535,5 +524,24 @@ mod tests {
                 ..ShardedConfig::new(1)
             },
         );
+    }
+
+    #[test]
+    fn partition_strategy_parses_from_str() {
+        for ok in ["nnz", "by_nnz", "BY-NNZ", " bynnz "] {
+            assert_eq!(
+                ok.parse::<PartitionStrategy>().unwrap(),
+                PartitionStrategy::ByNnz
+            );
+        }
+        for ok in ["rows", "by_rows", "ByRows"] {
+            assert_eq!(
+                ok.parse::<PartitionStrategy>().unwrap(),
+                PartitionStrategy::ByRows
+            );
+        }
+        assert!("hash".parse::<PartitionStrategy>().is_err());
+        let err = "hash".parse::<PartitionStrategy>().unwrap_err();
+        assert!(err.to_string().contains("hash"));
     }
 }

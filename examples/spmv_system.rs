@@ -6,7 +6,7 @@
 
 use nmpic::core::AdapterConfig;
 use nmpic::sparse::{by_name, suite, Sell};
-use nmpic::system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
+use nmpic::system::{golden_x, SpmvEngine, SystemKind};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -30,7 +30,12 @@ fn main() {
         sell.padding_ratio()
     );
 
-    let base = run_base_spmv(&csr, &BaseConfig::default());
+    let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+    let base = SpmvEngine::builder()
+        .system(SystemKind::Base)
+        .build()
+        .prepare(&csr)
+        .run(&x);
     println!(
         "{:8}  {:>10} cycles  indir {:4.1}%  util {:4.1}%  traffic {:4.2}x ideal",
         base.label,
@@ -44,7 +49,11 @@ fn main() {
         AdapterConfig::mlp(64),
         AdapterConfig::mlp(256),
     ] {
-        let r = run_pack_spmv(&sell, &PackConfig::with_adapter(adapter));
+        let r = SpmvEngine::builder()
+            .system(SystemKind::Pack(adapter))
+            .build()
+            .prepare_sell(&sell)
+            .run(&x);
         assert!(r.verified, "simulated result must equal the golden SpMV");
         println!(
             "{:8}  {:>10} cycles  indir {:4.1}%  util {:4.1}%  traffic {:4.2}x ideal  speedup {:5.2}x",

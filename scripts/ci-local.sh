@@ -2,11 +2,13 @@
 # Reproduces the CI matrix locally so contributors can pre-flight before
 # pushing. Mirrors .github/workflows/ci.yml job for job:
 #
-#   lint        cargo fmt --check + clippy -D warnings
+#   lint        cargo fmt --check + clippy -D warnings + -D deprecated
+#               on the bench/tests/examples targets (legacy-API gate)
 #   test        release build + quick-scale test suite (stable, plus the
 #               MSRV toolchain when rustup has it installed)
-#   bench-smoke scaling_units + scaling_channels at NMPIC_QUICK=1, then
-#               gate the JSON results on zero rows / NaN bandwidth
+#   bench-smoke scaling_units + scaling_channels + batched_spmv at
+#               NMPIC_QUICK=1, then gate the JSON results on zero rows /
+#               NaN bandwidth
 #   doc         rustdoc with broken intra-doc links as errors
 #
 # Usage: scripts/ci-local.sh [lint|test|bench|doc]...  (default: all)
@@ -22,6 +24,9 @@ run_lint() {
     cargo fmt --all --check
     step "lint: clippy -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
+    step "lint: no deprecated API outside the shims"
+    RUSTFLAGS="-D deprecated" cargo check -p nmpic-bench --all-targets
+    RUSTFLAGS="-D deprecated" cargo check -p nmpic --tests --examples
 }
 
 run_test() {
@@ -41,11 +46,12 @@ run_test() {
 }
 
 run_bench() {
-    step "bench-smoke: scaling_units + scaling_channels (NMPIC_QUICK=1)"
+    step "bench-smoke: scaling_units + scaling_channels + batched_spmv (NMPIC_QUICK=1)"
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_units
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_channels
+    NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin batched_spmv
     step "bench-smoke: gating results"
-    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json
+    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json results/batched_spmv.json
 }
 
 run_doc() {

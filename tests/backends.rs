@@ -9,7 +9,7 @@ use nmpic::core::{
 };
 use nmpic::mem::{build_backend, BackendConfig, BackendKind, ChannelPort, Memory};
 use nmpic::sparse::{by_name, Sell};
-use nmpic::system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
+use nmpic::system::{golden_x, SpmvEngine, SystemKind};
 
 /// Every backend kind the factory can produce, including the acceptance
 /// sweep `Interleaved {2, 4, 8}`.
@@ -132,21 +132,20 @@ fn spmv_systems_verify_on_every_backend() {
     let sell = Sell::from_csr_default(&csr);
     for backend in all_backends() {
         let label = backend.label();
-        let base = run_base_spmv(
-            &csr,
-            &BaseConfig {
-                backend: backend.clone(),
-                ..BaseConfig::default()
-            },
-        );
+        let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+        let base = SpmvEngine::builder()
+            .backend(backend.clone())
+            .system(SystemKind::Base)
+            .build()
+            .prepare(&csr)
+            .run(&x);
         assert!(base.verified, "base on {label}");
-        let pack = run_pack_spmv(
-            &sell,
-            &PackConfig {
-                backend: backend.clone(),
-                ..PackConfig::with_adapter(AdapterConfig::mlp(256))
-            },
-        );
+        let pack = SpmvEngine::builder()
+            .backend(backend.clone())
+            .system(SystemKind::Pack(AdapterConfig::mlp(256)))
+            .build()
+            .prepare_sell(&sell)
+            .run(&x);
         assert!(pack.verified, "pack on {label}");
         assert!(pack.cycles > 0 && base.cycles > 0);
     }
@@ -158,14 +157,14 @@ fn spmv_systems_verify_on_every_backend() {
 fn pack_spmv_benefits_from_channels() {
     let spec = by_name("af_shell10").expect("suite matrix");
     let sell = Sell::from_csr_default(&spec.build_capped(12_000));
+    let x: Vec<f64> = (0..sell.cols()).map(golden_x).collect();
     let run = |backend: BackendConfig| {
-        run_pack_spmv(
-            &sell,
-            &PackConfig {
-                backend,
-                ..PackConfig::with_adapter(AdapterConfig::mlp_nc())
-            },
-        )
+        SpmvEngine::builder()
+            .backend(backend)
+            .system(SystemKind::Pack(AdapterConfig::mlp_nc()))
+            .build()
+            .prepare_sell(&sell)
+            .run(&x)
     };
     let one = run(BackendConfig::hbm());
     let four = run(BackendConfig::interleaved(4));

@@ -4,7 +4,16 @@
 
 use nmpic::core::{run_indirect_stream, AdapterConfig, StreamOptions};
 use nmpic::sparse::{by_name, suite, Sell};
-use nmpic::system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
+use nmpic::system::{golden_x, SpmvEngine, SystemKind};
+
+/// Builds a pack plan for `sell` with the given adapter on the default
+/// HBM backend.
+fn pack_plan(sell: &Sell, adapter: AdapterConfig) -> nmpic::system::SpmvPlan {
+    SpmvEngine::builder()
+        .system(SystemKind::Pack(adapter))
+        .build()
+        .prepare_sell(sell)
+}
 
 /// Every suite matrix, streamed through the headline adapter, must gather
 /// exactly the golden data.
@@ -47,10 +56,13 @@ fn simulation_is_deterministic() {
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.adapter, b.adapter);
 
-    let p1 = run_pack_spmv(&sell, &PackConfig::default());
-    let p2 = run_pack_spmv(&sell, &PackConfig::default());
+    let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+    let mut plan = pack_plan(&sell, AdapterConfig::mlp(256));
+    let p1 = plan.run(&x);
+    let p2 = plan.run(&x);
     assert_eq!(p1.cycles, p2.cycles);
     assert_eq!(p1.offchip_bytes, p2.offchip_bytes);
+    assert_eq!(p1.y_bits(), p2.y_bits());
 }
 
 /// All four Fig. 5 systems run one matrix end to end; the pack systems
@@ -62,10 +74,15 @@ fn system_stack_orders_as_expected() {
     let csr = spec.build_capped(20_000);
     let sell = Sell::from_csr_default(&csr);
 
-    let base = run_base_spmv(&csr, &BaseConfig::default());
-    let pack0 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp_nc()));
-    let pack64 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(64)));
-    let pack256 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
+    let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+    let base = SpmvEngine::builder()
+        .system(SystemKind::Base)
+        .build()
+        .prepare(&csr)
+        .run(&x);
+    let pack0 = pack_plan(&sell, AdapterConfig::mlp_nc()).run(&x);
+    let pack64 = pack_plan(&sell, AdapterConfig::mlp(64)).run(&x);
+    let pack256 = pack_plan(&sell, AdapterConfig::mlp(256)).run(&x);
 
     for r in [&base, &pack0, &pack64, &pack256] {
         assert!(r.verified, "{} failed verification", r.label);

@@ -5,13 +5,31 @@
 use nmpic::core::{run_indirect_stream, AdapterConfig, StreamOptions};
 use nmpic::model::{a64fx, adapter_area, sx_aurora, this_work};
 use nmpic::sparse::{by_name, Sell};
-use nmpic::system::{run_base_spmv, run_pack_spmv, BaseConfig, PackConfig};
+use nmpic::system::{golden_x, RunReport, SpmvEngine, SystemKind};
 
 fn sell_for(name: &str, cap: u64) -> (nmpic::sparse::Csr, Sell) {
     let spec = by_name(name).expect("suite matrix");
     let csr = spec.build_capped(cap);
     let sell = Sell::from_csr_default(&csr);
     (csr, sell)
+}
+
+fn run_base(csr: &nmpic::sparse::Csr) -> RunReport {
+    let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+    SpmvEngine::builder()
+        .system(SystemKind::Base)
+        .build()
+        .prepare(csr)
+        .run(&x)
+}
+
+fn run_pack(sell: &Sell, adapter: AdapterConfig) -> RunReport {
+    let x: Vec<f64> = (0..sell.cols()).map(golden_x).collect();
+    SpmvEngine::builder()
+        .system(SystemKind::Pack(adapter))
+        .build()
+        .prepare_sell(sell)
+        .run(&x)
 }
 
 /// Fig. 3 claim: the 256-window parallel coalescer multiplies effective
@@ -94,9 +112,9 @@ fn coalesce_rate_grows_with_window() {
 #[test]
 fn spmv_speedup_ordering() {
     let (csr, sell) = sell_for("HPCG", 40_000);
-    let base = run_base_spmv(&csr, &BaseConfig::default());
-    let p0 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp_nc()));
-    let p256 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
+    let base = run_base(&csr);
+    let p0 = run_pack(&sell, AdapterConfig::mlp_nc());
+    let p256 = run_pack(&sell, AdapterConfig::mlp(256));
     let s0 = p0.speedup_over(&base);
     let s256 = p256.speedup_over(&base);
     assert!(s0 > 1.2, "pack0 speedup {s0:.2} (paper ~2.7x)");
@@ -114,9 +132,9 @@ fn spmv_speedup_ordering() {
 #[test]
 fn traffic_and_utilization_shape() {
     let (csr, sell) = sell_for("af_shell10", 40_000);
-    let base = run_base_spmv(&csr, &BaseConfig::default());
-    let p0 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp_nc()));
-    let p256 = run_pack_spmv(&sell, &PackConfig::with_adapter(AdapterConfig::mlp(256)));
+    let base = run_base(&csr);
+    let p0 = run_pack(&sell, AdapterConfig::mlp_nc());
+    let p256 = run_pack(&sell, AdapterConfig::mlp(256));
     assert!(p0.traffic_ratio() > 4.0, "paper: 5.6x avg");
     assert!(p256.traffic_ratio() < 1.6, "paper: 1.29x avg");
     assert!(base.traffic_ratio() < 1.5, "LLC keeps base near ideal");

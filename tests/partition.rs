@@ -12,7 +12,24 @@ use nmpic::mem::BackendConfig;
 use nmpic::sim::SimRng;
 use nmpic::sparse::partition::{by_nnz, by_rows, Partition};
 use nmpic::sparse::{Coo, Csr};
-use nmpic::system::{run_sharded_spmv, PartitionStrategy, ShardedConfig};
+use nmpic::system::{golden_x, PartitionStrategy, RunReport, SpmvEngine, SystemKind};
+
+/// Runs the sharded engine on `csr` with the given unit count, strategy
+/// and backend, through the session API.
+fn run_sharded(
+    csr: &Csr,
+    units: usize,
+    strategy: PartitionStrategy,
+    backend: &BackendConfig,
+) -> RunReport {
+    let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+    SpmvEngine::builder()
+        .backend(backend.clone())
+        .system(SystemKind::Sharded { units, strategy })
+        .build()
+        .prepare(csr)
+        .run(&x)
+}
 
 /// A random sparse matrix with skewed row densities (a few hub rows),
 /// the shape that separates nnz balancing from row balancing.
@@ -123,25 +140,11 @@ fn sharded_spmv_bytes_match_single_unit_on_every_backend() {
             BackendConfig::interleaved(4),
             BackendConfig::interleaved(8),
         ] {
-            let single = run_sharded_spmv(
-                &csr,
-                &ShardedConfig {
-                    backend: backend.clone(),
-                    ..ShardedConfig::new(1)
-                },
-            );
+            let single = run_sharded(&csr, 1, PartitionStrategy::ByNnz, &backend);
             assert!(single.verified, "case {case}, {}", backend.label());
             for units in [2usize, 4] {
                 for strategy in [PartitionStrategy::ByNnz, PartitionStrategy::ByRows] {
-                    let sharded = run_sharded_spmv(
-                        &csr,
-                        &ShardedConfig {
-                            units,
-                            backend: backend.clone(),
-                            strategy,
-                            ..ShardedConfig::new(units)
-                        },
-                    );
+                    let sharded = run_sharded(&csr, units, strategy, &backend);
                     assert!(
                         sharded.verified,
                         "case {case}, {} x{units} {strategy:?}: golden mismatch",
