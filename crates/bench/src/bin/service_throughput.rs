@@ -1,0 +1,70 @@
+//! Multi-tenant serving throughput: a shared `SpmvService` over the
+//! sharded engine serving a burst of same-matrix requests, swept across
+//! shard-worker counts.
+//!
+//! Default configuration: `sharded4` with MLP256 units over an 8-channel
+//! interleaved HBM stack. The worker axis is exactly what `NMPIC_JOBS`
+//! selects for an engine left at its default: each `CsrShard`'s unit
+//! simulation runs on its own thread of the shared work pool, merged in
+//! fixed shard order so results are byte-identical to serial execution
+//! at every worker count (asserted against the single-tenant serial
+//! plan). On a machine with ≥ 4 cores the 4-worker point should clear a
+//! 1.5× wall-clock speedup over the serial point.
+//!
+//! Select another system with `NMPIC_SYSTEM` (e.g. `sharded8`) and the
+//! partition strategy with `NMPIC_PARTITION`.
+//!
+//! Run with: `cargo run --release -p nmpic-bench --bin service_throughput`
+
+use nmpic_bench::{f, service_throughput, ExperimentOpts, Table};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let rows = service_throughput(&opts);
+
+    let mut table = Table::new(vec![
+        "workers",
+        "system",
+        "requests",
+        "batches",
+        "cache hits",
+        "cache misses",
+        "wall ms",
+        "req/s",
+        "speedup vs 1 worker",
+        "verified",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.workers.to_string(),
+            r.system.clone(),
+            r.requests.to_string(),
+            r.batches.to_string(),
+            r.cache_hits.to_string(),
+            r.cache_misses.to_string(),
+            f(r.wall_ms, 2),
+            f(r.requests_per_sec, 1),
+            f(r.speedup_vs_serial, 2),
+            r.verified.to_string(),
+        ]);
+    }
+    println!("SpmvService throughput vs shard workers (af_shell10, hbm8)");
+    println!("{}", table.render());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Some(r4) = rows.iter().find(|r| r.workers == 4) {
+        println!(
+            "4-worker wall-clock speedup over serial: {:.2}x on {} available core(s)",
+            r4.speedup_vs_serial, cores
+        );
+        if cores < 4 {
+            println!(
+                "(speedup is bounded by available cores; run on >= 4 cores to see \
+                 the parallel shard executor's full effect)"
+            );
+        }
+    }
+    println!("(every row's results are byte-identical to serial single-tenant");
+    println!(" execution; the speedup is pure wall-clock from parallel shards)");
+    table.write_csv("service_throughput").expect("csv");
+    table.write_json("service_throughput").expect("json");
+}

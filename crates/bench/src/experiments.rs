@@ -6,11 +6,13 @@
 //! [`crate::runner::parallel_map`]; every point is an independent,
 //! deterministic simulation, and results keep their sweep order.
 
+use std::time::Instant;
+
 use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions, StreamResult};
 use nmpic_mem::{BackendConfig, ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
 use nmpic_model::{adapter_area, AreaBreakdown, EfficiencyPoint};
 use nmpic_sparse::{suite, Csr, Sell, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
-use nmpic_system::{golden_x, PartitionStrategy, RunReport, SpmvEngine, SystemKind};
+use nmpic_system::{golden_x, PartitionStrategy, RunReport, SpmvEngine, SpmvService, SystemKind};
 
 use crate::runner::parallel_map;
 
@@ -701,6 +703,159 @@ pub fn batched_spmv(opts: &ExperimentOpts) -> Vec<BatchRow> {
     })
 }
 
+/// One service-throughput measurement: a shared [`SpmvService`] serving a
+/// burst of requests with a given shard-worker count.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Worker threads used for parallel shard execution (what
+    /// `NMPIC_JOBS=w` would select).
+    pub workers: usize,
+    /// System label of the cached plan.
+    pub system: String,
+    /// Requests served in the timed burst.
+    pub requests: usize,
+    /// `run_batch` calls the burst collapsed into (1: all requests hit
+    /// the same matrix and share a batch).
+    pub batches: u64,
+    /// Plan-cache hits recorded by the service.
+    pub cache_hits: u64,
+    /// Plan-cache misses (plans prepared from scratch).
+    pub cache_misses: u64,
+    /// Wall-clock time of the submit + collect burst, in milliseconds.
+    pub wall_ms: f64,
+    /// Served requests per second of wall-clock time.
+    pub requests_per_sec: f64,
+    /// Wall-clock speedup over the 1-worker (serial shard execution)
+    /// point of the same sweep.
+    pub speedup_vs_serial: f64,
+    /// Whether every served result was byte-identical to the serial
+    /// single-tenant `SpmvPlan::run` reference.
+    pub verified: bool,
+}
+
+/// The shard-worker counts swept by [`service_throughput`].
+pub const SERVICE_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Requests per timed burst in [`service_throughput`].
+pub const SERVICE_REQUESTS: usize = 8;
+
+/// Runs the service-throughput study: a multi-tenant [`SpmvService`]
+/// over the sharded engine (default `sharded4` with MLP256 units on an
+/// 8-channel HBM stack; `NMPIC_SYSTEM`/`NMPIC_PARTITION` override),
+/// serving a burst of [`SERVICE_REQUESTS`] same-matrix requests at
+/// 1/2/4/8 shard workers.
+///
+/// The worker axis is exactly what `NMPIC_JOBS` selects for a plan left
+/// at its default: each shard's unit simulation runs on its own thread
+/// of the shared pool, so on a machine with ≥ 4 cores the 4-worker point
+/// should serve the burst well over 1.5× faster than the 1-worker
+/// (serial) point. Results are **byte-identical** across worker counts —
+/// each row's `verified` compares every served vector against the serial
+/// single-tenant plan — so the speedup is pure wall-clock, not a change
+/// in simulated behaviour.
+///
+/// Points run serially (never under [`parallel_map`]): each point owns
+/// the machine while its wall-clock is measured.
+///
+/// # Panics
+///
+/// Panics if any served result diverges from the serial reference.
+pub fn service_throughput(opts: &ExperimentOpts) -> Vec<ServiceRow> {
+    let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
+    let csr = spec.build_capped(opts.max_nnz.min(100_000));
+    let strategy = opts.partition.unwrap_or_default();
+    let system = match &opts.system {
+        Some(SystemKind::Sharded { units, .. }) => SystemKind::Sharded {
+            units: *units,
+            strategy,
+        },
+        Some(kind) => kind.clone(),
+        None => SystemKind::Sharded { units: 4, strategy },
+    };
+    let xs: Vec<Vec<f64>> = (0..SERVICE_REQUESTS)
+        .map(|b| (0..csr.cols()).map(|i| batch_x(b, i)).collect())
+        .collect();
+
+    // Serial single-tenant reference: one plan, one `run` per vector.
+    let reference: Vec<Vec<u64>> = {
+        let engine = SpmvEngine::builder()
+            .backend(BackendConfig::interleaved(8))
+            .system(system.clone())
+            .shard_workers(1)
+            .build();
+        let mut plan = engine.prepare(&csr);
+        xs.iter()
+            .map(|x| {
+                let r = plan.run(x);
+                assert!(r.verified, "serial reference failed golden verification");
+                r.y_bits()
+            })
+            .collect()
+    };
+
+    let mut rows: Vec<ServiceRow> = Vec::new();
+    let mut serial_wall_ms = None;
+    for workers in SERVICE_WORKERS {
+        let engine = SpmvEngine::builder()
+            .backend(BackendConfig::interleaved(8))
+            .system(system.clone())
+            .shard_workers(workers)
+            .batch_capacity(SERVICE_REQUESTS)
+            .build();
+        let service = SpmvService::new(engine);
+        let key = service.prepare(&csr);
+        // A second tenant registering the same matrix: pure cache hit.
+        assert_eq!(service.prepare(&csr), key);
+        // Untimed warmup so one-time costs (thread stacks, page faults)
+        // don't land inside a single point's measurement.
+        let warm = service.run(key, xs[0].clone()).expect("warmup");
+        assert!(warm.verified);
+
+        let t0 = Instant::now();
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| {
+                service
+                    .submit(key, x.clone())
+                    .expect("queue sized for burst")
+            })
+            .collect();
+        service.collect();
+        let wall_ms = (t0.elapsed().as_secs_f64() * 1e3).max(1e-6);
+
+        let mut verified = true;
+        for (t, want) in tickets.into_iter().zip(&reference) {
+            let done = service.take(t).expect("collected");
+            verified &= done.verified;
+            let got: Vec<u64> = done.y.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                &got, want,
+                "{workers} workers: served bytes diverged from serial reference"
+            );
+        }
+        let stats = service.stats();
+        let label = service.engine().system().to_string();
+        if workers == 1 {
+            serial_wall_ms = Some(wall_ms);
+        }
+        let base = serial_wall_ms.expect("1-worker point runs first");
+        rows.push(ServiceRow {
+            workers,
+            system: label,
+            requests: SERVICE_REQUESTS,
+            // The warmup ran one extra batch; report only the burst's.
+            batches: stats.batches.saturating_sub(1),
+            cache_hits: stats.plan_cache_hits,
+            cache_misses: stats.plans_prepared,
+            wall_ms,
+            requests_per_sec: SERVICE_REQUESTS as f64 / (wall_ms / 1e3),
+            speedup_vs_serial: base / wall_ms,
+            verified,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -814,6 +969,36 @@ mod tests {
             );
             assert!(r.amortization > 1.0);
         }
+    }
+
+    #[test]
+    fn service_throughput_is_byte_identical_at_every_worker_count() {
+        let rows = service_throughput(&ExperimentOpts {
+            max_nnz: 4_000,
+            ..ExperimentOpts::default()
+        });
+        assert_eq!(rows.len(), SERVICE_WORKERS.len());
+        for (r, w) in rows.iter().zip(SERVICE_WORKERS) {
+            assert_eq!(r.workers, w);
+            // Byte-identity with the serial reference is asserted inside
+            // the experiment; `verified` additionally carries the golden
+            // check of every batch.
+            assert!(r.verified, "{w} workers");
+            assert_eq!(r.requests, SERVICE_REQUESTS);
+            assert_eq!(r.batches, 1, "one matrix must collapse into one batch");
+            assert_eq!(r.cache_misses, 1, "one plan prepared");
+            assert!(r.cache_hits >= 1, "second prepare must hit");
+            // Wall-clock numbers are machine-dependent but must be
+            // finite and positive — the JSON gate rejects NaN/inf.
+            assert!(r.wall_ms.is_finite() && r.wall_ms > 0.0);
+            assert!(r.requests_per_sec.is_finite() && r.requests_per_sec > 0.0);
+            assert!(r.speedup_vs_serial.is_finite() && r.speedup_vs_serial > 0.0);
+            assert!(r.system.starts_with("sharded"), "{}", r.system);
+        }
+        assert!(
+            (rows[0].speedup_vs_serial - 1.0).abs() < 1e-12,
+            "self-relative"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | extension | `scaling_channels` | indirect bandwidth vs interleaved channel count |
 //! | extension | `scaling_units` | sharded multi-unit SpMV vs unit count (aggregate GB/s + load imbalance) |
 //! | extension | `batched_spmv` | multi-vector SpMV on one prepared plan vs per-vector plan rebuild |
+//! | extension | `service_throughput` | multi-tenant `SpmvService` requests/sec + wall-clock speedup vs shard workers |
 //! | all      | `all_experiments` | everything above, CSVs under `results/` |
 //!
 //! Sweeps run their configuration points in parallel across CPU cores
@@ -37,9 +38,10 @@ pub mod timing;
 
 pub use experiments::{
     batch_x, batched_spmv, fig3, fig3_variants, fig4, fig4_variants, fig5, fig5_adapters,
-    fig5_matrix, fig6a, fig6b, measure_stream_gbps, scaling_channels, scaling_units, BatchRow,
-    ChannelScalingRow, ExperimentOpts, ExperimentOptsBuilder, StreamRow, SystemRow, UnitScalingRow,
-    BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS,
+    fig5_matrix, fig6a, fig6b, measure_stream_gbps, scaling_channels, scaling_units,
+    service_throughput, BatchRow, ChannelScalingRow, ExperimentOpts, ExperimentOptsBuilder,
+    ServiceRow, StreamRow, SystemRow, UnitScalingRow, BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS,
+    SERVICE_REQUESTS, SERVICE_WORKERS,
 };
 pub use output::{f, Table};
-pub use runner::{parallel_jobs, parallel_map};
+pub use runner::{parallel_jobs, parallel_map, parallel_map_jobs};

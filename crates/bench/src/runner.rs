@@ -1,5 +1,5 @@
 //! Parallel sweep runner: fans independent simulation points across CPU
-//! cores with plain `std::thread` scoped threads.
+//! cores.
 //!
 //! Every simulation in this workspace is deterministic and shares no
 //! mutable state, so a figure's sweep is embarrassingly parallel: each
@@ -7,101 +7,13 @@
 //! channel model. [`parallel_map`] preserves input order in its output,
 //! so tables render identically to the old serial runner.
 //!
-//! Worker count: `NMPIC_JOBS` if set, otherwise
-//! [`std::thread::available_parallelism`]. A panic in any job (e.g. a
-//! failed golden-model verification) propagates to the caller.
+//! The implementation is [`nmpic_sim::pool`] — the same work pool the
+//! sharded engine uses for parallel shard execution — so the bench
+//! sweeps and `SpmvService` respect one `NMPIC_JOBS` policy. A panic in
+//! any job (e.g. a failed golden-model verification) propagates to the
+//! caller.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Number of worker threads to use: the `NMPIC_JOBS` override when set
-/// and valid, otherwise the machine's available parallelism. The result
-/// is always ≥ 1: `NMPIC_JOBS=0` is clamped to serial execution (with a
-/// warning) instead of configuring an empty worker pool.
-pub fn parallel_jobs() -> usize {
-    let (jobs, warning) = jobs_from_env_value(std::env::var("NMPIC_JOBS").ok().as_deref());
-    if let Some(w) = warning {
-        eprintln!("warning: {w}");
-    }
-    jobs.max(1)
-}
-
-/// Pure worker-count policy behind [`parallel_jobs`], separated so the
-/// `NMPIC_JOBS` edge cases are unit-testable without touching the
-/// process environment. Returns the job count (always ≥ 1) and an
-/// optional warning for the caller to print.
-fn jobs_from_env_value(value: Option<&str>) -> (usize, Option<String>) {
-    let default = || std::thread::available_parallelism().map_or(1, |n| n.get());
-    match value {
-        None => (default(), None),
-        Some(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => (n, None),
-            Ok(_) => (
-                1,
-                Some(
-                    "NMPIC_JOBS=0 would configure an empty worker pool; clamping to 1 (serial)"
-                        .to_string(),
-                ),
-            ),
-            Err(_) => (
-                default(),
-                Some(format!(
-                    "ignoring invalid NMPIC_JOBS='{v}' (want a positive integer)"
-                )),
-            ),
-        },
-    }
-}
-
-/// Maps `f` over `items` on up to [`parallel_jobs`] worker threads,
-/// returning results in input order.
-///
-/// Jobs are pulled from a shared counter, so uneven job costs (a big
-/// matrix next to a small one) balance automatically.
-///
-/// # Panics
-///
-/// Propagates the first panic raised inside `f` (scoped threads rethrow
-/// on join), so verification failures inside a sweep still abort it.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    let jobs = parallel_jobs().min(n.max(1));
-    if jobs <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("each slot taken once");
-                let r = f(item);
-                *out[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    out.into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job ran")
-        })
-        .collect()
-}
+pub use nmpic_sim::pool::{parallel_jobs, parallel_map, parallel_map_jobs};
 
 #[cfg(test)]
 mod tests {
@@ -125,44 +37,13 @@ mod tests {
     }
 
     #[test]
-    fn empty_input_is_fine() {
-        let got: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
-        assert!(got.is_empty());
-    }
-
-    #[test]
     fn jobs_default_is_positive() {
         assert!(parallel_jobs() >= 1);
     }
 
-    /// Regression: `NMPIC_JOBS=0` used to be treated like any other
-    /// malformed value; the policy now clamps it to 1 explicitly so
-    /// `parallel_map` can never see an empty worker pool.
     #[test]
-    fn jobs_zero_is_clamped_to_serial_with_warning() {
-        let (jobs, warning) = jobs_from_env_value(Some("0"));
-        assert_eq!(jobs, 1);
-        assert!(warning.expect("must warn").contains("clamping to 1"));
-        // Whitespace variants hit the same clamp.
-        assert_eq!(jobs_from_env_value(Some(" 0 ")).0, 1);
-    }
-
-    #[test]
-    fn jobs_env_value_policy() {
-        assert_eq!(jobs_from_env_value(Some("3")), (3, None));
-        let (jobs, warning) = jobs_from_env_value(Some("lots"));
-        assert!(jobs >= 1);
-        assert!(warning.expect("must warn").contains("invalid"));
-        let (jobs, warning) = jobs_from_env_value(None);
-        assert!(jobs >= 1 && warning.is_none());
-    }
-
-    #[test]
-    #[should_panic]
-    fn worker_panic_propagates() {
-        let _ = parallel_map(vec![1u32, 2, 3], |x| {
-            assert!(x != 2, "boom");
-            x
-        });
+    fn explicit_job_count_is_honoured() {
+        let got = parallel_map_jobs(2, (0..10).collect(), |x: u64| x * x);
+        assert_eq!(got, (0..10).map(|x| x * x).collect::<Vec<u64>>());
     }
 }

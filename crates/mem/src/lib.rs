@@ -184,7 +184,12 @@ pub struct WideResponse {
 /// semantics): the controller may service requests out of order internally
 /// (FR-FCFS) but reorders completions before delivery, exactly like an AXI
 /// DRAM controller front-end.
-pub trait ChannelPort {
+///
+/// `Send` is a supertrait: every channel model is plain owned data, and
+/// requiring it here is what lets the sharded engine move each shard's
+/// `Box<dyn ChannelPort>` onto its own worker thread and lets
+/// `SpmvService` share prepared plans across submitting threads.
+pub trait ChannelPort: Send {
     /// Offers a request; `Err` returns it when the controller queue is full.
     fn try_request(&mut self, now: Cycle, req: WideRequest) -> Result<(), WideRequest>;
 

@@ -18,6 +18,9 @@
 //! * [`Clock`] and [`Simulation`] — cycle bookkeeping and a run loop with a
 //!   cycle-limit watchdog against deadlocks.
 //! * [`stats`] — bandwidth/utilization accounting shared by all experiments.
+//! * [`pool`] — the shared `NMPIC_JOBS` work pool that both the bench
+//!   sweep runner and the sharded engine's parallel shard executor fan
+//!   jobs through.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

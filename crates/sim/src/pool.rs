@@ -1,0 +1,238 @@
+//! Shared work pool: fans independent simulation jobs across CPU cores
+//! with plain `std::thread` scoped threads.
+//!
+//! This is the one thread-pool implementation in the workspace. Two very
+//! different consumers share it, so they share one worker-count policy
+//! (`NMPIC_JOBS`) and one scheduling behaviour:
+//!
+//! * `nmpic_bench::runner` — fans a figure's sweep points (matrix ×
+//!   variant × backend) across cores;
+//! * `nmpic_system`'s sharded engine — runs each shard's unit simulation
+//!   on its own thread inside a single `SpmvPlan::run`.
+//!
+//! Every job in both cases is a deterministic simulation over owned (or
+//! exclusively borrowed) state, so [`parallel_map`] preserves input order
+//! in its output and the caller merges results in a fixed serial order —
+//! parallel execution is observationally identical to serial execution.
+//!
+//! Worker count: `NMPIC_JOBS` if set, otherwise
+//! [`std::thread::available_parallelism`]. A panic in any job (e.g. a
+//! failed golden-model verification) propagates to the caller.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// `true` on threads spawned by [`parallel_map_jobs`] workers, so
+    /// nested env-default parallelism degrades to serial instead of
+    /// multiplying.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads to use: the `NMPIC_JOBS` override when set
+/// and valid, otherwise the machine's available parallelism. The result
+/// is always ≥ 1: `NMPIC_JOBS=0` is clamped to serial execution (with a
+/// warning) instead of configuring an empty worker pool.
+///
+/// **Nesting**: on a thread that is itself a pool worker this returns 1,
+/// so work that defaults to `parallel_jobs()` width (a sharded plan's
+/// gather inside a `parallel_map` sweep point) runs serially instead of
+/// exploding to `NMPIC_JOBS²` threads — the env knob caps machine-wide
+/// width at every nesting depth. An explicit [`parallel_map_jobs`] count
+/// is always honoured.
+pub fn parallel_jobs() -> usize {
+    if IN_POOL_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let (jobs, warning) = jobs_from_env_value(std::env::var("NMPIC_JOBS").ok().as_deref());
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
+    jobs.max(1)
+}
+
+/// Pure worker-count policy behind [`parallel_jobs`], separated so the
+/// `NMPIC_JOBS` edge cases are unit-testable without touching the
+/// process environment. Returns the job count (always ≥ 1) and an
+/// optional warning for the caller to print.
+pub fn jobs_from_env_value(value: Option<&str>) -> (usize, Option<String>) {
+    let default = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match value {
+        None => (default(), None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => (n, None),
+            Ok(_) => (
+                1,
+                Some(
+                    "NMPIC_JOBS=0 would configure an empty worker pool; clamping to 1 (serial)"
+                        .to_string(),
+                ),
+            ),
+            Err(_) => (
+                default(),
+                Some(format!(
+                    "ignoring invalid NMPIC_JOBS='{v}' (want a positive integer)"
+                )),
+            ),
+        },
+    }
+}
+
+/// Maps `f` over `items` on up to [`parallel_jobs`] worker threads,
+/// returning results in input order.
+///
+/// Jobs are pulled from a shared counter, so uneven job costs (a big
+/// matrix next to a small one) balance automatically.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f` (scoped threads rethrow
+/// on join), so verification failures inside a sweep still abort it.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_jobs(parallel_jobs(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count, for callers that carry
+/// their own parallelism knob (the sharded engine's `shard_workers`, the
+/// service-throughput sweep's worker axis). `jobs <= 1` runs serially on
+/// the calling thread with no pool at all, so a single-worker run is the
+/// exact serial baseline, not a one-thread pool.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_map_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.min(n.max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {
+                IN_POOL_WORKER.with(|flag| flag.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("each slot taken once");
+                    let r = f(item);
+                    *out[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let got = parallel_map(items, |x| x * 2);
+        assert_eq!(got, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn explicit_jobs_preserve_order_too() {
+        for jobs in [1usize, 2, 4, 16] {
+            let got = parallel_map_jobs(jobs, (0..50).collect(), |x: u64| x + 1);
+            assert_eq!(got, (1..=50).collect::<Vec<u64>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn works_with_mutable_borrows() {
+        // The sharded engine hands each worker `&mut` into its own slot;
+        // the pool must support exclusively borrowed items.
+        let mut slots: Vec<u64> = vec![0; 16];
+        let refs: Vec<&mut u64> = slots.iter_mut().collect();
+        let _ = parallel_map_jobs(4, refs, |r| {
+            *r += 7;
+            *r
+        });
+        assert!(slots.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn jobs_default_is_positive() {
+        assert!(parallel_jobs() >= 1);
+    }
+
+    /// Nested env-default parallelism clamps to serial: a pool worker
+    /// asking for `parallel_jobs()` gets 1, so a sharded plan inside a
+    /// sweep point cannot multiply thread counts to `NMPIC_JOBS²`.
+    #[test]
+    fn nested_default_parallelism_is_serial() {
+        let inner: Vec<usize> =
+            parallel_map_jobs(4, (0..4).collect::<Vec<u32>>(), |_| parallel_jobs());
+        assert_eq!(inner, vec![1; 4]);
+        // Outside a pool worker the default is unclamped again.
+        assert!(parallel_jobs() >= 1);
+    }
+
+    /// Regression: `NMPIC_JOBS=0` used to be treated like any other
+    /// malformed value; the policy now clamps it to 1 explicitly so
+    /// `parallel_map` can never see an empty worker pool.
+    #[test]
+    fn jobs_zero_is_clamped_to_serial_with_warning() {
+        let (jobs, warning) = jobs_from_env_value(Some("0"));
+        assert_eq!(jobs, 1);
+        assert!(warning.expect("must warn").contains("clamping to 1"));
+        // Whitespace variants hit the same clamp.
+        assert_eq!(jobs_from_env_value(Some(" 0 ")).0, 1);
+    }
+
+    #[test]
+    fn jobs_env_value_policy() {
+        assert_eq!(jobs_from_env_value(Some("3")), (3, None));
+        let (jobs, warning) = jobs_from_env_value(Some("lots"));
+        assert!(jobs >= 1);
+        assert!(warning.expect("must warn").contains("invalid"));
+        let (jobs, warning) = jobs_from_env_value(None);
+        assert!(jobs >= 1 && warning.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = parallel_map_jobs(2, vec![1u32, 2, 3], |x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+}

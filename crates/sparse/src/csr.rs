@@ -149,6 +149,41 @@ impl Csr {
         y
     }
 
+    /// A 64-bit content fingerprint: dimensions, nonzero count and an
+    /// FNV-1a hash over the structure (`row_ptr`, `col_idx`) and value
+    /// bits. Two matrices with equal fingerprints are, for serving
+    /// purposes, the same matrix — `SpmvService` keys its plan cache on
+    /// this, so a tenant resubmitting a matrix reuses the resident DRAM
+    /// image instead of re-preparing a plan.
+    ///
+    /// The hash covers raw `f64` bit patterns, so `0.0` vs `-0.0` and
+    /// NaN payloads all distinguish matrices — anything that could change
+    /// simulated results changes the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.rows as u64).to_le_bytes());
+        eat(&(self.cols as u64).to_le_bytes());
+        eat(&(self.nnz() as u64).to_le_bytes());
+        for &p in &self.row_ptr {
+            eat(&p.to_le_bytes());
+        }
+        for &c in &self.col_idx {
+            eat(&c.to_le_bytes());
+        }
+        for &v in &self.values {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Structural statistics used for reporting and generator calibration.
     pub fn stats(&self) -> CsrStats {
         let mut max_row = 0usize;
@@ -289,5 +324,30 @@ mod tests {
     fn empty_rows_are_fine() {
         let m = Csr::from_parts(3, 3, vec![0, 0, 1, 1], vec![2], vec![9.0]).unwrap();
         assert_eq!(m.spmv(&[0.0, 0.0, 2.0]), vec![0.0, 18.0, 0.0]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let m = small();
+        assert_eq!(m.fingerprint(), m.clone().fingerprint(), "deterministic");
+        // Any content perturbation — a value, an index, or just the
+        // dimensions — moves the fingerprint.
+        let mut vals = m.values().to_vec();
+        vals[0] += 1.0;
+        let v = Csr::from_parts(3, 3, m.row_ptr().to_vec(), m.col_idx().to_vec(), vals).unwrap();
+        assert_ne!(m.fingerprint(), v.fingerprint());
+        let wider = Csr::from_parts(
+            3,
+            4,
+            m.row_ptr().to_vec(),
+            m.col_idx().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(m.fingerprint(), wider.fingerprint());
+        // Sign-of-zero is content: -0.0 and 0.0 are different matrices.
+        let z0 = Csr::from_parts(1, 1, vec![0, 1], vec![0], vec![0.0]).unwrap();
+        let z1 = Csr::from_parts(1, 1, vec![0, 1], vec![0], vec![-0.0]).unwrap();
+        assert_ne!(z0.fingerprint(), z1.fingerprint());
     }
 }

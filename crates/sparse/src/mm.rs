@@ -30,6 +30,15 @@ pub enum MmError {
         /// Entries actually present.
         got: usize,
     },
+    /// More entries than the size line promised. Silently accepting the
+    /// surplus would mis-shape the matrix (duplicates sum), so the
+    /// surplus is an error just like a shortfall.
+    Excess {
+        /// Entries promised by the size line.
+        expected: usize,
+        /// 1-based line number of the first surplus entry.
+        line: usize,
+    },
 }
 
 impl fmt::Display for MmError {
@@ -40,6 +49,12 @@ impl fmt::Display for MmError {
             MmError::Parse { line, what } => write!(f, "parse error on line {line}: {what}"),
             MmError::Truncated { expected, got } => {
                 write!(f, "file promised {expected} entries but held {got}")
+            }
+            MmError::Excess { expected, line } => {
+                write!(
+                    f,
+                    "file promised {expected} entries but line {line} holds at least one more"
+                )
             }
         }
     }
@@ -165,6 +180,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MmError> {
         }
 
         let coo = coo.as_mut().expect("size parsed before entries");
+        // The `Truncated` check below only catches a shortfall; a surplus
+        // entry must fail eagerly too, before it is folded into the
+        // matrix.
+        if read_entries >= expected {
+            return Err(MmError::Excess {
+                expected,
+                line: lineno + 1,
+            });
+        }
         let parts: Vec<&str> = trimmed.split_whitespace().collect();
         let need = if field == MmField::Pattern { 2 } else { 3 };
         if parts.len() < need {
@@ -195,10 +219,22 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MmError> {
             })?,
         };
         let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        // A skew-symmetric matrix satisfies A = −Aᵀ, which forces a zero
+        // diagonal; a nonzero diagonal entry cannot be mirrored
+        // consistently and is a malformed file, not data.
+        if symmetry == MmSymmetry::SkewSymmetric && r0 == c0 && v != 0.0 {
+            return Err(MmError::Parse {
+                line: lineno + 1,
+                what: format!(
+                    "skew-symmetric matrices have a zero diagonal, got a({r}, {c}) = {v}"
+                ),
+            });
+        }
         coo.push(r0, c0, v);
         match symmetry {
             MmSymmetry::General => {}
             MmSymmetry::Symmetric if r0 != c0 => coo.push(c0, r0, v),
+            // The mirrored value is negated: a(j, i) = −a(i, j).
             MmSymmetry::SkewSymmetric if r0 != c0 => coo.push(c0, r0, -v),
             _ => {}
         }
@@ -307,6 +343,49 @@ mod tests {
             read_matrix_market(text.as_bytes()),
             Err(MmError::Parse { .. })
         ));
+    }
+
+    /// Regression: a skew-symmetric file smuggling a nonzero diagonal
+    /// entry used to be silently accepted (and not mirrored), producing a
+    /// matrix that is not skew-symmetric at all.
+    #[test]
+    fn rejects_nonzero_skew_symmetric_diagonal() {
+        let text =
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 2\n2 1 5.0\n2 2 1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, MmError::Parse { line: 4, .. }), "{err}");
+        assert!(err.to_string().contains("zero diagonal"), "{err}");
+        // An explicit zero diagonal entry remains legal.
+        let text =
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 2\n2 1 5.0\n2 2 0.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.spmv(&[1.0, 1.0]), vec![-5.0, 5.0]);
+        // Pattern entries carry an implicit 1.0, so a pattern diagonal is
+        // rejected too.
+        let text = "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n1 1\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(MmError::Parse { .. })
+        ));
+    }
+
+    /// Regression: only a shortfall was detected; surplus entries were
+    /// silently folded in (duplicates sum), corrupting the matrix.
+    #[test]
+    fn detects_excess_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MmError::Excess {
+                    expected: 1,
+                    line: 4
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("more"), "{err}");
     }
 
     #[test]

@@ -195,6 +195,12 @@ pub fn by_rows(csr: &Csr, k: usize) -> Partition {
 /// least `floor(nnz / k) − max_row_nnz`, clamped to 0). The property test
 /// in `tests/partition.rs` pins this bound.
 ///
+/// **Degenerate shapes** (`k > rows`, zero-row or zero-nnz matrices, hub
+/// rows denser than `nnz / k`) cannot fill every shard; the unfillable
+/// shards come back as **trailing empty shards** — the non-empty shards
+/// always occupy the lowest indices, so consumers that walk units in
+/// order stop doing work instead of skipping holes.
+///
 /// # Panics
 ///
 /// Panics if `k` is zero.
@@ -205,7 +211,9 @@ pub fn by_nnz(csr: &Csr, k: usize) -> Partition {
 /// [`by_nnz`] with boundaries rounded to multiples of `align` rows, so
 /// the resulting shards are also valid SELL shards when `align` is the
 /// slice height. The balance bound loosens to
-/// `ceil(nnz / k) + align · max_row_nnz`.
+/// `ceil(nnz / k) + align · max_row_nnz`. Shards that cannot be filled
+/// (degenerate shapes, rounding collisions) trail as empty shards, as in
+/// [`by_nnz`].
 ///
 /// # Panics
 ///
@@ -230,7 +238,21 @@ pub fn by_nnz_aligned(csr: &Csr, k: usize, align: usize) -> Partition {
         boundaries.push(b.clamp(prev, rows));
     }
     boundaries.push(rows);
-    Partition::from_boundaries(csr, boundaries)
+    // Degenerate shapes (k > rows, zero-nnz matrices, hub rows denser
+    // than a whole shard's target, aligned rounding collisions) leave
+    // zero-length intervals scattered through the boundary list — a
+    // zero-nnz matrix even put every row in the *last* shard. Compact
+    // the distinct boundaries to the front so the non-empty shards take
+    // the lowest indices and every empty shard trails.
+    let mut compact: Vec<usize> = Vec::with_capacity(k + 1);
+    compact.push(0);
+    for &b in &boundaries[1..] {
+        if b > *compact.last().expect("seeded with 0") {
+            compact.push(b);
+        }
+    }
+    compact.resize(k + 1, rows);
+    Partition::from_boundaries(csr, compact)
 }
 
 /// A zero-copy view of one CSR row shard.
@@ -299,7 +321,8 @@ impl<'a> CsrShard<'a> {
     /// Accumulates this shard's contribution `y[r] += A_shard[r]·x` into
     /// the **global** result vector, using the same per-row accumulation
     /// order as [`Csr::spmv`] so a sharded run is bit-identical to the
-    /// unsharded one.
+    /// unsharded one. Empty shards (degenerate partitions produce
+    /// trailing ones) are a no-op, whatever the size of `y`.
     ///
     /// # Panics
     ///
@@ -543,13 +566,15 @@ mod tests {
     }
 
     #[test]
-    fn more_shards_than_rows_leaves_empty_shards() {
+    fn more_shards_than_rows_leaves_trailing_empty_shards() {
         let csr = banded_fem(5, 2, 4, 1);
         let p = by_nnz(&csr, 8);
         assert_eq!(p.shards(), 8);
         assert_eq!(p.total_nnz(), csr.nnz() as u64);
         let empty = (0..8).filter(|&i| p.range(i).is_empty()).count();
         assert!(empty >= 3, "8 shards over 5 rows leaves ≥3 empty");
+        // Empty shards trail: once a shard is empty, every later one is.
+        assert_trailing_empties(&p);
         // Empty shards contribute nothing and break nothing.
         let x = x_for(&csr);
         let mut y = vec![0.0; csr.rows()];
@@ -557,6 +582,67 @@ mod tests {
             p.csr_shard(&csr, i).spmv_into(&x, &mut y);
         }
         assert_eq!(y, csr.spmv(&x));
+    }
+
+    fn assert_trailing_empties(p: &Partition) {
+        let mut seen_empty = false;
+        for i in 0..p.shards() {
+            if p.range(i).is_empty() {
+                seen_empty = true;
+            } else {
+                assert!(
+                    !seen_empty,
+                    "shard {i} is non-empty after an empty shard: empties must trail"
+                );
+            }
+        }
+    }
+
+    /// Regression: a zero-nnz matrix used to put **all** rows in the last
+    /// shard with every earlier shard empty; degenerate shapes now yield
+    /// trailing empty shards, and empty `CsrShard` views tolerate
+    /// `spmv_into`.
+    #[test]
+    fn degenerate_shapes_partition_with_trailing_empties() {
+        // Zero nonzeros, nonzero rows.
+        let z = Csr::from_parts(5, 5, vec![0; 6], vec![], vec![]).unwrap();
+        // Zero rows entirely.
+        let e = Csr::from_parts(0, 4, vec![0], vec![], vec![]).unwrap();
+        // One hub row holding every nonzero (denser than any shard
+        // target), plus an empty row.
+        let hub = Csr::from_parts(2, 4, vec![0, 4, 4], vec![0, 1, 2, 3], vec![1.0; 4]).unwrap();
+        for csr in [&z, &e, &hub] {
+            for k in [1usize, 2, 3, 8] {
+                for p in [by_nnz(csr, k), by_nnz_aligned(csr, k, 4), by_rows(csr, k)] {
+                    assert_eq!(p.shards(), k);
+                    assert_eq!(p.range(0).start, 0);
+                    assert_eq!(p.range(k - 1).end, csr.rows());
+                    assert_eq!(p.total_nnz(), csr.nnz() as u64);
+                    assert_trailing_empties(&p);
+                    // Empty views execute as no-ops; the sum of all
+                    // shard contributions still equals the golden SpMV.
+                    let x = vec![1.0; csr.cols()];
+                    let mut y = vec![0.0; csr.rows()];
+                    for i in 0..k {
+                        let s = p.csr_shard(csr, i);
+                        if p.range(i).is_empty() {
+                            assert_eq!(s.nnz(), 0);
+                            assert_eq!(s.n_rows(), 0);
+                            assert!(s.row_of_positions().is_empty());
+                        }
+                        s.spmv_into(&x, &mut y);
+                    }
+                    assert_eq!(y, csr.spmv(&x));
+                }
+            }
+        }
+        // The zero-nnz matrix specifically keeps its rows in shard 0 now.
+        let p = by_nnz(&z, 3);
+        assert_eq!(p.range(0), 0..5);
+        assert!(p.range(1).is_empty() && p.range(2).is_empty());
+        // Imbalance metrics of all-empty shard sets stay finite.
+        assert!(p.nnz_imbalance().is_finite());
+        assert!(by_nnz(&e, 4).nnz_imbalance().is_finite());
     }
 
     #[test]

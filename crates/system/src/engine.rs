@@ -176,6 +176,7 @@ pub struct SpmvEngineBuilder {
     pack: PackConfig,
     sharded_adapter: AdapterConfig,
     batch_capacity: usize,
+    shard_workers: Option<usize>,
 }
 
 impl Default for SpmvEngineBuilder {
@@ -187,6 +188,7 @@ impl Default for SpmvEngineBuilder {
             pack: PackConfig::default(),
             sharded_adapter: AdapterConfig::mlp(256),
             batch_capacity: 1,
+            shard_workers: None,
         }
     }
 }
@@ -244,6 +246,23 @@ impl SpmvEngineBuilder {
         self
     }
 
+    /// Number of worker threads [`SystemKind::Sharded`] plans use to run
+    /// their per-shard unit simulations in parallel (each `CsrShard`'s
+    /// unit runs on its own thread of the shared
+    /// [`nmpic_sim::pool`] work pool; results merge in fixed shard
+    /// order, byte-identical to serial execution). Default: the pool's
+    /// `NMPIC_JOBS` policy. `1` forces serial execution on the calling
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn shard_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "at least one shard worker");
+        self.shard_workers = Some(workers);
+        self
+    }
+
     /// Finalizes the engine.
     pub fn build(self) -> SpmvEngine {
         SpmvEngine {
@@ -253,6 +272,7 @@ impl SpmvEngineBuilder {
             pack: self.pack,
             sharded_adapter: self.sharded_adapter,
             batch_capacity: self.batch_capacity,
+            shard_workers: self.shard_workers,
         }
     }
 }
@@ -267,6 +287,7 @@ pub struct SpmvEngine {
     pack: PackConfig,
     sharded_adapter: AdapterConfig,
     batch_capacity: usize,
+    shard_workers: Option<usize>,
 }
 
 impl SpmvEngine {
@@ -380,14 +401,25 @@ impl SpmvEngine {
                 let idx_base = mem.alloc_array(indices.len().max(1) as u64, 4);
                 let x_base = mem.alloc_array(csr.cols() as u64, 8);
                 mem.write_u32_slice(idx_base, indices);
+                let row_start = shard.rows().start;
+                // Stream positions map to rows *local to the shard*, so a
+                // worker thread can accumulate into its own buffer and the
+                // merge can place it by `row_start` — the per-worker unit
+                // state ownership the parallel executor relies on.
+                let row_of = shard
+                    .row_of_positions()
+                    .iter()
+                    .map(|&r| r - row_start as u32)
+                    .collect();
                 ShardSlot {
                     chan,
                     unit: IndirectStreamUnit::new(self.sharded_adapter.clone()),
                     idx_base,
                     x_base,
+                    row_start,
                     rows: shard.n_rows(),
                     nnz: shard.nnz() as u64,
-                    row_of: shard.row_of_positions(),
+                    row_of,
                 }
             })
             .collect();
@@ -419,6 +451,7 @@ impl SpmvEngine {
                 collect_idx_base,
                 collect_res_base,
                 merge_rows,
+                workers: self.shard_workers,
             })),
         }
     }
@@ -445,8 +478,12 @@ struct ShardSlot {
     unit: IndirectStreamUnit,
     idx_base: u64,
     x_base: u64,
+    /// First global row of the shard (merge offset for the worker's
+    /// local accumulation buffer).
+    row_start: usize,
     rows: usize,
     nnz: u64,
+    /// Stream position → shard-local row.
     row_of: Vec<u32>,
 }
 
@@ -462,6 +499,19 @@ struct ShardedPlan {
     collect_idx_base: u64,
     collect_res_base: u64,
     merge_rows: Vec<u32>,
+    /// Worker-thread override for parallel shard execution (`None` =
+    /// the shared pool's `NMPIC_JOBS` policy).
+    workers: Option<usize>,
+}
+
+/// What one shard's worker thread hands back to the merge: everything the
+/// report needs, computed entirely on state the worker owned exclusively.
+struct ShardOut {
+    cycles: u64,
+    stats: nmpic_core::AdapterStats,
+    dram: Option<HbmStats>,
+    data_bytes: u64,
+    local_y: Vec<f64>,
 }
 
 enum PlanInner {
@@ -647,6 +697,8 @@ fn run_pack_plan(plan: &mut PackPlan, xs: &[&[f64]]) -> RunReport {
 }
 
 fn run_sharded_plan(plan: &mut ShardedPlan, xs: &[&[f64]]) -> RunReport {
+    let label = sharded_label(plan);
+    let workers = plan.workers.unwrap_or_else(nmpic_sim::pool::parallel_jobs);
     let csr = &plan.csr;
     let partition = &plan.partition;
     let rows = csr.rows();
@@ -663,57 +715,80 @@ fn run_sharded_plan(plan: &mut ShardedPlan, xs: &[&[f64]]) -> RunReport {
     let mut dram_acc: Option<HbmStats> = None;
 
     for (v, x) in xs.iter().enumerate() {
+        // Gather phase: every shard's unit simulation runs on its own
+        // worker thread. Each worker owns its slot exclusively (channel,
+        // unit, and a local accumulation buffer), so the simulations are
+        // bit-for-bit the same as the serial loop; the merge below walks
+        // shards in fixed index order, keeping reports and result bytes
+        // identical whatever the worker count.
+        let jobs: Vec<(usize, &mut ShardSlot)> = plan.slots.iter_mut().enumerate().collect();
+        let outs: Vec<ShardOut> = nmpic_sim::pool::parallel_map_jobs(workers, jobs, |(i, slot)| {
+            if slot.nnz == 0 {
+                return ShardOut {
+                    cycles: 0,
+                    stats: Default::default(),
+                    dram: None,
+                    data_bytes: 0,
+                    local_y: vec![0.0; slot.rows],
+                };
+            }
+            slot.chan.reset_run_state();
+            slot.chan.memory_mut().write_f64_slice(slot.x_base, x);
+            slot.unit.reset();
+            let shard = partition.csr_shard(csr, i);
+            let mut local_y = vec![0.0f64; slot.rows];
+            let (cycles, stats, dram) = exec_shard_gather(
+                &mut *slot.chan,
+                &mut slot.unit,
+                slot.idx_base,
+                slot.x_base,
+                shard.values(),
+                &slot.row_of,
+                &mut local_y,
+            );
+            ShardOut {
+                cycles,
+                stats,
+                dram,
+                data_bytes: slot.chan.data_bytes(),
+                local_y,
+            }
+        });
+
         let mut y = vec![0.0f64; rows];
         let mut vec_gather = 0u64;
-        for (i, slot) in plan.slots.iter_mut().enumerate() {
-            let (shard_cycles, stats, dram) = if slot.nnz == 0 {
-                (0, Default::default(), None)
-            } else {
-                slot.chan.reset_run_state();
-                slot.chan.memory_mut().write_f64_slice(slot.x_base, x);
-                slot.unit.reset();
-                let shard = partition.csr_shard(csr, i);
-                let out = exec_shard_gather(
-                    &mut *slot.chan,
-                    &mut slot.unit,
-                    slot.idx_base,
-                    slot.x_base,
-                    shard.values(),
-                    &slot.row_of,
-                    &mut y,
-                );
-                offchip += slot.chan.data_bytes();
-                out
-            };
-            payload_bytes += stats.payload_bytes;
-            vec_gather = vec_gather.max(shard_cycles);
+        for (i, (slot, out)) in plan.slots.iter().zip(&outs).enumerate() {
+            y[slot.row_start..slot.row_start + slot.rows].copy_from_slice(&out.local_y);
+            offchip += out.data_bytes;
+            payload_bytes += out.stats.payload_bytes;
+            vec_gather = vec_gather.max(out.cycles);
             // Detail stats (dram, scatter, per-shard rows) all describe
             // one vector's worth of work; gather timing and DRAM
             // counters do not depend on vector values, so the first
             // vector is representative of every one in the batch.
             if v == 0 {
-                if let Some(d) = dram {
+                if let Some(d) = out.dram {
                     dram_acc = Some(match dram_acc {
                         Some(acc) => acc.merge(&d),
                         None => d,
                     });
                 }
-                cycle_ext.add(shard_cycles as f64);
-                if let Some(d) = &dram {
+                cycle_ext.add(out.cycles as f64);
+                if let Some(d) = &out.dram {
                     bus_ext.add(d.bus_busy_cycles as f64);
                 }
                 per_shard.push(ShardReport {
                     shard: i,
                     rows: slot.rows,
                     nnz: slot.nnz,
-                    cycles: shard_cycles,
-                    indir_gbps: if shard_cycles == 0 {
+                    cycles: out.cycles,
+                    indir_gbps: if out.cycles == 0 {
                         0.0
                     } else {
-                        stats.payload_bytes as f64 / shard_cycles as f64
+                        out.stats.payload_bytes as f64 / out.cycles as f64
                     },
-                    adapter: stats,
-                    dram,
+                    adapter: out.stats,
+                    dram: out.dram,
                 });
             }
         }
@@ -760,7 +835,7 @@ fn run_sharded_plan(plan: &mut ShardedPlan, xs: &[&[f64]]) -> RunReport {
         per_shard,
     };
     RunReport {
-        label: sharded_label(plan),
+        label,
         cycles: gather_cycles + collect_cycles,
         vectors: xs.len(),
         indir_cycles: gather_cycles,
@@ -886,6 +961,53 @@ mod tests {
         assert!(r.verified);
         assert_eq!(r.vectors, 5);
         assert_eq!(r.ys.len(), 5);
+    }
+
+    /// The tentpole guarantee of the parallel shard executor: any worker
+    /// count produces the exact serial result — same bytes, same cycle
+    /// and traffic accounting, same per-shard detail.
+    #[test]
+    fn parallel_shard_execution_is_byte_identical_to_serial() {
+        let csr = banded_fem(512, 8, 24, 11);
+        let x = x_for(&csr);
+        let mut reference: Option<RunReport> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let engine = SpmvEngine::builder()
+                .backend(BackendConfig::interleaved(4))
+                .system(SystemKind::Sharded {
+                    units: 4,
+                    strategy: PartitionStrategy::ByNnz,
+                })
+                .shard_workers(workers)
+                .build();
+            let mut plan = engine.prepare(&csr);
+            let r = plan.run(&x);
+            assert!(r.verified, "{workers} workers: golden mismatch");
+            match &reference {
+                None => reference = Some(r),
+                Some(serial) => {
+                    assert_eq!(r.y_bits(), serial.y_bits(), "{workers} workers");
+                    assert_eq!(r.cycles, serial.cycles, "{workers} workers");
+                    assert_eq!(r.offchip_bytes, serial.offchip_bytes, "{workers} workers");
+                    let (d, ds) = (
+                        r.shards().expect("sharded"),
+                        serial.shards().expect("sharded"),
+                    );
+                    assert_eq!(d.gather_cycles, ds.gather_cycles);
+                    assert_eq!(d.collect_cycles, ds.collect_cycles);
+                    for (a, b) in d.per_shard.iter().zip(&ds.per_shard) {
+                        assert_eq!(a.cycles, b.cycles, "shard {} drifted", a.shard);
+                        assert_eq!(a.nnz, b.nnz);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard worker")]
+    fn zero_shard_workers_panics() {
+        let _ = SpmvEngine::builder().shard_workers(0);
     }
 
     #[test]

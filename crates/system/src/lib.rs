@@ -20,6 +20,11 @@
 //!   nnz-balanced row partition of a multi-channel backend, merged
 //!   through one coalescing scatter unit.
 //!
+//! For serving many tenants, [`SpmvService`] wraps the engine with a
+//! fingerprint-keyed plan cache, a bounded batching submission queue
+//! (`submit` → [`Ticket`] → `collect`/`take`), and parallel shard
+//! execution on the shared `NMPIC_JOBS` work pool.
+//!
 //! The legacy one-shot free functions (`run_base_spmv[_on]`,
 //! `run_pack_spmv[_on]`, `run_sharded_spmv`) remain as deprecated shims
 //! delegating to the engine.
@@ -52,6 +57,7 @@ mod cache;
 mod engine;
 mod pack;
 mod report;
+mod service;
 mod shard;
 
 #[allow(deprecated)]
@@ -61,6 +67,10 @@ pub use engine::{ParseSystemError, SpmvEngine, SpmvEngineBuilder, SpmvPlan, Syst
 #[allow(deprecated)]
 pub use pack::{pack_label, pack_memory_size, run_pack_spmv, run_pack_spmv_on, PackConfig};
 pub use report::{golden_x, results_match, RunReport, ShardDetail, SpmvReport};
+pub use service::{
+    Completed, MatrixKey, ServiceError, ServiceStats, SpmvService, Ticket, DEFAULT_QUEUE_CAPACITY,
+    RESULT_RETENTION_FACTOR,
+};
 #[allow(deprecated)]
 pub use shard::{
     run_sharded_spmv, ParsePartitionError, PartitionStrategy, ShardReport, ShardedConfig,

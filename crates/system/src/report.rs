@@ -40,9 +40,11 @@ impl SpmvReport {
     }
 
     /// Memory bandwidth utilization against a peak of `peak_gbps`
-    /// (Fig. 5b, the paper uses 32 GB/s).
+    /// (Fig. 5b, the paper uses 32 GB/s). Returns 0.0 when either
+    /// denominator (cycles, peak) is zero, so degenerate runs report
+    /// zeros instead of NaN/inf.
     pub fn bw_utilization(&self, peak_gbps: f64) -> f64 {
-        if self.cycles == 0 {
+        if self.cycles == 0 || peak_gbps == 0.0 {
             return 0.0;
         }
         let gbps = self.offchip_bytes as f64 / self.cycles as f64; // 1 GHz
@@ -306,6 +308,57 @@ mod tests {
         assert!((r.bw_utilization(32.0) - 0.5).abs() < 1e-12);
         assert!((r.indir_fraction() - 0.4).abs() < 1e-12);
         assert!((r.gflops() - 2.0).abs() < 1e-12);
+    }
+
+    /// Regression: every metric must return a **finite** number (0.0 by
+    /// convention) on zero denominators — an empty or all-zero matrix
+    /// must never leak NaN/inf into reports, because the CI result gate
+    /// (`scripts/check-results.sh`) rejects them.
+    #[test]
+    fn zero_denominators_yield_zero_not_nan() {
+        let r = report(0, 0, 0, 0);
+        for v in [
+            r.traffic_ratio(),
+            r.bw_utilization(32.0),
+            r.bw_utilization(0.0),
+            r.gflops(),
+            r.indir_fraction(),
+            r.speedup_over(&r),
+        ] {
+            assert!(v.is_finite(), "got {v}");
+            assert_eq!(v, 0.0);
+        }
+        // Nonzero traffic against a zero peak is still a guarded case.
+        let r = report(10, 5, 100, 0);
+        assert_eq!(r.traffic_ratio(), 0.0);
+        assert_eq!(r.bw_utilization(0.0), 0.0);
+
+        let rr = RunReport {
+            label: "t".into(),
+            cycles: 0,
+            vectors: 0,
+            indir_cycles: 0,
+            nnz: 0,
+            entries: 0,
+            offchip_bytes: 0,
+            ideal_bytes: 0,
+            verified: true,
+            ys: vec![vec![]],
+            shards: None,
+        };
+        for v in [
+            rr.cycles_per_vector(),
+            rr.gbps(),
+            rr.traffic_ratio(),
+            rr.bw_utilization(32.0),
+            rr.bw_utilization(0.0),
+            rr.gflops(),
+            rr.indir_fraction(),
+            rr.speedup_over(&rr),
+        ] {
+            assert!(v.is_finite(), "got {v}");
+            assert_eq!(v, 0.0);
+        }
     }
 
     #[test]

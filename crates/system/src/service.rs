@@ -1,0 +1,654 @@
+//! Multi-tenant SpMV serving: a thread-safe façade over [`SpmvEngine`]
+//! with a plan cache and a batching submission queue.
+//!
+//! The session API ([`SpmvEngine::prepare`] → [`SpmvPlan::run`])
+//! amortizes preparation across one caller's vectors, but a serving
+//! deployment has many callers: tenants submit (matrix, vector) requests
+//! concurrently, and most of them hit a small set of resident matrices.
+//! [`SpmvService`] closes that gap with three mechanisms:
+//!
+//! 1. **Plan cache** — plans are keyed by [`Csr::fingerprint`]
+//!    (dimensions + nnz + content hash). [`SpmvService::prepare`] returns
+//!    a [`MatrixKey`]; re-preparing an already-resident matrix is a cache
+//!    hit that reuses the warm DRAM image instead of rebuilding layout
+//!    and partitions. Hits and misses are counted in [`ServiceStats`].
+//! 2. **Bounded submission queue** — [`SpmvService::submit`] enqueues a
+//!    request and hands back a [`Ticket`]; the queue rejects (rather than
+//!    grows unboundedly) once `queue_capacity` requests are pending.
+//!    [`SpmvService::collect`] drains the queue, groups same-matrix
+//!    requests, and executes each group as **one**
+//!    [`SpmvPlan::run_batch`] call, so co-tenants of a matrix share its
+//!    stream fetches. Results are retrieved per ticket with
+//!    [`SpmvService::take`].
+//! 3. **Parallel shard execution** — sharded plans run each shard's unit
+//!    simulation on its own worker thread (see
+//!    [`SpmvEngineBuilder::shard_workers`](crate::SpmvEngineBuilder::shard_workers)),
+//!    so a single request's gather phase also uses the machine, not just
+//!    the queue.
+//!
+//! Every execution is byte-identical to the serial single-tenant path
+//! ([`SpmvPlan::run`]): batching changes *when* work happens, never what
+//! the simulated hardware computes.
+//!
+//! # Example
+//!
+//! ```
+//! use nmpic_sparse::gen::banded_fem;
+//! use nmpic_system::{golden_x, SpmvEngine, SpmvService, SystemKind};
+//!
+//! let csr = banded_fem(128, 6, 16, 1);
+//! let service = SpmvService::new(SpmvEngine::builder().system(SystemKind::Base).build());
+//! let key = service.prepare(&csr);
+//! let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+//! let t = service.submit(key, x.clone()).unwrap();
+//! service.collect();
+//! let done = service.take(t).expect("collected");
+//! assert!(done.verified);
+//! assert_eq!(done.y, csr.spmv(&x));
+//! // A second tenant preparing the same matrix hits the plan cache.
+//! assert_eq!(service.prepare(&csr), key);
+//! assert_eq!(service.stats().plan_cache_hits, 1);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Mutex;
+
+use nmpic_sparse::Csr;
+
+use crate::engine::{SpmvEngine, SpmvPlan};
+
+/// Identifies a prepared matrix inside a [`SpmvService`]'s plan cache.
+///
+/// Obtained from [`SpmvService::prepare`]; equal keys mean equal matrix
+/// content ([`Csr::fingerprint`]), so tenants can exchange keys instead
+/// of matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixKey(u64);
+
+impl MatrixKey {
+    /// The underlying content fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MatrixKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix:{:016x}", self.0)
+    }
+}
+
+/// A claim on one submitted request's result, redeemed with
+/// [`SpmvService::take`] after a [`SpmvService::collect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ticket:{}", self.0)
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The key does not name a prepared matrix (call
+    /// [`SpmvService::prepare`] first).
+    UnknownMatrix(MatrixKey),
+    /// The bounded queue is full; collect before submitting more.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The vector length does not match the matrix's column count.
+    WrongVectorLength {
+        /// Columns of the keyed matrix.
+        expected: usize,
+        /// Length of the submitted vector.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownMatrix(k) => {
+                write!(f, "no prepared plan for {k}; call prepare() first")
+            }
+            ServiceError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "submission queue full ({capacity} pending); collect() first"
+                )
+            }
+            ServiceError::WrongVectorLength { expected, got } => {
+                write!(
+                    f,
+                    "vector length {got} does not match the matrix's {expected} columns"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One finished request, redeemed by [`Ticket`].
+#[derive(Debug, Clone)]
+pub struct Completed {
+    /// The ticket this result answers.
+    pub ticket: Ticket,
+    /// The matrix the request ran against.
+    pub key: MatrixKey,
+    /// The computed result vector `y = A·x`.
+    pub y: Vec<f64>,
+    /// Whether the batch this request rode in verified against the
+    /// golden SpMV.
+    pub verified: bool,
+    /// The plan's system label (`base`, `pack256`, `sharded x4 (...)`).
+    pub label: String,
+    /// How many same-matrix requests shared the [`SpmvPlan::run_batch`]
+    /// call (≥ 1).
+    pub batched_with: usize,
+    /// Amortized per-vector runtime of that batch, in 1 GHz cycles.
+    pub cycles_per_vector: f64,
+}
+
+/// Serving counters. All monotonically increasing; snapshot with
+/// [`SpmvService::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Plans built from scratch (plan-cache misses).
+    pub plans_prepared: u64,
+    /// [`SpmvService::prepare`] calls answered from the plan cache.
+    pub plan_cache_hits: u64,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Submissions refused because the queue was full.
+    pub rejected: u64,
+    /// Requests executed and made redeemable.
+    pub completed: u64,
+    /// [`SpmvPlan::run_batch`] calls issued by [`SpmvService::collect`]
+    /// (≤ `completed`: same-matrix requests share a batch).
+    pub batches: u64,
+    /// Unredeemed results dropped by the bounded retention window
+    /// ([`RESULT_RETENTION_FACTOR`]` × queue_capacity`, oldest first).
+    pub evicted: u64,
+}
+
+struct PlanEntry {
+    plan: SpmvPlan,
+    /// Cheap shape echo of the fingerprinted matrix, cross-checked on
+    /// every cache hit so a 64-bit fingerprint collision between
+    /// different matrices fails loudly instead of silently serving one
+    /// tenant another tenant's plan.
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+}
+
+struct PendingReq {
+    ticket: Ticket,
+    key: MatrixKey,
+    x: Vec<f64>,
+}
+
+struct ServiceState {
+    plans: HashMap<u64, PlanEntry>,
+    pending: Vec<PendingReq>,
+    /// Completed results awaiting [`SpmvService::take`], keyed by ticket
+    /// id. A `BTreeMap` so retention eviction can drop the **oldest**
+    /// unredeemed results first (ticket ids are monotone).
+    done: BTreeMap<u64, Completed>,
+    next_ticket: u64,
+    stats: ServiceStats,
+}
+
+/// A concurrent multi-tenant SpMV service: one [`SpmvEngine`]
+/// configuration, a fingerprint-keyed plan cache, and a bounded batching
+/// submission queue. `&self` everywhere — share it across threads as
+/// `Arc<SpmvService>` or by reference from scoped threads.
+///
+/// Internally one mutex guards the whole serving state, so every public
+/// method is linearizable; [`SpmvService::collect`] holds it while
+/// executing, which is what makes concurrent `submit`/`collect`
+/// interleavings equivalent to *some* serial order — and every serial
+/// order produces byte-identical per-request results, because plan
+/// execution is deterministic and resets to a cold controller per run.
+pub struct SpmvService {
+    engine: SpmvEngine,
+    queue_capacity: usize,
+    state: Mutex<ServiceState>,
+}
+
+/// Default bound on pending submissions.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Unredeemed completed results are retained up to this multiple of the
+/// queue capacity; beyond that, [`SpmvService::collect`] evicts the
+/// oldest first (counted in [`ServiceStats::evicted`]).
+pub const RESULT_RETENTION_FACTOR: usize = 4;
+
+impl SpmvService {
+    /// A service over `engine` with the [`DEFAULT_QUEUE_CAPACITY`].
+    pub fn new(engine: SpmvEngine) -> Self {
+        Self::with_queue_capacity(engine, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// A service with an explicit pending-submission bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity` is zero.
+    pub fn with_queue_capacity(engine: SpmvEngine, queue_capacity: usize) -> Self {
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        Self {
+            engine,
+            queue_capacity,
+            state: Mutex::new(ServiceState {
+                plans: HashMap::new(),
+                pending: Vec::new(),
+                done: BTreeMap::new(),
+                next_ticket: 0,
+                stats: ServiceStats::default(),
+            }),
+        }
+    }
+
+    /// The engine every cached plan was prepared by.
+    pub fn engine(&self) -> &SpmvEngine {
+        &self.engine
+    }
+
+    /// The bound on pending submissions.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Ensures a plan for `csr` is resident and returns its key.
+    ///
+    /// The key is the matrix's content fingerprint: preparing the same
+    /// matrix again (any clone with identical content) is a cache hit
+    /// that costs one hash of the arrays instead of a layout rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`SpmvEngine::prepare`] does (e.g. an empty matrix
+    /// on the sharded engine), and on a 64-bit fingerprint collision —
+    /// a cache hit whose resident matrix has a different shape than the
+    /// one being prepared. Collisions between real matrices are
+    /// astronomically unlikely; failing loudly beats silently serving
+    /// one tenant another tenant's plan.
+    pub fn prepare(&self, csr: &Csr) -> MatrixKey {
+        let key = MatrixKey(csr.fingerprint());
+        let mut st = self.state.lock().expect("service state poisoned");
+        let st = &mut *st;
+        match st.plans.entry(key.0) {
+            std::collections::hash_map::Entry::Occupied(hit) => {
+                let e = hit.get();
+                assert!(
+                    (e.rows, e.cols, e.nnz) == (csr.rows(), csr.cols(), csr.nnz()),
+                    "fingerprint collision on {key}: resident plan is {}x{} ({} nnz), \
+                     prepared matrix is {}x{} ({} nnz)",
+                    e.rows,
+                    e.cols,
+                    e.nnz,
+                    csr.rows(),
+                    csr.cols(),
+                    csr.nnz()
+                );
+                st.stats.plan_cache_hits += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                // Preparing inside the lock serializes concurrent first
+                // preparations of the same matrix — by design: the second
+                // tenant must wait and hit, not rebuild a duplicate image.
+                slot.insert(PlanEntry {
+                    plan: self.engine.prepare(csr),
+                    rows: csr.rows(),
+                    cols: csr.cols(),
+                    nnz: csr.nnz(),
+                });
+                st.stats.plans_prepared += 1;
+            }
+        }
+        key
+    }
+
+    /// `true` when `key` names a resident plan.
+    pub fn contains(&self, key: MatrixKey) -> bool {
+        self.state
+            .lock()
+            .expect("service state poisoned")
+            .plans
+            .contains_key(&key.0)
+    }
+
+    /// Enqueues one request (`y = A·x` for the keyed matrix) and returns
+    /// the ticket its result will be redeemable under after the next
+    /// [`SpmvService::collect`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownMatrix`] for an unprepared key,
+    /// [`ServiceError::WrongVectorLength`] for a mis-sized vector, and
+    /// [`ServiceError::QueueFull`] once `queue_capacity` requests are
+    /// pending.
+    pub fn submit(&self, key: MatrixKey, x: Vec<f64>) -> Result<Ticket, ServiceError> {
+        let mut st = self.state.lock().expect("service state poisoned");
+        let Some(entry) = st.plans.get(&key.0) else {
+            return Err(ServiceError::UnknownMatrix(key));
+        };
+        if x.len() != entry.cols {
+            return Err(ServiceError::WrongVectorLength {
+                expected: entry.cols,
+                got: x.len(),
+            });
+        }
+        if st.pending.len() >= self.queue_capacity {
+            st.stats.rejected += 1;
+            return Err(ServiceError::QueueFull {
+                capacity: self.queue_capacity,
+            });
+        }
+        let ticket = Ticket(st.next_ticket);
+        st.next_ticket += 1;
+        st.pending.push(PendingReq { ticket, key, x });
+        st.stats.submitted += 1;
+        Ok(ticket)
+    }
+
+    /// Executes every pending request and returns the tickets completed,
+    /// in execution order.
+    ///
+    /// Requests are grouped by matrix key (groups ordered by each key's
+    /// first pending appearance, submissions ordered within a group) and
+    /// each group runs as **one** [`SpmvPlan::run_batch`] call on the
+    /// cached plan — same-matrix tenants share the batch's amortized
+    /// stream fetches. Results become redeemable via
+    /// [`SpmvService::take`].
+    ///
+    /// Completed-result retention is bounded like the queue: at most
+    /// [`RESULT_RETENTION_FACTOR`]` × queue_capacity` unredeemed results
+    /// are kept, evicting the **oldest** first — a tenant that abandons
+    /// its tickets cannot grow the service without limit.
+    pub fn collect(&self) -> Vec<Ticket> {
+        let mut st = self.state.lock().expect("service state poisoned");
+        let pending = std::mem::take(&mut st.pending);
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        // Group by key, preserving first-appearance order.
+        let mut order: Vec<MatrixKey> = Vec::new();
+        let mut groups: HashMap<u64, Vec<PendingReq>> = HashMap::new();
+        for req in pending {
+            if !groups.contains_key(&req.key.0) {
+                order.push(req.key);
+            }
+            groups.entry(req.key.0).or_default().push(req);
+        }
+        let mut finished = Vec::new();
+        for key in order {
+            let group = groups.remove(&key.0).expect("grouped above");
+            let (tickets, xs): (Vec<Ticket>, Vec<Vec<f64>>) =
+                group.into_iter().map(|r| (r.ticket, r.x)).unzip();
+            let batch = xs.len();
+            let entry = st
+                .plans
+                .get_mut(&key.0)
+                .expect("plan resident while queued");
+            let report = entry.plan.run_batch(&xs);
+            let cycles_per_vector = report.cycles_per_vector();
+            let verified = report.verified;
+            let label = report.label.clone();
+            for (ticket, y) in tickets.into_iter().zip(report.ys) {
+                st.done.insert(
+                    ticket.0,
+                    Completed {
+                        ticket,
+                        key,
+                        y,
+                        verified,
+                        label: label.clone(),
+                        batched_with: batch,
+                        cycles_per_vector,
+                    },
+                );
+                finished.push(ticket);
+            }
+            st.stats.batches += 1;
+            st.stats.completed += batch as u64;
+        }
+        let retention = RESULT_RETENTION_FACTOR * self.queue_capacity;
+        while st.done.len() > retention {
+            let evicted = st.done.pop_first().expect("nonempty above");
+            st.stats.evicted += 1;
+            drop(evicted);
+        }
+        finished
+    }
+
+    /// Redeems a ticket, removing the result from the service. `None`
+    /// until a [`SpmvService::collect`] has executed the request, if the
+    /// ticket was already taken, or if the result aged out of the
+    /// bounded retention window (see [`SpmvService::collect`]).
+    pub fn take(&self, ticket: Ticket) -> Option<Completed> {
+        self.state
+            .lock()
+            .expect("service state poisoned")
+            .done
+            .remove(&ticket.0)
+    }
+
+    /// Convenience for a single request: submit, collect (which may also
+    /// execute other tenants' pending work), and take.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpmvService::submit`] errors.
+    pub fn run(&self, key: MatrixKey, x: Vec<f64>) -> Result<Completed, ServiceError> {
+        let ticket = self.submit(key, x)?;
+        self.collect();
+        Ok(self.take(ticket).expect("collect completed the ticket"))
+    }
+
+    /// Number of requests waiting for the next [`SpmvService::collect`].
+    pub fn pending(&self) -> usize {
+        self.state
+            .lock()
+            .expect("service state poisoned")
+            .pending
+            .len()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.state.lock().expect("service state poisoned").stats
+    }
+}
+
+// The whole point of the type: it is shared across submitting threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SpmvService>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SpmvEngine, SystemKind};
+    use crate::report::golden_x;
+    use crate::shard::PartitionStrategy;
+    use nmpic_core::AdapterConfig;
+    use nmpic_sparse::gen::banded_fem;
+
+    fn x_for(csr: &Csr, seed: usize) -> Vec<f64> {
+        (0..csr.cols()).map(|i| golden_x(i + seed)).collect()
+    }
+
+    fn service(kind: SystemKind) -> SpmvService {
+        SpmvService::new(SpmvEngine::builder().system(kind).build())
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let a = banded_fem(96, 4, 8, 1);
+        let b = banded_fem(96, 4, 8, 2); // different content
+        let svc = service(SystemKind::Base);
+        let ka = svc.prepare(&a);
+        let ka2 = svc.prepare(&a);
+        let kb = svc.prepare(&b);
+        assert_eq!(ka, ka2);
+        assert_ne!(ka, kb);
+        let s = svc.stats();
+        assert_eq!(s.plans_prepared, 2);
+        assert_eq!(s.plan_cache_hits, 1);
+        assert!(svc.contains(ka) && svc.contains(kb));
+        // A clone with identical content is the same tenant key.
+        assert_eq!(svc.prepare(&a.clone()), ka);
+        assert_eq!(svc.stats().plan_cache_hits, 2);
+    }
+
+    #[test]
+    fn served_results_match_the_plain_plan() {
+        let csr = banded_fem(128, 6, 16, 3);
+        for kind in [
+            SystemKind::Base,
+            SystemKind::Pack(AdapterConfig::mlp(64)),
+            SystemKind::Sharded {
+                units: 2,
+                strategy: PartitionStrategy::ByNnz,
+            },
+        ] {
+            let svc = service(kind.clone());
+            let key = svc.prepare(&csr);
+            let x = x_for(&csr, 0);
+            let done = svc.run(key, x.clone()).unwrap();
+            assert!(done.verified, "{kind}");
+            let mut plan = svc.engine().clone().prepare(&csr);
+            let want = plan.run(&x);
+            assert_eq!(
+                done.y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.y_bits(),
+                "{kind}: served bytes must equal the single-tenant plan"
+            );
+            assert_eq!(done.label, want.label);
+        }
+    }
+
+    #[test]
+    fn same_matrix_requests_share_one_batch() {
+        let csr = banded_fem(128, 6, 16, 5);
+        let other = banded_fem(64, 4, 8, 9);
+        let svc = service(SystemKind::Pack(AdapterConfig::mlp(64)));
+        let k1 = svc.prepare(&csr);
+        let k2 = svc.prepare(&other);
+        let t1 = svc.submit(k1, x_for(&csr, 1)).unwrap();
+        let t2 = svc.submit(k2, x_for(&other, 2)).unwrap();
+        let t3 = svc.submit(k1, x_for(&csr, 3)).unwrap();
+        assert_eq!(svc.pending(), 3);
+        let finished = svc.collect();
+        assert_eq!(svc.pending(), 0);
+        // Group order is first appearance: k1's pair batches together,
+        // then k2's single.
+        assert_eq!(finished, vec![t1, t3, t2]);
+        let s = svc.stats();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.completed, 3);
+        assert_eq!(svc.take(t1).unwrap().batched_with, 2);
+        assert_eq!(svc.take(t3).unwrap().batched_with, 2);
+        assert_eq!(svc.take(t2).unwrap().batched_with, 1);
+        // Tickets are single-use.
+        assert!(svc.take(t1).is_none());
+    }
+
+    #[test]
+    fn queue_is_bounded_and_rejections_counted() {
+        let csr = banded_fem(64, 4, 8, 1);
+        let svc = SpmvService::with_queue_capacity(
+            SpmvEngine::builder().system(SystemKind::Base).build(),
+            2,
+        );
+        let key = svc.prepare(&csr);
+        let x = x_for(&csr, 0);
+        svc.submit(key, x.clone()).unwrap();
+        svc.submit(key, x.clone()).unwrap();
+        assert_eq!(
+            svc.submit(key, x.clone()),
+            Err(ServiceError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(svc.stats().rejected, 1);
+        // Draining the queue reopens it.
+        svc.collect();
+        svc.submit(key, x).unwrap();
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_eagerly() {
+        let csr = banded_fem(64, 4, 8, 1);
+        let svc = service(SystemKind::Base);
+        let key = svc.prepare(&csr);
+        let bogus = MatrixKey(0xdead_beef);
+        assert_eq!(
+            svc.submit(bogus, x_for(&csr, 0)),
+            Err(ServiceError::UnknownMatrix(bogus))
+        );
+        assert_eq!(
+            svc.submit(key, vec![1.0; 3]),
+            Err(ServiceError::WrongVectorLength {
+                expected: csr.cols(),
+                got: 3
+            })
+        );
+        // Neither rejection consumed a ticket or queue slot.
+        assert_eq!(svc.pending(), 0);
+        assert_eq!(svc.stats().submitted, 0);
+    }
+
+    #[test]
+    fn unredeemed_results_are_bounded_and_evicted_oldest_first() {
+        let csr = banded_fem(48, 3, 6, 1);
+        // Capacity 1 → retention window of RESULT_RETENTION_FACTOR (4).
+        let svc = SpmvService::with_queue_capacity(
+            SpmvEngine::builder().system(SystemKind::Base).build(),
+            1,
+        );
+        let key = svc.prepare(&csr);
+        let x = x_for(&csr, 0);
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| {
+                let t = svc.submit(key, x.clone()).unwrap();
+                svc.collect();
+                t
+            })
+            .collect();
+        assert_eq!(svc.stats().evicted, 2, "two oldest results aged out");
+        assert!(svc.take(tickets[0]).is_none());
+        assert!(svc.take(tickets[1]).is_none());
+        for t in &tickets[2..] {
+            assert!(svc.take(*t).is_some(), "{t} must survive retention");
+        }
+    }
+
+    #[test]
+    fn collect_on_empty_queue_is_a_noop() {
+        let svc = service(SystemKind::Base);
+        assert!(svc.collect().is_empty());
+        assert_eq!(svc.stats().batches, 0);
+    }
+
+    #[test]
+    fn errors_display_something_useful() {
+        let e = ServiceError::QueueFull { capacity: 4 };
+        assert!(e.to_string().contains("4"));
+        let e = ServiceError::WrongVectorLength {
+            expected: 10,
+            got: 3,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains("3"));
+        assert!(ServiceError::UnknownMatrix(MatrixKey(1))
+            .to_string()
+            .contains("prepare"));
+    }
+}

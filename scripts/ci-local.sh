@@ -6,9 +6,9 @@
 #               on the bench/tests/examples targets (legacy-API gate)
 #   test        release build + quick-scale test suite (stable, plus the
 #               MSRV toolchain when rustup has it installed)
-#   bench-smoke scaling_units + scaling_channels + batched_spmv at
-#               NMPIC_QUICK=1, then gate the JSON results on zero rows /
-#               NaN bandwidth
+#   bench-smoke scaling_units + scaling_channels + batched_spmv +
+#               service_throughput at NMPIC_QUICK=1, then gate the JSON
+#               results on zero rows / NaN values
 #   doc         rustdoc with broken intra-doc links as errors
 #
 # Usage: scripts/ci-local.sh [lint|test|bench|doc]...  (default: all)
@@ -46,12 +46,13 @@ run_test() {
 }
 
 run_bench() {
-    step "bench-smoke: scaling_units + scaling_channels + batched_spmv (NMPIC_QUICK=1)"
+    step "bench-smoke: scaling_units + scaling_channels + batched_spmv + service_throughput (NMPIC_QUICK=1)"
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_units
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_channels
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin batched_spmv
+    NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin service_throughput
     step "bench-smoke: gating results"
-    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json results/batched_spmv.json
+    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json results/batched_spmv.json results/service_throughput.json
 }
 
 run_doc() {

@@ -95,6 +95,72 @@ fn partitions_are_disjoint_exact_covers() {
     }
 }
 
+/// Degenerate shapes — `k` far beyond the row count, zero-nnz matrices,
+/// single-row matrices — still produce disjoint exact covers whose empty
+/// shards all trail the non-empty ones, and empty `CsrShard` views run
+/// `spmv_into` as a no-op.
+#[test]
+fn degenerate_partitions_cover_with_trailing_empties() {
+    let zero_nnz = Csr::from_parts(7, 3, vec![0; 8], vec![], vec![]).unwrap();
+    let zero_rows = Csr::from_parts(0, 3, vec![0], vec![], vec![]).unwrap();
+    let single_row =
+        Csr::from_parts(1, 4, vec![0, 3], vec![0, 2, 3], vec![1.0, -2.0, 0.5]).unwrap();
+    let mut rng = SimRng::new(0xDE9E);
+    let random = arb_matrix(&mut rng);
+    for (name, csr) in [
+        ("zero_nnz", &zero_nnz),
+        ("zero_rows", &zero_rows),
+        ("single_row", &single_row),
+        ("random", &random),
+    ] {
+        for k in [1usize, 2, 5, 16, 64] {
+            for p in [by_nnz(csr, k), by_rows(csr, k)] {
+                assert_disjoint_exact_cover(&p, csr, k, 0);
+                let mut seen_empty = false;
+                for i in 0..k {
+                    if p.range(i).is_empty() {
+                        seen_empty = true;
+                    } else {
+                        assert!(!seen_empty, "{name} k={k}: empty shard {i} not trailing");
+                    }
+                }
+                // Shard-wise SpMV equals golden even with empty views.
+                let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+                let mut y = vec![0.0; csr.rows()];
+                for i in 0..k {
+                    p.csr_shard(csr, i).spmv_into(&x, &mut y);
+                }
+                assert_eq!(y, csr.spmv(&x), "{name} k={k}");
+            }
+        }
+    }
+}
+
+/// The sharded engine tolerates unit counts beyond the row count: the
+/// surplus units own trailing empty shards, simulate nothing, and the
+/// merged result stays byte-identical to the single-unit path.
+#[test]
+fn engine_tolerates_more_units_than_rows() {
+    let csr =
+        Csr::from_parts(3, 3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![1.5, -0.25, 4.0]).unwrap();
+    let backend = BackendConfig::hbm();
+    let single = run_sharded(&csr, 1, PartitionStrategy::ByNnz, &backend);
+    assert!(single.verified);
+    for units in [4usize, 8] {
+        let r = run_sharded(&csr, units, PartitionStrategy::ByNnz, &backend);
+        assert!(r.verified, "x{units}");
+        assert_eq!(r.y_bits(), single.y_bits(), "x{units}");
+        let detail = r.shards().expect("sharded detail");
+        assert_eq!(detail.per_shard.len(), units);
+        let idle = detail.per_shard.iter().filter(|s| s.nnz == 0).count();
+        assert!(idle >= units - 3, "x{units}: surplus units must sit idle");
+        // Idle shards report zeros, not NaN.
+        for s in &detail.per_shard {
+            assert!(s.indir_gbps.is_finite());
+        }
+    }
+}
+
 #[test]
 fn by_nnz_respects_the_documented_balance_bound() {
     for seed in 0..48u64 {

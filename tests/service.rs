@@ -1,0 +1,227 @@
+//! Concurrent-correctness tests for `SpmvService`: N threads submitting
+//! against one shared service must produce results **byte-identical** to
+//! serial single-tenant `SpmvPlan::run`, across every memory backend
+//! (ideal/hbm/hbm4/hbm8) and every `SystemKind` (base/pack/sharded),
+//! with the plan cache's hit/miss accounting intact.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nmpic::core::AdapterConfig;
+use nmpic::mem::BackendConfig;
+use nmpic::sparse::gen::{banded_fem, circuit};
+use nmpic::sparse::Csr;
+use nmpic::system::{
+    golden_x, PartitionStrategy, ServiceError, SpmvEngine, SpmvService, SystemKind,
+};
+
+fn backends() -> Vec<BackendConfig> {
+    vec![
+        BackendConfig::ideal(),
+        BackendConfig::hbm(),
+        BackendConfig::interleaved(4),
+        BackendConfig::interleaved(8),
+    ]
+}
+
+fn kinds() -> Vec<SystemKind> {
+    vec![
+        SystemKind::Base,
+        SystemKind::Pack(AdapterConfig::mlp(64)),
+        SystemKind::Sharded {
+            units: 3,
+            strategy: PartitionStrategy::ByNnz,
+        },
+    ]
+}
+
+/// Distinct deterministic request vectors, one per (thread, request).
+fn request_x(csr: &Csr, thread: usize, req: usize) -> Vec<f64> {
+    (0..csr.cols())
+        .map(|i| golden_x(i + 131 * thread + 977 * req))
+        .collect()
+}
+
+/// The core property: for every backend × system kind, N submitting
+/// threads against one shared service get exactly the bytes the serial
+/// single-tenant plan produces for their vector.
+#[test]
+fn concurrent_submissions_match_serial_plan_bytes() {
+    const THREADS: usize = 4;
+    const REQS: usize = 2;
+    let csr = banded_fem(96, 5, 12, 7);
+    for backend in backends() {
+        for kind in kinds() {
+            let engine = SpmvEngine::builder()
+                .backend(backend.clone())
+                .system(kind.clone())
+                .build();
+            // Serial references, one per (thread, request) vector.
+            let mut plan = engine.prepare(&csr);
+            let want: Vec<Vec<Vec<u64>>> = (0..THREADS)
+                .map(|t| {
+                    (0..REQS)
+                        .map(|q| {
+                            let r = plan.run(&request_x(&csr, t, q));
+                            assert!(r.verified);
+                            r.y_bits()
+                        })
+                        .collect()
+                })
+                .collect();
+
+            let service = SpmvService::new(engine);
+            let key = service.prepare(&csr);
+            let collects = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for t in 0..THREADS {
+                    let service = &service;
+                    let csr = &csr;
+                    let collects = &collects;
+                    handles.push(s.spawn(move || {
+                        let mut got = Vec::new();
+                        for q in 0..REQS {
+                            let x = request_x(csr, t, q);
+                            // Submit may race a full queue in principle;
+                            // the capacity (64) is ample here, so errors
+                            // are real failures.
+                            let ticket = service.submit(key, x).expect("queue has room");
+                            // Every thread may drive collection — the
+                            // service serializes execution internally.
+                            collects.fetch_add(service.collect().len(), Ordering::Relaxed);
+                            let done = loop {
+                                // Another thread's collect may have run
+                                // our request; take() is the only wait.
+                                match service.take(ticket) {
+                                    Some(done) => break done,
+                                    None => {
+                                        collects
+                                            .fetch_add(service.collect().len(), Ordering::Relaxed);
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            };
+                            assert!(done.verified);
+                            got.push(done.y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>());
+                        }
+                        (t, got)
+                    }));
+                }
+                for h in handles {
+                    let (t, got) = h.join().expect("worker thread");
+                    for (q, bits) in got.iter().enumerate() {
+                        assert_eq!(
+                            bits,
+                            &want[t][q],
+                            "{} / {kind}: thread {t} request {q} diverged from serial",
+                            backend.label()
+                        );
+                    }
+                }
+            });
+            let stats = service.stats();
+            assert_eq!(stats.plans_prepared, 1, "{}/{kind}", backend.label());
+            assert_eq!(stats.submitted, (THREADS * REQS) as u64);
+            assert_eq!(stats.completed, (THREADS * REQS) as u64);
+            assert_eq!(
+                collects.load(Ordering::Relaxed),
+                THREADS * REQS,
+                "every completion observed exactly once"
+            );
+        }
+    }
+}
+
+/// Plan-cache accounting under concurrency: many threads preparing the
+/// same two matrices produce exactly two plans, everything else hits.
+#[test]
+fn plan_cache_accounting_is_exact_under_concurrent_prepares() {
+    const THREADS: usize = 8;
+    let a = banded_fem(64, 4, 8, 1);
+    let b = circuit(80, 3, 12, 0.1, 4, 2);
+    let service = SpmvService::new(SpmvEngine::builder().system(SystemKind::Base).build());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let service = &service;
+            let (a, b) = (&a, &b);
+            s.spawn(move || {
+                let ka = service.prepare(a);
+                let kb = service.prepare(b);
+                assert_ne!(ka, kb);
+                assert_eq!(service.prepare(a), ka);
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.plans_prepared, 2, "one plan per distinct matrix");
+    assert_eq!(
+        stats.plan_cache_hits,
+        (THREADS * 3 - 2) as u64,
+        "every other prepare is a hit"
+    );
+}
+
+/// The bounded queue stays bounded under concurrent pressure: with a
+/// capacity of 1 and no collector, exactly one of the racing submissions
+/// wins and the rest are rejected with `QueueFull`.
+#[test]
+fn bounded_queue_rejects_concurrent_overflow() {
+    const THREADS: usize = 6;
+    let csr = banded_fem(48, 3, 6, 1);
+    let service =
+        SpmvService::with_queue_capacity(SpmvEngine::builder().system(SystemKind::Base).build(), 1);
+    let key = service.prepare(&csr);
+    let accepted = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let service = &service;
+            let csr = &csr;
+            let accepted = &accepted;
+            s.spawn(move || match service.submit(key, request_x(csr, t, 0)) {
+                Ok(_) => {
+                    accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(ServiceError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+                Err(e) => panic!("unexpected error: {e}"),
+            });
+        }
+    });
+    assert_eq!(accepted.load(Ordering::Relaxed), 1);
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.rejected, (THREADS - 1) as u64);
+    assert_eq!(service.pending(), 1);
+    // The accepted request still executes and verifies.
+    let tickets = service.collect();
+    assert_eq!(tickets.len(), 1);
+    assert!(service.take(tickets[0]).expect("completed").verified);
+}
+
+/// Sharded plans inside the service execute their shards in parallel;
+/// whatever the worker count, served bytes equal the 1-worker service.
+#[test]
+fn service_results_are_worker_count_invariant() {
+    let csr = circuit(256, 4, 24, 0.1, 5, 3);
+    let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+    let mut reference: Option<Vec<u64>> = None;
+    for workers in [1usize, 2, 4] {
+        let service = SpmvService::new(
+            SpmvEngine::builder()
+                .backend(BackendConfig::interleaved(8))
+                .system(SystemKind::Sharded {
+                    units: 4,
+                    strategy: PartitionStrategy::ByNnz,
+                })
+                .shard_workers(workers)
+                .build(),
+        );
+        let key = service.prepare(&csr);
+        let done = service.run(key, x.clone()).expect("served");
+        assert!(done.verified, "{workers} workers");
+        let bits: Vec<u64> = done.y.iter().map(|v| v.to_bits()).collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(want) => assert_eq!(&bits, want, "{workers} workers diverged"),
+        }
+    }
+}
