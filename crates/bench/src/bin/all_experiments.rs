@@ -16,6 +16,7 @@ fn main() {
         "scaling_channels",
         "scaling_units",
         "batched_spmv",
+        "solver_convergence",
     ] {
         println!("==================== {bin} ====================");
         let status = Command::new(dir.join(bin))

@@ -12,7 +12,10 @@ use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions, StreamResult
 use nmpic_mem::{BackendConfig, ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
 use nmpic_model::{adapter_area, AreaBreakdown, EfficiencyPoint};
 use nmpic_sparse::{suite, Csr, Sell, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
-use nmpic_system::{golden_x, PartitionStrategy, RunReport, SpmvEngine, SpmvService, SystemKind};
+use nmpic_system::{
+    golden_x, PartitionStrategy, RunReport, SolveOptions, Solver, SpmvEngine, SpmvService,
+    SystemKind,
+};
 
 use crate::runner::parallel_map;
 
@@ -856,6 +859,142 @@ pub fn service_throughput(opts: &ExperimentOpts) -> Vec<ServiceRow> {
     rows
 }
 
+/// One solver-convergence measurement: a full CG solve on a prepared
+/// plan, one simulated SpMV per iteration.
+#[derive(Debug, Clone)]
+pub struct SolverRow {
+    /// System label of the plan (`base`, `pack256`, `sharded x4 (...)`).
+    pub system: String,
+    /// Memory-backend label (`ideal`, `hbm x8`).
+    pub backend: String,
+    /// Solver method (`cg`).
+    pub method: &'static str,
+    /// Iterations to tolerance (= simulated SpMVs).
+    pub iters: usize,
+    /// Whether `‖r‖₂ ≤ 1e-10` was reached within the cap.
+    pub converged: bool,
+    /// Final residual norm.
+    pub residual: f64,
+    /// Total simulated cycles across all iterations.
+    pub total_cycles: u64,
+    /// Amortized simulated cycles per iteration.
+    pub cycles_per_iter: f64,
+    /// Amortized off-chip traffic per iteration, in bytes.
+    pub bytes_per_iter: f64,
+    /// Amortized delivered off-chip bandwidth across the solve, GB/s at
+    /// 1 GHz.
+    pub gbps: f64,
+}
+
+/// The backends swept by [`solver_convergence`].
+pub fn solver_backends() -> Vec<BackendConfig> {
+    vec![BackendConfig::ideal(), BackendConfig::interleaved(8)]
+}
+
+/// The systems swept by [`solver_convergence`] when `NMPIC_SYSTEM` does
+/// not override them.
+pub fn solver_systems() -> Vec<SystemKind> {
+    vec![
+        SystemKind::Base,
+        SystemKind::Pack(AdapterConfig::mlp(256)),
+        SystemKind::Sharded {
+            units: 4,
+            strategy: PartitionStrategy::default(),
+        },
+    ]
+}
+
+/// Runs the solver-convergence study: conjugate gradient to the paper's
+/// `1e-10` tolerance on a generated SPD system, swept over
+/// base/pack256/sharded4 × ideal/hbm8 (`NMPIC_SYSTEM`/`NMPIC_PARTITION`
+/// override the system axis), all points in parallel.
+///
+/// This is the workload the session API exists for: every point
+/// prepares its plan **once** and then drives the zero-realloc
+/// [`nmpic_system::SpmvPlan::run_into`] hot path for every CG iteration
+/// — no per-iteration layout, partitioning or format conversion, no
+/// per-iteration result allocation. Reported per point:
+/// iterations-to-tolerance, total simulated cycles, and the amortized
+/// per-iteration cycle/traffic cost (the sustained GB/s an iterative
+/// workload sees).
+///
+/// The CG trajectory is a pure function of the SpMV bytes, so every
+/// (system × backend) point must converge in the **same** number of
+/// iterations with bit-identical solutions — asserted in-experiment.
+///
+/// # Panics
+///
+/// Panics if any point fails to converge or its solution bytes diverge
+/// from the first point's (a simulator bug, not a measurement).
+pub fn solver_convergence(opts: &ExperimentOpts) -> Vec<SolverRow> {
+    // Size the SPD system from the nonzero cap (~5 stored nonzeros per
+    // row at these generator parameters).
+    let rows = (opts.max_nnz / 5).clamp(64, 20_000) as usize;
+    let a = nmpic_sparse::gen::spd(rows, 6, 16, 1105);
+    assert!(a.is_symmetric(), "spd generator must emit symmetric output");
+    let b: Vec<f64> = (0..a.rows()).map(golden_x).collect();
+    let strategy = opts.partition.unwrap_or_default();
+    let systems = match &opts.system {
+        Some(SystemKind::Sharded { units, .. }) => vec![SystemKind::Sharded {
+            units: *units,
+            strategy,
+        }],
+        Some(kind) => vec![kind.clone()],
+        None => solver_systems(),
+    };
+    let mut jobs = Vec::new();
+    for system in systems {
+        for backend in solver_backends() {
+            jobs.push((system.clone(), backend));
+        }
+    }
+    let results = parallel_map(jobs, move |(system, backend)| {
+        let engine = SpmvEngine::builder()
+            .backend(backend.clone())
+            .system(system)
+            .build();
+        // Prepare once; every iteration below reuses the resident plan.
+        let mut plan = engine.prepare(&a);
+        let r = Solver::cg(&mut plan, &b, &SolveOptions::default());
+        assert!(
+            r.converged,
+            "{}/{}: CG stalled at {} after {} iterations",
+            r.label,
+            backend.label(),
+            r.residual,
+            r.iterations
+        );
+        let bits: Vec<u64> = r.x.iter().map(|v| v.to_bits()).collect();
+        let row = SolverRow {
+            system: r.label.clone(),
+            backend: backend.label(),
+            method: r.method,
+            iters: r.iterations,
+            converged: r.converged,
+            residual: r.residual,
+            total_cycles: r.spmv_cycles,
+            cycles_per_iter: r.cycles_per_iteration(),
+            bytes_per_iter: r.bytes_per_iteration(),
+            gbps: r.gbps(),
+        };
+        (row, bits)
+    });
+    let reference = results.first().map(|(_, bits)| bits.clone());
+    results
+        .into_iter()
+        .map(|(row, bits)| {
+            assert_eq!(
+                Some(&bits),
+                reference.as_ref(),
+                "{}/{}: solution bytes diverged from the first point",
+                row.system,
+                row.backend
+            );
+            row
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -999,6 +1138,42 @@ mod tests {
             (rows[0].speedup_vs_serial - 1.0).abs() < 1e-12,
             "self-relative"
         );
+    }
+
+    #[test]
+    fn solver_convergence_reaches_tolerance_on_every_point() {
+        let rows = solver_convergence(&ExperimentOpts {
+            max_nnz: 2_000,
+            ..ExperimentOpts::default()
+        });
+        assert_eq!(rows.len(), solver_systems().len() * solver_backends().len());
+        let iters = rows[0].iters;
+        for r in &rows {
+            assert!(r.converged, "{}/{}", r.system, r.backend);
+            assert!(r.residual <= 1e-10 && r.residual.is_finite());
+            assert!(r.iters > 0, "a solve must iterate");
+            assert_eq!(
+                r.iters, iters,
+                "{}/{}: trajectory length must match every point",
+                r.system, r.backend
+            );
+            assert_eq!(r.method, "cg");
+            assert!(r.total_cycles > 0);
+            assert!(r.cycles_per_iter > 0.0 && r.cycles_per_iter.is_finite());
+            assert!(r.bytes_per_iter > 0.0 && r.gbps > 0.0);
+        }
+        // The backend axis changes cost, never the math: an hbm8 point
+        // and an ideal point of the same system share iteration counts
+        // (already pinned above) but not cycle counts.
+        let base_ideal = rows
+            .iter()
+            .find(|r| r.system == "base" && r.backend == "ideal")
+            .expect("base/ideal point");
+        let base_hbm = rows
+            .iter()
+            .find(|r| r.system == "base" && r.backend == "hbm x8")
+            .expect("base/hbm8 point");
+        assert_ne!(base_ideal.total_cycles, base_hbm.total_cycles);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | extension | `scaling_units` | sharded multi-unit SpMV vs unit count (aggregate GB/s + load imbalance) |
 //! | extension | `batched_spmv` | multi-vector SpMV on one prepared plan vs per-vector plan rebuild |
 //! | extension | `service_throughput` | multi-tenant `SpmvService` requests/sec + wall-clock speedup vs shard workers |
+//! | extension | `solver_convergence` | CG iterations-to-1e-10 + amortized per-iteration cycles/GB/s on resident plans |
 //! | all      | `all_experiments` | everything above, CSVs under `results/` |
 //!
 //! Sweeps run their configuration points in parallel across CPU cores
@@ -39,9 +40,10 @@ pub mod timing;
 pub use experiments::{
     batch_x, batched_spmv, fig3, fig3_variants, fig4, fig4_variants, fig5, fig5_adapters,
     fig5_matrix, fig6a, fig6b, measure_stream_gbps, scaling_channels, scaling_units,
-    service_throughput, BatchRow, ChannelScalingRow, ExperimentOpts, ExperimentOptsBuilder,
-    ServiceRow, StreamRow, SystemRow, UnitScalingRow, BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS,
-    SERVICE_REQUESTS, SERVICE_WORKERS,
+    service_throughput, solver_backends, solver_convergence, solver_systems, BatchRow,
+    ChannelScalingRow, ExperimentOpts, ExperimentOptsBuilder, ServiceRow, SolverRow, StreamRow,
+    SystemRow, UnitScalingRow, BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS, SERVICE_REQUESTS,
+    SERVICE_WORKERS,
 };
 pub use output::{f, Table};
 pub use runner::{parallel_jobs, parallel_map, parallel_map_jobs};

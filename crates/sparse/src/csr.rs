@@ -184,6 +184,34 @@ impl Csr {
         h
     }
 
+    /// `true` iff the matrix equals its transpose **exactly**: square,
+    /// and every stored entry `(i, j, v)` is mirrored by `(j, i, v)`
+    /// with bit-identical value (so `0.0` vs `-0.0` or differing NaN
+    /// payloads count as asymmetric — the same strictness as
+    /// [`Csr::fingerprint`]). Duplicate entries are compared as
+    /// multisets, and explicit zeros must be mirrored too.
+    ///
+    /// Conjugate-gradient solvers require a symmetric (positive
+    /// definite) matrix; this is the cheap structural half of that
+    /// precondition, O(nnz log nnz) and allocation-bounded by two
+    /// triplet arrays.
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let mut fwd: Vec<(u32, u32, u64)> = Vec::with_capacity(self.nnz());
+        let mut rev: Vec<(u32, u32, u64)> = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for (c, v) in self.row(i) {
+                fwd.push((i as u32, c, v.to_bits()));
+                rev.push((c, i as u32, v.to_bits()));
+            }
+        }
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        fwd == rev
+    }
+
     /// Structural statistics used for reporting and generator calibration.
     pub fn stats(&self) -> CsrStats {
         let mut max_row = 0usize;
@@ -324,6 +352,39 @@ mod tests {
     fn empty_rows_are_fine() {
         let m = Csr::from_parts(3, 3, vec![0, 0, 1, 1], vec![2], vec![9.0]).unwrap();
         assert_eq!(m.spmv(&[0.0, 0.0, 2.0]), vec![0.0, 18.0, 0.0]);
+    }
+
+    #[test]
+    fn is_symmetric_detects_exact_transposition() {
+        // [[2, 1, 0], [1, 3, 0], [0, 0, 4]] — symmetric.
+        let s = Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 4, 5],
+            vec![0, 1, 0, 1, 2],
+            vec![2.0, 1.0, 1.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert!(s.is_symmetric());
+        // Perturbing one mirrored value breaks it.
+        let a = Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 4, 5],
+            vec![0, 1, 0, 1, 2],
+            vec![2.0, 1.0, 1.5, 3.0, 4.0],
+        )
+        .unwrap();
+        assert!(!a.is_symmetric());
+        // Structural asymmetry (entry without its mirror) breaks it.
+        let t = Csr::from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0, 5.0, 1.0]).unwrap();
+        assert!(!t.is_symmetric());
+        // Non-square is never symmetric; value strictness sees -0.0.
+        assert!(!Csr::from_parts(1, 2, vec![0, 1], vec![0], vec![1.0])
+            .unwrap()
+            .is_symmetric());
+        let z = Csr::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![0.0, -0.0]).unwrap();
+        assert!(!z.is_symmetric(), "-0.0 mirror is not bit-identical");
     }
 
     #[test]

@@ -275,6 +275,60 @@ pub fn kkt(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr 
     coo.to_csr()
 }
 
+/// Symmetric positive-definite test matrix — the shape conjugate
+/// gradient is specified against.
+///
+/// Structure: a banded symmetric coupling pattern (each row pairs with
+/// up to `nnz_per_row / 2` neighbours within `bandwidth` above the
+/// diagonal, every coupling mirrored with the identical value) made
+/// **strictly diagonally dominant**: the diagonal entry exceeds the sum
+/// of the row's off-diagonal magnitudes by at least 1. Gershgorin's
+/// theorem then confines every eigenvalue to the positive half-axis, so
+/// the matrix is SPD by construction, and its bounded condition number
+/// keeps CG iteration counts small enough for cycle-accurate solver
+/// sweeps.
+///
+/// The result satisfies [`Csr::is_symmetric`] exactly (mirrored entries
+/// are bit-identical).
+///
+/// # Panics
+///
+/// Panics if `rows` or `nnz_per_row` is zero.
+pub fn spd(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr {
+    assert!(
+        rows > 0 && nnz_per_row > 0,
+        "rows and nnz_per_row must be nonzero"
+    );
+    let mut r = rng(seed);
+    let bw = bandwidth.max(1);
+    let pairs = (nnz_per_row.saturating_sub(1) / 2).max(1);
+    let mut coo = Coo::new(rows, rows);
+    let mut offdiag_abs = vec![0.0f64; rows];
+    let mut picked: Vec<usize> = Vec::with_capacity(pairs);
+    for i in 0..rows {
+        picked.clear();
+        for _ in 0..pairs {
+            // Strictly-upper neighbour, deduplicated per row so the two
+            // mirrored pushes are the only sources of each (i, j) — no
+            // duplicate summation that could round differently per side.
+            let j = (i + r.gen_usize(1, bw + 1)).min(rows - 1);
+            if j == i || picked.contains(&j) {
+                continue;
+            }
+            picked.push(j);
+            let v = -val(&mut r);
+            coo.push(i as u32, j as u32, v);
+            coo.push(j as u32, i as u32, v);
+            offdiag_abs[i] += v.abs();
+            offdiag_abs[j] += v.abs();
+        }
+    }
+    for (i, &abs) in offdiag_abs.iter().enumerate() {
+        coo.push(i as u32, i as u32, abs + 1.0 + val(&mut r));
+    }
+    coo.to_csr()
+}
+
 /// Uniform random matrix — the worst case for coalescing (no locality at
 /// all); used for adversarial tests and ablations, not in the paper suite.
 ///
@@ -387,6 +441,33 @@ mod tests {
     }
 
     #[test]
+    fn spd_is_symmetric_and_diagonally_dominant() {
+        let m = spd(300, 6, 12, 9);
+        assert!(m.is_symmetric(), "mirrored entries must be bit-identical");
+        for i in 0..m.rows() {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (c, v) in m.row(i) {
+                if c as usize == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(
+                diag > off + 0.99,
+                "row {i}: diagonal {diag} must dominate off-diagonal sum {off}"
+            );
+        }
+        assert_eq!(m, spd(300, 6, 12, 9), "deterministic in seed");
+        assert_ne!(m, spd(300, 6, 12, 10));
+        // A 1-row SPD matrix is just a positive diagonal.
+        let one = spd(1, 4, 4, 1);
+        assert_eq!(one.nnz(), 1);
+        assert!(one.values()[0] > 0.0);
+    }
+
+    #[test]
     fn random_uniform_covers_columns() {
         let m = random_uniform(500, 500, 8, 6);
         assert!(m.stats().avg_bandwidth > 50.0, "should have no locality");
@@ -404,6 +485,7 @@ mod tests {
             dense_blocks(40, 8, 1),
             kkt(100, 8, 10, 1),
             random_uniform(50, 50, 4, 1),
+            spd(100, 6, 10, 1),
         ] {
             let y = m.spmv(&x42(m.cols()));
             assert_eq!(y.len(), m.rows());

@@ -72,6 +72,15 @@ pub enum FormatError {
         /// Matrix column count.
         cols: usize,
     },
+    /// A conversion would need more stored entries than the 32 b offset
+    /// arrays can address (`> u32::MAX`). SELL padding can inflate a
+    /// matrix far past its nonzero count, so this is checked **before**
+    /// any data array is allocated.
+    TooManyEntries {
+        /// Entries the conversion would have to store (including
+        /// padding).
+        entries: u64,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -87,6 +96,11 @@ impl fmt::Display for FormatError {
                 rows,
                 cols,
             } => write!(f, "entry ({row}, {col}) outside {rows}x{cols} matrix"),
+            FormatError::TooManyEntries { entries } => write!(
+                f,
+                "{entries} stored entries exceed the 32 b offset limit ({})",
+                u32::MAX
+            ),
         }
     }
 }

@@ -176,14 +176,29 @@ impl Partition {
 /// Equal-row split: shard `i` gets `rows / k` rows (the first `rows % k`
 /// shards get one extra). The baseline partitioner — blind to density.
 ///
+/// **Degenerate shapes** follow the same convention as [`by_nnz`]:
+/// `k > rows` leaves the surplus shards **trailing empty** (the extra
+/// rows go to the lowest indices), a zero-row matrix yields `k` empty
+/// shards, and a zero-nnz matrix compacts every (workless) row into
+/// shard 0 exactly like `by_nnz` — consumers that walk units in order
+/// see the same idle pattern whichever strategy built the partition.
+///
 /// # Panics
 ///
 /// Panics if `k` is zero.
 pub fn by_rows(csr: &Csr, k: usize) -> Partition {
     assert!(k > 0, "at least one shard");
     let rows = csr.rows();
+    // Nothing to balance in a zero-nnz matrix: match `by_nnz`'s
+    // degenerate handling (all rows in shard 0, empties trailing)
+    // instead of spreading workless rows across every shard.
+    if csr.nnz() == 0 {
+        let mut boundaries = vec![rows; k + 1];
+        boundaries[0] = 0;
+        return Partition::from_boundaries(csr, boundaries);
+    }
     let boundaries = (0..=k).map(|i| i * (rows / k) + i.min(rows % k)).collect();
-    Partition::from_boundaries(csr, boundaries)
+    Partition::from_boundaries(csr, compact_trailing(boundaries, rows, k))
 }
 
 /// Nonzero-balanced split by prefix sums: boundary `i` is placed at the
@@ -241,9 +256,15 @@ pub fn by_nnz_aligned(csr: &Csr, k: usize, align: usize) -> Partition {
     // Degenerate shapes (k > rows, zero-nnz matrices, hub rows denser
     // than a whole shard's target, aligned rounding collisions) leave
     // zero-length intervals scattered through the boundary list — a
-    // zero-nnz matrix even put every row in the *last* shard. Compact
-    // the distinct boundaries to the front so the non-empty shards take
-    // the lowest indices and every empty shard trails.
+    // zero-nnz matrix even put every row in the *last* shard.
+    Partition::from_boundaries(csr, compact_trailing(boundaries, rows, k))
+}
+
+/// Compacts the distinct boundaries of a monotone boundary list to the
+/// front so the non-empty shards take the lowest indices and every empty
+/// shard trails — the shared degenerate-shape convention of [`by_rows`],
+/// [`by_nnz`] and [`by_nnz_aligned`].
+fn compact_trailing(boundaries: Vec<usize>, rows: usize, k: usize) -> Vec<usize> {
     let mut compact: Vec<usize> = Vec::with_capacity(k + 1);
     compact.push(0);
     for &b in &boundaries[1..] {
@@ -252,7 +273,7 @@ pub fn by_nnz_aligned(csr: &Csr, k: usize, align: usize) -> Partition {
         }
     }
     compact.resize(k + 1, rows);
-    Partition::from_boundaries(csr, compact)
+    compact
 }
 
 /// A zero-copy view of one CSR row shard.
@@ -640,6 +661,12 @@ mod tests {
         let p = by_nnz(&z, 3);
         assert_eq!(p.range(0), 0..5);
         assert!(p.range(1).is_empty() && p.range(2).is_empty());
+        // Regression: `by_rows` used to spread a zero-nnz matrix's
+        // workless rows across every shard while `by_nnz` compacted them
+        // into shard 0; both strategies now share the convention.
+        assert_eq!(by_rows(&z, 3), p);
+        assert_eq!(by_rows(&z, 3).range(0), 0..5);
+        assert_eq!(by_rows(&e, 4), by_nnz(&e, 4));
         // Imbalance metrics of all-empty shard sets stay finite.
         assert!(p.nnz_imbalance().is_finite());
         assert!(by_nnz(&e, 4).nnz_imbalance().is_finite());

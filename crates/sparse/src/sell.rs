@@ -47,15 +47,58 @@ impl Sell {
     ///
     /// # Panics
     ///
-    /// Panics if `slice_height` is zero.
+    /// Panics if `slice_height` is zero, or if the padded layout would
+    /// overflow the 32 b slice-pointer offsets (see
+    /// [`Sell::try_from_csr`] for the error-returning variant).
     pub fn from_csr(csr: &Csr, slice_height: usize) -> Self {
+        match Self::try_from_csr(csr, slice_height) {
+            Ok(sell) => sell,
+            Err(e) => panic!("CSR to SELL conversion failed: {e}"),
+        }
+    }
+
+    /// Converts a CSR matrix to SELL with the given slice height,
+    /// checking that the padded entry count fits the 32 b slice-pointer
+    /// offsets **before** allocating any data array.
+    ///
+    /// SELL pads every row of a slice to the widest row, so the stored
+    /// entry count can exceed the nonzero count by orders of magnitude
+    /// (one dense row in a tall slice pads the whole slice to its
+    /// width). The former `as u32` casts silently truncated
+    /// `slice_ptr` in that regime, producing a structurally corrupt
+    /// matrix; this constructor rejects it with a typed error instead.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::TooManyEntries`] when the padded layout needs more
+    /// than `u32::MAX` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_height` is zero.
+    pub fn try_from_csr(csr: &Csr, slice_height: usize) -> Result<Self, FormatError> {
         assert!(slice_height > 0, "slice height must be nonzero");
         let rows = csr.rows();
         let n_slices = rows.div_ceil(slice_height);
+
+        // Structure-only pre-pass: the padded size is known from the row
+        // widths alone, so the overflow check costs O(rows) and runs
+        // before the O(padded) allocation below.
+        let mut padded: u64 = 0;
+        for s in 0..n_slices {
+            let r0 = s * slice_height;
+            let r1 = (r0 + slice_height).min(rows);
+            let width = (r0..r1).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+            padded += width as u64 * slice_height as u64;
+        }
+        if padded > u32::MAX as u64 {
+            return Err(FormatError::TooManyEntries { entries: padded });
+        }
+
         let mut slice_ptr = Vec::with_capacity(n_slices + 1);
         slice_ptr.push(0u32);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
+        let mut col_idx = Vec::with_capacity(padded as usize);
+        let mut values = Vec::with_capacity(padded as usize);
 
         for s in 0..n_slices {
             let r0 = s * slice_height;
@@ -75,10 +118,10 @@ impl Sell {
                     }
                 }
             }
-            slice_ptr.push(col_idx.len() as u32);
+            slice_ptr.push(u32::try_from(col_idx.len()).expect("checked by the pre-pass"));
         }
 
-        Self {
+        Ok(Self {
             rows,
             cols: csr.cols(),
             slice_height,
@@ -86,7 +129,7 @@ impl Sell {
             col_idx,
             values,
             nnz: csr.nnz(),
-        }
+        })
     }
 
     /// Converts with the paper's default 32-row slices.
@@ -297,5 +340,50 @@ mod tests {
         let csr = sample();
         let sell = Sell::from_csr_default(&csr);
         assert_eq!(sell.slice_height(), 32);
+    }
+
+    /// A structure-only shape whose **padded** size just crosses the 32 b
+    /// offset limit: 2^20 rows in one 2^20-tall slice, where a single
+    /// 4096-wide row pads the whole slice to 4096 × 2^20 = 2^32 entries.
+    /// The CSR itself holds only 4096 nonzeros — nothing near 4 billion
+    /// entries is ever allocated.
+    fn just_over_the_edge() -> Csr {
+        let rows = 1usize << 20;
+        let width = 4096usize;
+        let mut row_ptr = vec![width as u32; rows + 1];
+        row_ptr[0] = 0;
+        let col_idx: Vec<u32> = (0..width as u32).collect();
+        let values = vec![1.0; width];
+        Csr::from_parts(rows, width, row_ptr, col_idx, values).unwrap()
+    }
+
+    /// Regression: `from_csr` used to truncate `slice_ptr` through
+    /// `as u32` once padding pushed the entry count past `u32::MAX`,
+    /// silently producing a corrupt layout. The checked conversion now
+    /// rejects the shape before allocating anything.
+    #[test]
+    fn padded_overflow_is_a_typed_error_not_truncation() {
+        let csr = just_over_the_edge();
+        let err = Sell::try_from_csr(&csr, 1 << 20).unwrap_err();
+        assert_eq!(
+            err,
+            FormatError::TooManyEntries {
+                entries: 1u64 << 32
+            }
+        );
+        assert!(err.to_string().contains("32 b offset limit"));
+        // The same matrix converts fine with a slice height that keeps
+        // the padding bounded (4096-entry slices → 4096 × 4096 entries
+        // for the dense slice, 0 for the empty ones).
+        let ok = Sell::try_from_csr(&csr, 4096).unwrap();
+        assert_eq!(ok.nnz(), 4096);
+        assert_eq!(ok.padded_len(), 4096 * 4096);
+        ok.try_validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "32 b offset limit")]
+    fn from_csr_panics_instead_of_truncating() {
+        let _ = Sell::from_csr(&just_over_the_edge(), 1 << 20);
     }
 }

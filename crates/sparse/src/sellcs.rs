@@ -9,7 +9,7 @@
 //! This module provides the format as an extension: σ = C degenerates to
 //! plain [`Sell`](crate::Sell) ordering.
 
-use crate::{Csr, Sell};
+use crate::{Csr, FormatError, Sell};
 
 /// A sparse matrix in SELL-C-σ form: a [`Sell`] built over locally sorted
 /// rows plus the row permutation needed to un-permute results.
@@ -29,8 +29,31 @@ impl SellCSigma {
     ///
     /// # Panics
     ///
-    /// Panics if `c` or `sigma` is zero.
+    /// Panics if `c` or `sigma` is zero, or if the padded layout would
+    /// overflow the 32 b slice-pointer offsets (see
+    /// [`SellCSigma::try_from_csr`]).
     pub fn from_csr(csr: &Csr, c: usize, sigma: usize) -> Self {
+        match Self::try_from_csr(csr, c, sigma) {
+            Ok(s) => s,
+            Err(e) => panic!("CSR to SELL-C-sigma conversion failed: {e}"),
+        }
+    }
+
+    /// Builds SELL-C-σ from CSR, propagating the checked SELL
+    /// conversion's overflow error instead of truncating (the permuted
+    /// row pointers themselves cannot overflow — the source CSR already
+    /// bounds its nonzero count to `u32::MAX` — but the padded SELL
+    /// layout can).
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::TooManyEntries`] when the padded layout needs more
+    /// than `u32::MAX` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` or `sigma` is zero.
+    pub fn try_from_csr(csr: &Csr, c: usize, sigma: usize) -> Result<Self, FormatError> {
         assert!(c > 0 && sigma > 0, "slice height and sigma must be nonzero");
         let rows = csr.rows();
         let mut perm: Vec<u32> = (0..rows as u32).collect();
@@ -47,15 +70,15 @@ impl SellCSigma {
                 col_idx.push(cidx);
                 values.push(v);
             }
-            row_ptr.push(col_idx.len() as u32);
+            row_ptr.push(u32::try_from(col_idx.len()).expect("source CSR bounds nnz"));
         }
         let permuted = Csr::from_parts(rows, csr.cols(), row_ptr, col_idx, values)
             .expect("permutation preserves CSR invariants");
-        Self {
-            sell: Sell::from_csr(&permuted, c),
+        Ok(Self {
+            sell: Sell::try_from_csr(&permuted, c)?,
             perm,
             sigma,
-        }
+        })
     }
 
     /// The underlying SELL layout (over permuted rows) — its `col_idx` is
@@ -162,6 +185,26 @@ mod tests {
         let s = SellCSigma::from_csr(&csr, 32, 1);
         assert!(s.perm().iter().enumerate().all(|(i, &p)| i == p as usize));
         assert_eq!(s.padded_len(), Sell::from_csr(&csr, 32).padded_len());
+    }
+
+    /// Regression: the permuted-CSR path used to feed `Sell::from_csr`'s
+    /// truncating casts; the overflow now surfaces as a typed error.
+    /// Structure-only — the 2^32-entry padded layout is never allocated.
+    #[test]
+    fn padded_overflow_propagates_as_typed_error() {
+        let rows = 1usize << 20;
+        let width = 4096usize;
+        let mut row_ptr = vec![width as u32; rows + 1];
+        row_ptr[0] = 0;
+        let col_idx: Vec<u32> = (0..width as u32).collect();
+        let csr = Csr::from_parts(rows, width, row_ptr, col_idx, vec![1.0; width]).unwrap();
+        let err = SellCSigma::try_from_csr(&csr, rows, 1).unwrap_err();
+        assert_eq!(
+            err,
+            crate::FormatError::TooManyEntries {
+                entries: 1u64 << 32
+            }
+        );
     }
 
     #[test]

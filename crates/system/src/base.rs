@@ -133,8 +133,9 @@ pub fn run_base_spmv_on(chan: &mut dyn ChannelPort, csr: &Csr, cfg: &BaseConfig)
     let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
     write_base_vector(chan, &layout, &x);
     let mut llc = Cache::new(cfg.llc);
-    let run = exec_base(chan, csr, cfg, &layout, &mut llc, &x);
-    let verified = bits_equal(&run.y, &csr.spmv(&x));
+    let mut y = vec![0.0f64; csr.rows()];
+    let run = exec_base(chan, csr, cfg, &layout, &mut llc, &x, &mut y);
+    let verified = bits_equal(&y, &csr.spmv(&x));
     SpmvReport {
         label: "base".to_string(),
         cycles: run.cycles,
@@ -194,12 +195,14 @@ pub(crate) fn base_ideal_bytes(csr: &Csr, vectors: u64) -> u64 {
 pub(crate) struct BaseRun {
     pub(crate) cycles: u64,
     pub(crate) indir_cycles: u64,
-    pub(crate) y: Vec<f64>,
 }
 
 /// Executes one baseline SpMV against an already laid-out memory image,
-/// starting the channel clock at 0. The result vector is accumulated in
-/// row-major element order — byte-identical to [`Csr::spmv`].
+/// starting the channel clock at 0. The result is accumulated into the
+/// caller's `y` buffer (overwritten, not accumulated into) in row-major
+/// element order — byte-identical to [`Csr::spmv`] — so a solver loop
+/// reuses one preallocated buffer instead of receiving a fresh vector
+/// per call.
 pub(crate) fn exec_base(
     chan: &mut dyn ChannelPort,
     csr: &Csr,
@@ -207,10 +210,13 @@ pub(crate) fn exec_base(
     layout: &BaseLayout,
     llc: &mut Cache,
     x: &[f64],
+    y: &mut [f64],
 ) -> BaseRun {
     assert!(csr.nnz() > 0, "empty matrix");
     let nnz = csr.nnz();
     let rows = csr.rows();
+    assert_eq!(y.len(), rows, "result buffer length must equal rows");
+    y.fill(0.0);
     let BaseLayout {
         ptr_base,
         idx_base,
@@ -219,7 +225,6 @@ pub(crate) fn exec_base(
         res_base,
     } = *layout;
     let values = csr.values();
-    let mut y = vec![0.0f64; rows];
     let mut acc_row = 0usize;
 
     let mut now: u64 = 0;
@@ -380,7 +385,6 @@ pub(crate) fn exec_base(
     BaseRun {
         cycles: now,
         indir_cycles,
-        y,
     }
 }
 

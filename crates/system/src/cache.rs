@@ -150,10 +150,32 @@ impl Cache {
         self.tags[set].contains(&Some(tag))
     }
 
-    /// Invalidates every resident line whose address falls in
-    /// `[lo, hi)`. The baseline system's batched runs use this to drop
-    /// the stale vector region when `x` is rewritten between vectors,
-    /// while the matrix lines stay warm.
+    /// Invalidates every resident line **overlapping** the byte range
+    /// `[lo, hi)` — line-granular semantics: a line is dropped iff any of
+    /// its bytes falls inside the range, so unaligned bounds widen the
+    /// invalidation outward to full lines (the partial line containing
+    /// `lo` and, when `hi` is unaligned, the partial line containing
+    /// `hi − 1` are both dropped). The baseline system's batched runs and
+    /// the solver's per-iteration `x` rewrite depend on this: dropping
+    /// *more* than the range is safe (a refetch), dropping less would
+    /// serve stale vector bytes.
+    ///
+    /// Degenerate ranges are no-ops: `lo >= hi` (including the inverted
+    /// `lo > hi` case) invalidates nothing. Ranges reaching the top of
+    /// the address space are handled without wrapping.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nmpic_system::{Cache, CacheConfig};
+    /// let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 });
+    /// c.fill(0);
+    /// c.fill(64);
+    /// c.invalidate_range(70, 71); // one unaligned byte → whole line 64..128
+    /// assert!(c.contains(0) && !c.contains(64));
+    /// c.invalidate_range(10, 5); // inverted → no-op
+    /// assert!(c.contains(0));
+    /// ```
     pub fn invalidate_range(&mut self, lo: u64, hi: u64) {
         if hi <= lo {
             return;
@@ -168,8 +190,30 @@ impl Cache {
                     self.stamps[set][w] = 0;
                 }
             }
-            line += line_bytes;
+            // Saturating step: a range ending at the top of the address
+            // space must terminate instead of wrapping line to 0 and
+            // spinning forever.
+            line = match line.checked_add(line_bytes) {
+                Some(next) => next,
+                None => break,
+            };
         }
+    }
+
+    /// Empties the cache in place — every line invalid, LRU state and
+    /// statistics back to the post-[`Cache::new`] cold start — without
+    /// reallocating the tag arrays. Prepared plans use this to give each
+    /// run a deterministic cold cache while reusing the allocation
+    /// across a solver's iterations.
+    pub fn reset(&mut self) {
+        for set in &mut self.tags {
+            set.fill(None);
+        }
+        for set in &mut self.stamps {
+            set.fill(0);
+        }
+        self.tick = 0;
+        self.stats = CacheStats::default();
     }
 }
 
@@ -235,6 +279,72 @@ mod tests {
         assert_eq!(cfg.sets(), 2048);
         let c = Cache::new(cfg);
         assert_eq!(c.config().ways, 8);
+    }
+
+    /// Regression suite for the invalidation semantics the solver's
+    /// per-iteration `x` rewrite depends on: line-granular overlap,
+    /// inverted/empty ranges as no-ops, and no wraparound at the top of
+    /// the address space.
+    #[test]
+    fn invalidate_range_is_line_granular_over_the_overlap() {
+        let mut c = tiny();
+        for addr in [0u64, 64, 128, 192] {
+            c.fill(addr);
+        }
+        // Unaligned bounds: [100, 130) overlaps lines 64..128 and
+        // 128..192 — both partial lines drop, the rest stay.
+        c.invalidate_range(100, 130);
+        assert!(c.contains(0));
+        assert!(!c.contains(64), "partial line containing lo must drop");
+        assert!(!c.contains(128), "partial line containing hi-1 must drop");
+        assert!(c.contains(192));
+        // A one-byte range still drops its whole line.
+        c.invalidate_range(195, 196);
+        assert!(!c.contains(192));
+    }
+
+    #[test]
+    fn invalidate_range_degenerate_ranges_are_noops() {
+        let mut c = tiny();
+        c.fill(0);
+        c.fill(64);
+        c.invalidate_range(64, 64); // empty
+        c.invalidate_range(128, 64); // inverted (lo > hi)
+        c.invalidate_range(0, 0); // empty at zero
+        assert!(c.contains(0) && c.contains(64));
+        // Aligned exact-line range drops exactly that line.
+        c.invalidate_range(0, 64);
+        assert!(!c.contains(0) && c.contains(64));
+    }
+
+    #[test]
+    fn invalidate_range_at_address_space_top_terminates() {
+        let mut c = tiny();
+        let top_line = u64::MAX - (u64::MAX % 64);
+        c.fill(0);
+        c.fill(top_line);
+        // Would previously wrap `line += 64` past u64::MAX and spin (or
+        // restart from 0); must instead drop the last line and stop.
+        c.invalidate_range(top_line + 3, u64::MAX);
+        assert!(!c.contains(top_line));
+        assert!(c.contains(0), "wraparound must not reach line 0");
+    }
+
+    #[test]
+    fn reset_restores_the_cold_start_in_place() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        c.fill(0);
+        assert!(c.access(0));
+        c.reset();
+        assert!(!c.contains(0));
+        assert_eq!(c.stats(), CacheStats::default());
+        // Post-reset behaviour equals a fresh cache.
+        assert!(!c.access(0));
+        c.fill(0);
+        assert!(c.access(32));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
     }
 
     #[test]

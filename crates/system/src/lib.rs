@@ -20,10 +20,16 @@
 //!   nnz-balanced row partition of a multi-channel backend, merged
 //!   through one coalescing scatter unit.
 //!
+//! Iterative workloads — where SpMV actually dominates — run through
+//! [`Solver`]: conjugate gradient and (damped) power iteration drive the
+//! zero-realloc [`SpmvPlan::run_into`] hot path hundreds of times
+//! against one resident plan, accumulating per-iteration simulated
+//! cycles and traffic into a [`SolveReport`].
+//!
 //! For serving many tenants, [`SpmvService`] wraps the engine with a
 //! fingerprint-keyed plan cache, a bounded batching submission queue
-//! (`submit` → [`Ticket`] → `collect`/`take`), and parallel shard
-//! execution on the shared `NMPIC_JOBS` work pool.
+//! (`submit`/`submit_solve` → [`Ticket`] → `collect`/`take`), and
+//! parallel shard execution on the shared `NMPIC_JOBS` work pool.
 //!
 //! The legacy one-shot free functions (`run_base_spmv[_on]`,
 //! `run_pack_spmv[_on]`, `run_sharded_spmv`) remain as deprecated shims
@@ -59,6 +65,7 @@ mod pack;
 mod report;
 mod service;
 mod shard;
+mod solve;
 
 #[allow(deprecated)]
 pub use base::{base_memory_size, run_base_spmv, run_base_spmv_on, BaseConfig};
@@ -66,13 +73,14 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 pub use engine::{ParseSystemError, SpmvEngine, SpmvEngineBuilder, SpmvPlan, SystemKind};
 #[allow(deprecated)]
 pub use pack::{pack_label, pack_memory_size, run_pack_spmv, run_pack_spmv_on, PackConfig};
-pub use report::{golden_x, results_match, RunReport, ShardDetail, SpmvReport};
+pub use report::{golden_x, results_match, IterReport, RunReport, ShardDetail, SpmvReport};
 pub use service::{
-    Completed, MatrixKey, ServiceError, ServiceStats, SpmvService, Ticket, DEFAULT_QUEUE_CAPACITY,
-    RESULT_RETENTION_FACTOR,
+    Completed, CompletedSolve, MatrixKey, ServiceError, ServiceStats, SolveRequest, SpmvService,
+    Ticket, DEFAULT_QUEUE_CAPACITY, RESULT_RETENTION_FACTOR,
 };
 #[allow(deprecated)]
 pub use shard::{
     run_sharded_spmv, ParsePartitionError, PartitionStrategy, ShardReport, ShardedConfig,
     ShardedReport,
 };
+pub use solve::{SolveOptions, SolveReport, Solver};

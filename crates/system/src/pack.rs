@@ -160,9 +160,19 @@ pub fn run_pack_spmv_on(chan: &mut dyn ChannelPort, sell: &Sell, cfg: &PackConfi
     write_pack_vector(chan, &layout, 0, &x);
     let row_of = row_map(sell);
     let mut unit = IndirectStreamUnit::new(cfg.adapter.clone());
-    let run = exec_pack(chan, &mut unit, sell, cfg, &layout, &row_of, &[&x]);
+    let mut y = vec![0.0f64; sell.rows()];
+    let run = exec_pack(
+        chan,
+        &mut unit,
+        sell,
+        cfg,
+        &layout,
+        &row_of,
+        &[&x],
+        &mut [&mut y],
+    );
     let want = sell.spmv(&x);
-    let verified = results_match(&run.ys[0], &want);
+    let verified = results_match(&y, &want);
     #[allow(deprecated)]
     let label = pack_label(&cfg.adapter);
     SpmvReport {
@@ -239,13 +249,16 @@ pub(crate) fn pack_ideal_bytes(sell: &Sell, vectors: u64) -> u64 {
 pub(crate) struct PackRun {
     pub(crate) cycles: u64,
     pub(crate) indir_cycles: u64,
-    pub(crate) ys: Vec<Vec<f64>>,
 }
 
 /// Executes tiled SELL SpMV for `xs.len()` vectors against an already
 /// laid-out memory image, starting the channel clock at 0. Per tile, the
 /// slice-pointer and nonzero bursts run once and are followed by one
-/// indirect burst + accumulation pass per vector.
+/// indirect burst + accumulation pass per vector. Results are written
+/// into the caller's `ys` buffers (one per vector, overwritten) so a
+/// solver loop reuses one preallocated buffer instead of receiving
+/// fresh vectors per call.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_pack(
     chan: &mut dyn ChannelPort,
     unit: &mut IndirectStreamUnit,
@@ -254,15 +267,21 @@ pub(crate) fn exec_pack(
     layout: &PackLayout,
     row_of_pos: &[u32],
     xs: &[&[f64]],
+    ys: &mut [&mut [f64]],
 ) -> PackRun {
     assert!(sell.padded_len() > 0, "empty matrix");
     let b_n = xs.len();
     assert!(b_n >= 1, "at least one vector");
+    assert_eq!(ys.len(), b_n, "one result buffer per vector");
     assert!(
         b_n <= layout.vec_bases.len(),
         "batch of {b_n} vectors exceeds the plan's {} resident slots",
         layout.vec_bases.len()
     );
+    for y in ys.iter_mut() {
+        assert_eq!(y.len(), sell.rows(), "result buffer length must equal rows");
+        y.fill(0.0);
+    }
     let entries = sell.padded_len();
     let rows = sell.rows();
     let n_ptr = sell.slice_ptr().len();
@@ -292,7 +311,6 @@ pub(crate) fn exec_pack(
     let mut vpc_busy_until = 0u64;
     let mut vpc_running = false;
     let mut cur_tile: Option<TileData> = None;
-    let mut ys = vec![vec![0.0f64; rows]; b_n];
     let mut pos_cursor = 0usize; // global stream position of computed data
     let mut rows_written = 0usize;
     let mut pending_writes: Vec<WideRequest> = Vec::new();
@@ -429,7 +447,6 @@ pub(crate) fn exec_pack(
     PackRun {
         cycles: now,
         indir_cycles,
-        ys,
     }
 }
 

@@ -253,6 +253,33 @@ impl RunReport {
     }
 }
 
+/// The lean per-call report of [`crate::SpmvPlan::run_into`] — the
+/// solver hot path. Unlike [`RunReport`] it owns no result vectors (the
+/// caller's `y` buffer receives the result), carries no golden-model
+/// verdict (an iterative solver checks convergence, not per-iteration
+/// golden equality), and is `Copy`, so accumulating one per iteration
+/// into a [`crate::SolveReport`] allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IterReport {
+    /// Runtime of this SpMV in 1 GHz cycles.
+    pub cycles: u64,
+    /// Cycles attributed to indirect access.
+    pub indir_cycles: u64,
+    /// Off-chip bytes moved by this SpMV (reads + writes).
+    pub offchip_bytes: u64,
+}
+
+impl IterReport {
+    /// Delivered off-chip bandwidth in GB/s at 1 GHz.
+    pub fn gbps(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.offchip_bytes as f64 / self.cycles as f64
+        }
+    }
+}
+
 /// Deterministic dense-vector entries used by both systems so results are
 /// comparable and checkable: a bounded, non-trivial pattern.
 pub fn golden_x(i: usize) -> f64 {

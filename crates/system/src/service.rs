@@ -19,7 +19,10 @@
 //!    requests, and executes each group as **one**
 //!    [`SpmvPlan::run_batch`] call, so co-tenants of a matrix share its
 //!    stream fetches. Results are retrieved per ticket with
-//!    [`SpmvService::take`].
+//!    [`SpmvService::take`]. Iterative solves queue next to one-shot
+//!    SpMVs through [`SpmvService::submit_solve`] ([`SolveRequest::Cg`]
+//!    or [`SolveRequest::PowerIteration`]) and execute on the same
+//!    resident plans, redeemed with [`SpmvService::take_solve`].
 //! 3. **Parallel shard execution** — sharded plans run each shard's unit
 //!    simulation on its own worker thread (see
 //!    [`SpmvEngineBuilder::shard_workers`](crate::SpmvEngineBuilder::shard_workers)),
@@ -57,6 +60,7 @@ use std::sync::Mutex;
 use nmpic_sparse::Csr;
 
 use crate::engine::{SpmvEngine, SpmvPlan};
+use crate::solve::{SolveOptions, SolveReport, Solver};
 
 /// Identifies a prepared matrix inside a [`SpmvService`]'s plan cache.
 ///
@@ -108,6 +112,25 @@ pub enum ServiceError {
         /// Length of the submitted vector.
         got: usize,
     },
+    /// A solve was submitted against a non-square matrix — iterative
+    /// solvers apply the same operator repeatedly, which needs
+    /// `rows == cols`.
+    NotSquare {
+        /// Rows of the keyed matrix.
+        rows: usize,
+        /// Columns of the keyed matrix.
+        cols: usize,
+    },
+    /// A solve was submitted with a damping factor outside `(0, 1]`.
+    /// Rejected eagerly: the solver would otherwise panic inside
+    /// [`SpmvService::collect`] — under the service mutex, poisoning it
+    /// for every tenant.
+    InvalidDamping,
+    /// The request executed, but its unredeemed result aged out of the
+    /// bounded retention window before it could be taken — only
+    /// possible when other tenants drive enough [`SpmvService::collect`]
+    /// traffic in between (see [`RESULT_RETENTION_FACTOR`]).
+    ResultEvicted,
 }
 
 impl fmt::Display for ServiceError {
@@ -126,6 +149,21 @@ impl fmt::Display for ServiceError {
                 write!(
                     f,
                     "vector length {got} does not match the matrix's {expected} columns"
+                )
+            }
+            ServiceError::NotSquare { rows, cols } => {
+                write!(
+                    f,
+                    "iterative solves need a square matrix, got {rows}x{cols}"
+                )
+            }
+            ServiceError::InvalidDamping => {
+                write!(f, "solve damping must be in (0, 1]")
+            }
+            ServiceError::ResultEvicted => {
+                write!(
+                    f,
+                    "the result aged out of the bounded retention window before it was taken"
                 )
             }
         }
@@ -155,6 +193,35 @@ pub struct Completed {
     pub cycles_per_vector: f64,
 }
 
+/// One iterative-solve request, queued next to one-shot SpMVs with
+/// [`SpmvService::submit_solve`].
+#[derive(Debug, Clone)]
+pub enum SolveRequest {
+    /// Conjugate gradient for `A·x = b` ([`Solver::cg`]); the matrix
+    /// behind the key must be symmetric positive definite.
+    Cg {
+        /// Right-hand side (length = matrix dimension).
+        b: Vec<f64>,
+    },
+    /// Dominant-eigenpair power iteration
+    /// ([`Solver::power_iteration`]); damping comes from the submitted
+    /// [`SolveOptions`].
+    PowerIteration,
+}
+
+/// One finished solve, redeemed by [`Ticket`] via
+/// [`SpmvService::take_solve`].
+#[derive(Debug, Clone)]
+pub struct CompletedSolve {
+    /// The ticket this result answers.
+    pub ticket: Ticket,
+    /// The matrix the solve ran against.
+    pub key: MatrixKey,
+    /// The full solver report (iterates, residual trajectory, simulated
+    /// cycle/traffic totals).
+    pub report: SolveReport,
+}
+
 /// Serving counters. All monotonically increasing; snapshot with
 /// [`SpmvService::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -175,6 +242,8 @@ pub struct ServiceStats {
     /// Unredeemed results dropped by the bounded retention window
     /// ([`RESULT_RETENTION_FACTOR`]` × queue_capacity`, oldest first).
     pub evicted: u64,
+    /// Iterative solves executed by [`SpmvService::collect`].
+    pub solves_completed: u64,
 }
 
 struct PlanEntry {
@@ -194,13 +263,24 @@ struct PendingReq {
     x: Vec<f64>,
 }
 
+struct PendingSolve {
+    ticket: Ticket,
+    key: MatrixKey,
+    request: SolveRequest,
+    opts: SolveOptions,
+}
+
 struct ServiceState {
     plans: HashMap<u64, PlanEntry>,
     pending: Vec<PendingReq>,
+    pending_solves: Vec<PendingSolve>,
     /// Completed results awaiting [`SpmvService::take`], keyed by ticket
     /// id. A `BTreeMap` so retention eviction can drop the **oldest**
     /// unredeemed results first (ticket ids are monotone).
     done: BTreeMap<u64, Completed>,
+    /// Completed solves awaiting [`SpmvService::take_solve`]; same
+    /// retention policy as `done`.
+    done_solves: BTreeMap<u64, CompletedSolve>,
     next_ticket: u64,
     stats: ServiceStats,
 }
@@ -249,7 +329,9 @@ impl SpmvService {
             state: Mutex::new(ServiceState {
                 plans: HashMap::new(),
                 pending: Vec::new(),
+                pending_solves: Vec::new(),
                 done: BTreeMap::new(),
+                done_solves: BTreeMap::new(),
                 next_ticket: 0,
                 stats: ServiceStats::default(),
             }),
@@ -346,7 +428,7 @@ impl SpmvService {
                 got: x.len(),
             });
         }
-        if st.pending.len() >= self.queue_capacity {
+        if st.pending.len() + st.pending_solves.len() >= self.queue_capacity {
             st.stats.rejected += 1;
             return Err(ServiceError::QueueFull {
                 capacity: self.queue_capacity,
@@ -355,6 +437,67 @@ impl SpmvService {
         let ticket = Ticket(st.next_ticket);
         st.next_ticket += 1;
         st.pending.push(PendingReq { ticket, key, x });
+        st.stats.submitted += 1;
+        Ok(ticket)
+    }
+
+    /// Enqueues one iterative solve against the keyed matrix, sharing
+    /// the bounded queue with one-shot SpMV submissions — a tenant's CG
+    /// system solve and another tenant's single multiply queue side by
+    /// side and both execute at the next [`SpmvService::collect`]. The
+    /// result is redeemed with [`SpmvService::take_solve`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownMatrix`] for an unprepared key,
+    /// [`ServiceError::NotSquare`] when the keyed matrix cannot be
+    /// iterated (`rows != cols`),
+    /// [`ServiceError::WrongVectorLength`] when a CG right-hand side is
+    /// mis-sized, [`ServiceError::InvalidDamping`] when the options
+    /// carry a damping factor outside `(0, 1]`, and
+    /// [`ServiceError::QueueFull`] once the shared queue holds
+    /// `queue_capacity` pending requests.
+    pub fn submit_solve(
+        &self,
+        key: MatrixKey,
+        request: SolveRequest,
+        opts: SolveOptions,
+    ) -> Result<Ticket, ServiceError> {
+        if !opts.damping.is_finite() || opts.damping <= 0.0 || opts.damping > 1.0 {
+            return Err(ServiceError::InvalidDamping);
+        }
+        let mut st = self.state.lock().expect("service state poisoned");
+        let Some(entry) = st.plans.get(&key.0) else {
+            return Err(ServiceError::UnknownMatrix(key));
+        };
+        if entry.rows != entry.cols {
+            return Err(ServiceError::NotSquare {
+                rows: entry.rows,
+                cols: entry.cols,
+            });
+        }
+        if let SolveRequest::Cg { b } = &request {
+            if b.len() != entry.cols {
+                return Err(ServiceError::WrongVectorLength {
+                    expected: entry.cols,
+                    got: b.len(),
+                });
+            }
+        }
+        if st.pending.len() + st.pending_solves.len() >= self.queue_capacity {
+            st.stats.rejected += 1;
+            return Err(ServiceError::QueueFull {
+                capacity: self.queue_capacity,
+            });
+        }
+        let ticket = Ticket(st.next_ticket);
+        st.next_ticket += 1;
+        st.pending_solves.push(PendingSolve {
+            ticket,
+            key,
+            request,
+            opts,
+        });
         st.stats.submitted += 1;
         Ok(ticket)
     }
@@ -376,7 +519,8 @@ impl SpmvService {
     pub fn collect(&self) -> Vec<Ticket> {
         let mut st = self.state.lock().expect("service state poisoned");
         let pending = std::mem::take(&mut st.pending);
-        if pending.is_empty() {
+        let solves = std::mem::take(&mut st.pending_solves);
+        if pending.is_empty() && solves.is_empty() {
             return Vec::new();
         }
         // Group by key, preserving first-appearance order.
@@ -420,9 +564,38 @@ impl SpmvService {
             st.stats.batches += 1;
             st.stats.completed += batch as u64;
         }
+        // Iterative solves run after the one-shot batches, in submission
+        // order, each against its resident plan's warm memory image.
+        for solve in solves {
+            let entry = st
+                .plans
+                .get_mut(&solve.key.0)
+                .expect("plan resident while queued");
+            let report = match &solve.request {
+                SolveRequest::Cg { b } => Solver::cg(&mut entry.plan, b, &solve.opts),
+                SolveRequest::PowerIteration => {
+                    Solver::power_iteration(&mut entry.plan, &solve.opts)
+                }
+            };
+            st.done_solves.insert(
+                solve.ticket.0,
+                CompletedSolve {
+                    ticket: solve.ticket,
+                    key: solve.key,
+                    report,
+                },
+            );
+            finished.push(solve.ticket);
+            st.stats.solves_completed += 1;
+        }
         let retention = RESULT_RETENTION_FACTOR * self.queue_capacity;
         while st.done.len() > retention {
             let evicted = st.done.pop_first().expect("nonempty above");
+            st.stats.evicted += 1;
+            drop(evicted);
+        }
+        while st.done_solves.len() > retention {
+            let evicted = st.done_solves.pop_first().expect("nonempty above");
             st.stats.evicted += 1;
             drop(evicted);
         }
@@ -441,25 +614,58 @@ impl SpmvService {
             .remove(&ticket.0)
     }
 
+    /// Redeems a solve ticket, removing the result from the service.
+    /// `None` until a [`SpmvService::collect`] has executed the solve,
+    /// if the ticket was already taken, or if the result aged out of the
+    /// bounded retention window.
+    pub fn take_solve(&self, ticket: Ticket) -> Option<CompletedSolve> {
+        self.state
+            .lock()
+            .expect("service state poisoned")
+            .done_solves
+            .remove(&ticket.0)
+    }
+
+    /// Convenience for a single solve: submit, collect (which may also
+    /// execute other tenants' pending work), and take.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpmvService::submit_solve`] errors, and returns
+    /// [`ServiceError::ResultEvicted`] in the pathological concurrent
+    /// case where other tenants' `collect()` traffic ages the executed
+    /// result out of the retention window before it is taken.
+    pub fn solve(
+        &self,
+        key: MatrixKey,
+        request: SolveRequest,
+        opts: SolveOptions,
+    ) -> Result<CompletedSolve, ServiceError> {
+        let ticket = self.submit_solve(key, request, opts)?;
+        self.collect();
+        self.take_solve(ticket).ok_or(ServiceError::ResultEvicted)
+    }
+
     /// Convenience for a single request: submit, collect (which may also
     /// execute other tenants' pending work), and take.
     ///
     /// # Errors
     ///
-    /// Propagates [`SpmvService::submit`] errors.
+    /// Propagates [`SpmvService::submit`] errors, and returns
+    /// [`ServiceError::ResultEvicted`] in the pathological concurrent
+    /// case where other tenants' `collect()` traffic ages the executed
+    /// result out of the retention window before it is taken.
     pub fn run(&self, key: MatrixKey, x: Vec<f64>) -> Result<Completed, ServiceError> {
         let ticket = self.submit(key, x)?;
         self.collect();
-        Ok(self.take(ticket).expect("collect completed the ticket"))
+        self.take(ticket).ok_or(ServiceError::ResultEvicted)
     }
 
-    /// Number of requests waiting for the next [`SpmvService::collect`].
+    /// Number of requests (one-shot SpMVs **and** solves — they share
+    /// the bounded queue) waiting for the next [`SpmvService::collect`].
     pub fn pending(&self) -> usize {
-        self.state
-            .lock()
-            .expect("service state poisoned")
-            .pending
-            .len()
+        let st = self.state.lock().expect("service state poisoned");
+        st.pending.len() + st.pending_solves.len()
     }
 
     /// Snapshot of the serving counters.
@@ -636,6 +842,151 @@ mod tests {
         let svc = service(SystemKind::Base);
         assert!(svc.collect().is_empty());
         assert_eq!(svc.stats().batches, 0);
+    }
+
+    #[test]
+    fn solves_queue_next_to_one_shot_spmvs() {
+        use crate::solve::SolveOptions;
+        use nmpic_sparse::gen::spd;
+        let a = spd(96, 6, 8, 3);
+        let svc = service(SystemKind::Base);
+        let key = svc.prepare(&a);
+        let b: Vec<f64> = (0..96).map(golden_x).collect();
+        // One tenant queues a plain multiply, another a CG solve.
+        let t_mul = svc.submit(key, b.clone()).unwrap();
+        let t_cg = svc
+            .submit_solve(
+                key,
+                SolveRequest::Cg { b: b.clone() },
+                SolveOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(svc.pending(), 2, "solves share the queue accounting");
+        let finished = svc.collect();
+        assert_eq!(finished, vec![t_mul, t_cg]);
+        assert_eq!(svc.pending(), 0);
+        // Each redeems through its own channel.
+        assert!(svc.take(t_mul).is_some());
+        assert!(svc.take(t_cg).is_none(), "solve tickets are not multiplies");
+        let done = svc.take_solve(t_cg).expect("solved");
+        assert!(done.report.converged && done.report.residual <= 1e-10);
+        assert_eq!(done.key, key);
+        // The served solution equals the single-tenant Solver's, bitwise.
+        let mut plan = svc.engine().clone().prepare(&a);
+        let want = crate::solve::Solver::cg(&mut plan, &b, &SolveOptions::default());
+        assert_eq!(
+            done.report
+                .x
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            want.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "served solve must match the single-tenant solver bytes"
+        );
+        assert_eq!(done.report.residuals, want.residuals);
+        let stats = svc.stats();
+        assert_eq!(stats.solves_completed, 1);
+        assert_eq!(stats.completed, 1, "the multiply");
+    }
+
+    #[test]
+    fn solve_submissions_validate_eagerly_and_share_the_bound() {
+        use crate::solve::SolveOptions;
+        use nmpic_sparse::gen::{random_uniform, spd};
+        let a = spd(64, 4, 6, 1);
+        let rect = random_uniform(8, 16, 2, 1);
+        let svc = SpmvService::with_queue_capacity(
+            SpmvEngine::builder().system(SystemKind::Base).build(),
+            2,
+        );
+        let key = svc.prepare(&a);
+        let rect_key = svc.prepare(&rect);
+        // Unknown key, non-square matrix and mis-sized rhs all reject
+        // without consuming queue slots.
+        assert!(matches!(
+            svc.submit_solve(
+                MatrixKey(0xbad),
+                SolveRequest::PowerIteration,
+                SolveOptions::default()
+            ),
+            Err(ServiceError::UnknownMatrix(_))
+        ));
+        assert_eq!(
+            svc.submit_solve(
+                rect_key,
+                SolveRequest::PowerIteration,
+                SolveOptions::default()
+            ),
+            Err(ServiceError::NotSquare { rows: 8, cols: 16 })
+        );
+        assert_eq!(
+            svc.submit_solve(
+                key,
+                SolveRequest::Cg { b: vec![1.0; 3] },
+                SolveOptions::default()
+            ),
+            Err(ServiceError::WrongVectorLength {
+                expected: 64,
+                got: 3
+            })
+        );
+        // Out-of-range damping rejects at submission — the solver would
+        // otherwise panic inside collect() under the service mutex.
+        for damping in [0.0, -0.5, 1.5, f64::NAN] {
+            assert_eq!(
+                svc.submit_solve(
+                    key,
+                    SolveRequest::PowerIteration,
+                    SolveOptions {
+                        damping,
+                        ..SolveOptions::default()
+                    }
+                ),
+                Err(ServiceError::InvalidDamping),
+                "damping {damping}"
+            );
+        }
+        assert_eq!(svc.pending(), 0);
+        // A multiply plus a solve fill the capacity-2 queue: the next
+        // submission of either kind is rejected.
+        svc.submit(key, vec![1.0; 64]).unwrap();
+        svc.submit_solve(key, SolveRequest::PowerIteration, SolveOptions::default())
+            .unwrap();
+        assert_eq!(
+            svc.submit(key, vec![1.0; 64]),
+            Err(ServiceError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(
+            svc.submit_solve(key, SolveRequest::PowerIteration, SolveOptions::default()),
+            Err(ServiceError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(svc.stats().rejected, 2);
+        assert!(ServiceError::NotSquare { rows: 8, cols: 16 }
+            .to_string()
+            .contains("8x16"));
+    }
+
+    #[test]
+    fn solve_convenience_runs_power_iteration() {
+        use crate::solve::SolveOptions;
+        use nmpic_sparse::gen::spd;
+        let a = spd(64, 4, 6, 5);
+        let svc = service(SystemKind::Base);
+        let key = svc.prepare(&a);
+        let done = svc
+            .solve(
+                key,
+                SolveRequest::PowerIteration,
+                SolveOptions {
+                    tol: 1e-8,
+                    max_iters: 5000,
+                    damping: 0.85,
+                },
+            )
+            .unwrap();
+        assert!(done.report.converged);
+        assert!(done.report.eigenvalue.is_some());
+        assert_eq!(done.report.method, "power");
     }
 
     #[test]

@@ -316,10 +316,9 @@ pub(crate) fn exec_shard_gather(
     (now, unit.stats(), chan.dram_stats())
 }
 
-/// Streams the merged result bits through a **warm** scatter unit (the
-/// caller resets the channel and unit; the merge-order index array at
-/// `idx_base` was written at prepare time) into the result array and
-/// reads it back. Returns `(cycles, scatter stats, per-row result bits)`.
+/// [`exec_merged_writeback`] plus a read-back of the result array's
+/// per-row bits, for golden verification. Returns
+/// `(cycles, scatter stats, per-row result bits)`.
 pub(crate) fn exec_merged_collection(
     chan: &mut dyn ChannelPort,
     unit: &mut ScatterUnit,
@@ -328,6 +327,28 @@ pub(crate) fn exec_merged_collection(
     bits_in_order: &[u64],
     rows: usize,
 ) -> (u64, ScatterStats, Vec<u64>) {
+    let (now, stats) = exec_merged_writeback(chan, unit, idx_base, res_base, bits_in_order, rows);
+    let result_bits = (0..rows as u64)
+        .map(|r| chan.memory().read_u64(res_base + 8 * r))
+        .collect();
+    (now, stats, result_bits)
+}
+
+/// Streams the merged result bits through a **warm** scatter unit (the
+/// caller resets the channel and unit; the merge-order index array at
+/// `idx_base` was written at prepare time) into the result array.
+/// Returns `(cycles, scatter stats)` without reading the array back —
+/// the allocation-free collection path [`crate::SpmvPlan::run_into`]
+/// uses (the caller already holds the merged `y`; the read-back only
+/// serves golden verification).
+pub(crate) fn exec_merged_writeback(
+    chan: &mut dyn ChannelPort,
+    unit: &mut ScatterUnit,
+    idx_base: u64,
+    res_base: u64,
+    bits_in_order: &[u64],
+    rows: usize,
+) -> (u64, ScatterStats) {
     unit.begin(ScatterRequest {
         idx_base,
         idx_size: ElemSize::B4,
@@ -369,10 +390,7 @@ pub(crate) fn exec_merged_collection(
         );
     }
 
-    let result_bits = (0..rows as u64)
-        .map(|r| chan.memory().read_u64(res_base + 8 * r))
-        .collect();
-    (now, unit.stats(), result_bits)
+    (now, unit.stats())
 }
 
 #[cfg(test)]

@@ -28,11 +28,26 @@ for file in "$@"; do
     fi
     # NaN / infinity cannot be JSON numbers, so Table::to_json emits them
     # as strings — their presence means an experiment produced a
-    # meaningless bandwidth.
+    # meaningless bandwidth (or, for solver results, a NaN residual).
     if grep -qiE '"(nan|-?inf(inity)?)"' "$file"; then
         echo "FAIL: $file contains NaN/infinite values:" >&2
         grep -niE '"(nan|-?inf(inity)?)"' "$file" >&2
         bad=1
+    fi
+    # Solver results carry convergence columns; gate on them. A row with
+    # zero iterations means the solve never ran an SpMV; a "false" in
+    # the converged column means the tolerance was never reached.
+    if grep -q '"iters"' "$file"; then
+        if grep -qE '"iters": 0[,}]' "$file"; then
+            echo "FAIL: $file contains a zero-iteration solve:" >&2
+            grep -nE '"iters": 0[,}]' "$file" >&2
+            bad=1
+        fi
+        if grep -qiE '"converged": "?false"?' "$file"; then
+            echo "FAIL: $file contains a non-converged solve:" >&2
+            grep -niE '"converged": "?false"?' "$file" >&2
+            bad=1
+        fi
     fi
     if [ "$bad" -eq 0 ]; then
         echo "OK: $file ($rows rows, all values finite)"

@@ -136,6 +136,42 @@ fn degenerate_partitions_cover_with_trailing_empties() {
     }
 }
 
+/// Regression (ISSUE 5): `by_rows` never received PR 4's degenerate
+/// hardening — a zero-nnz matrix kept workless rows spread across every
+/// shard while `by_nnz` compacted them into shard 0. Both strategies now
+/// share the convention on every degenerate input: `k > rows` and
+/// zero-row inputs trail their empty shards, and zero-nnz inputs produce
+/// **identical** partitions (all rows in shard 0).
+#[test]
+fn by_rows_shares_by_nnz_degenerate_convention() {
+    let zero_nnz = Csr::from_parts(9, 4, vec![0; 10], vec![], vec![]).unwrap();
+    let zero_rows = Csr::from_parts(0, 4, vec![0], vec![], vec![]).unwrap();
+    let tiny = Csr::from_parts(3, 3, vec![0, 1, 1, 2], vec![0, 2], vec![1.0, 2.0]).unwrap();
+    for k in [1usize, 2, 3, 8, 40] {
+        // Zero-nnz: the two strategies agree exactly (this is the case
+        // that failed before the fix — by_rows spread the rows).
+        let r = by_rows(&zero_nnz, k);
+        assert_eq!(r, by_nnz(&zero_nnz, k), "k={k}");
+        assert_eq!(r.range(0), 0..9, "k={k}: all rows compact into shard 0");
+        for i in 1..k {
+            assert!(r.range(i).is_empty(), "k={k}: shard {i} must trail empty");
+        }
+        // Zero rows: k empty shards for both.
+        assert_eq!(by_rows(&zero_rows, k), by_nnz(&zero_rows, k), "k={k}");
+        // k > rows: surplus shards trail for both strategies.
+        for p in [by_rows(&tiny, k), by_nnz(&tiny, k)] {
+            assert_disjoint_exact_cover(&p, &tiny, k, 0);
+            let first_empty = (0..k).find(|&i| p.range(i).is_empty());
+            if let Some(e) = first_empty {
+                assert!(
+                    (e..k).all(|i| p.range(i).is_empty()),
+                    "k={k}: empties must trail from shard {e}"
+                );
+            }
+        }
+    }
+}
+
 /// The sharded engine tolerates unit counts beyond the row count: the
 /// surplus units own trailing empty shards, simulate nothing, and the
 /// merged result stays byte-identical to the single-unit path.
