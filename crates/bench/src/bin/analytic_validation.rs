@@ -1,0 +1,195 @@
+//! Analytic-vs-cycle-accurate validation: per-point relative error of
+//! the analytic execution mode's cost metrics on the full grid
+//! (banded_fem/circuit × base/pack256/sharded4 × ideal/hbm/hbm×4/hbm×8),
+//! plus — at full scale — an analytic-only large-matrix sweep and a
+//! wall-clock speedup measurement on a million-row matrix.
+//!
+//! The validation grid runs every point in both [`ExecMode`]s and
+//! reports the relative error on cycles, off-chip bytes and effective
+//! GB/s; every error must stay within the pinned tolerance
+//! (`nmpic_model::analytic::PINNED_REL_TOL`, enforced here, in
+//! `tests/exec_mode.rs`, and by `scripts/check-results.sh` on the
+//! emitted JSON). Result vectors are asserted bit-identical between
+//! modes — analytic mode models cost, never values.
+//!
+//! At full scale (no `NMPIC_QUICK`), the large-matrix section sweeps
+//! shapes 10–80× beyond CI scale through analytic mode — the sweeps a
+//! cycle-accurate run cannot reach interactively — and then times one
+//! million-row batched SpMV in both modes to report the analytic
+//! fast-path speedup (target: ≥100×).
+//!
+//! Run with: `cargo run --release -p nmpic-bench --bin analytic_validation`
+
+use std::time::Instant;
+
+use nmpic_bench::{analytic_validation, f, timing, ExperimentOpts, Table};
+use nmpic_mem::BackendConfig;
+use nmpic_system::{golden_x, ExecMode, SpmvEngine, SystemKind};
+
+/// Rows of the matrix used for the full-scale speedup measurement.
+const SPEEDUP_ROWS: usize = 1_000_000;
+/// Vectors per batch in the speedup measurement (iterative workloads
+/// amortize one plan across many runs; so does the analytic model).
+const SPEEDUP_BATCH: usize = 8;
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let rows = analytic_validation(&opts);
+
+    let mut table = Table::new(vec![
+        "matrix",
+        "system",
+        "backend",
+        "rows",
+        "nnz",
+        "cycle cycles",
+        "analytic cycles",
+        "rel err cycles",
+        "rel err bytes",
+        "rel err GB/s",
+        "within tol",
+        "values match",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.matrix.clone(),
+            r.system.clone(),
+            r.backend.clone(),
+            r.rows.to_string(),
+            r.nnz.to_string(),
+            r.cycle_cycles.to_string(),
+            r.analytic_cycles.to_string(),
+            f(r.rel_err_cycles, 3),
+            f(r.rel_err_bytes, 3),
+            f(r.rel_err_gbps, 3),
+            r.within_tol.to_string(),
+            r.values_match.to_string(),
+        ]);
+    }
+    let worst = rows.iter().map(|r| r.max_rel_err()).fold(0.0f64, f64::max);
+    println!(
+        "Analytic vs cycle-accurate cost metrics (pinned tolerance {})",
+        nmpic_model::PINNED_REL_TOL
+    );
+    println!("{}", table.render());
+    println!(
+        "worst relative error across the grid: {:.3} (bound {}); result vectors bit-identical on every point",
+        worst,
+        nmpic_model::PINNED_REL_TOL
+    );
+    table.write_csv("analytic_validation").expect("csv");
+    table.write_json("analytic_validation").expect("json");
+
+    // The large-matrix sections only make sense at full scale: under
+    // NMPIC_QUICK the grid above is the whole (CI) story.
+    if opts.max_nnz < 150_000 {
+        println!("(quick scale: skipping large-matrix sweep and speedup measurement)");
+        return;
+    }
+
+    large_matrix_sweep();
+    speedup_measurement();
+}
+
+/// Analytic-only sweep over shapes far beyond cycle-accurate reach.
+fn large_matrix_sweep() {
+    let sys = SystemKind::Sharded {
+        units: 4,
+        strategy: Default::default(),
+    };
+    let mut table = Table::new(vec![
+        "matrix", "rows", "nnz", "cycles", "GB/s", "prep ms", "run ms",
+    ]);
+    println!();
+    println!("Large-matrix analytic sweep (sharded x4, hbm x4; cycle-accurate at this scale takes minutes per point)");
+    for rows in [250_000usize, 1_000_000, 2_000_000] {
+        for (name, csr) in [
+            ("banded_fem", nmpic_sparse::gen::banded_fem(rows, 6, 48, 5)),
+            (
+                "circuit",
+                nmpic_sparse::gen::circuit(rows, 6, 64, 0.02, 8, 7),
+            ),
+        ] {
+            let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+            let engine = SpmvEngine::builder()
+                .backend(BackendConfig::interleaved(4))
+                .system(sys.clone())
+                .exec_mode(ExecMode::Analytic)
+                .build();
+            let t0 = Instant::now();
+            let mut plan = engine.prepare(&csr);
+            let prep = t0.elapsed();
+            let t1 = Instant::now();
+            let r = plan.run(&x);
+            let run = t1.elapsed();
+            assert!(
+                r.verified,
+                "{name}/{rows}: analytic run failed verification"
+            );
+            table.row(vec![
+                name.to_string(),
+                rows.to_string(),
+                r.nnz.to_string(),
+                r.cycles.to_string(),
+                f(r.gbps(), 2),
+                f(prep.as_secs_f64() * 1e3, 1),
+                f(run.as_secs_f64() * 1e3, 1),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    table.write_csv("analytic_scale").expect("csv");
+    table.write_json("analytic_scale").expect("json");
+}
+
+/// Times the same million-row batched SpMV in both modes and reports
+/// the wall-clock speedup of the analytic fast path.
+fn speedup_measurement() {
+    let csr = nmpic_sparse::gen::banded_fem(SPEEDUP_ROWS, 6, 48, 5);
+    let xs: Vec<Vec<f64>> = (0..SPEEDUP_BATCH)
+        .map(|b| {
+            (0..csr.cols())
+                .map(|i| golden_x(i) + b as f64 * 0.01)
+                .collect()
+        })
+        .collect();
+    let build = |mode: ExecMode| {
+        SpmvEngine::builder()
+            .backend(BackendConfig::interleaved(4))
+            .system(SystemKind::Sharded {
+                units: 4,
+                strategy: Default::default(),
+            })
+            .exec_mode(mode)
+            .build()
+            .prepare(&csr)
+    };
+
+    println!();
+    println!(
+        "Speedup measurement: {} rows x batch {} (sharded x4, hbm x4)",
+        SPEEDUP_ROWS, SPEEDUP_BATCH
+    );
+    let mut analytic = build(ExecMode::Analytic);
+    let m = timing::bench("analytic_validation/analytic_1m_batch8", 2, 0, || {
+        let r = analytic.run_batch(&xs);
+        assert!(r.verified);
+        r.cycles
+    });
+
+    let mut cycle = build(ExecMode::CycleAccurate);
+    let t0 = Instant::now();
+    let r = cycle.run_batch(&xs);
+    let cycle_wall = t0.elapsed();
+    assert!(r.verified);
+    println!(
+        "{:<40} {:>12.3?}/iter",
+        "analytic_validation/cycle_1m_batch8", cycle_wall
+    );
+
+    let speedup = cycle_wall.as_secs_f64() / m.per_iter().as_secs_f64();
+    println!(
+        "analytic fast-path wall-clock speedup: {:.0}x (target >= 100x) on a {}-row matrix",
+        speedup, SPEEDUP_ROWS
+    );
+}

@@ -13,8 +13,8 @@ use nmpic_mem::{BackendConfig, ChannelPort, HbmChannel, HbmConfig, Memory, WideR
 use nmpic_model::{adapter_area, AreaBreakdown, EfficiencyPoint};
 use nmpic_sparse::{suite, Csr, Sell, EFFICIENCY_THREE, REPRESENTATIVE_SIX};
 use nmpic_system::{
-    golden_x, PartitionStrategy, RunReport, SolveOptions, Solver, SpmvEngine, SpmvService,
-    SystemKind,
+    golden_x, ExecMode, PartitionStrategy, RunReport, SolveOptions, Solver, SpmvEngine,
+    SpmvService, SystemKind,
 };
 
 use crate::runner::parallel_map;
@@ -33,12 +33,17 @@ pub struct ExperimentOpts {
     /// Partition-strategy override for sharded systems
     /// (`NMPIC_PARTITION`, `nnz` or `rows`).
     pub partition: Option<PartitionStrategy>,
+    /// Execution-mode override (`NMPIC_EXEC`, `cycle` or `analytic`);
+    /// `None` leaves each experiment's default (cycle-accurate) in
+    /// place.
+    pub exec: Option<ExecMode>,
 }
 
 impl ExperimentOpts {
     /// Reads options from the environment (`NMPIC_QUICK`,
-    /// `NMPIC_MAX_NNZ`, `NMPIC_SYSTEM`, `NMPIC_PARTITION`), warning on
-    /// stderr about malformed values instead of silently falling back.
+    /// `NMPIC_MAX_NNZ`, `NMPIC_SYSTEM`, `NMPIC_PARTITION`,
+    /// `NMPIC_EXEC`), warning on stderr about malformed values instead
+    /// of silently falling back.
     /// See [`ExperimentOptsBuilder`].
     pub fn from_env() -> Self {
         ExperimentOptsBuilder::new().from_env().build()
@@ -51,6 +56,7 @@ impl Default for ExperimentOpts {
             max_nnz: 150_000,
             system: None,
             partition: None,
+            exec: None,
         }
     }
 }
@@ -85,6 +91,7 @@ pub struct ExperimentOptsBuilder {
     quick: bool,
     system: Option<SystemKind>,
     partition: Option<PartitionStrategy>,
+    exec: Option<ExecMode>,
     warnings: Vec<String>,
 }
 
@@ -125,9 +132,15 @@ impl ExperimentOptsBuilder {
         self
     }
 
-    /// Reads `NMPIC_QUICK`, `NMPIC_MAX_NNZ`, `NMPIC_SYSTEM` and
-    /// `NMPIC_PARTITION`, recording a warning for every malformed value
-    /// instead of silently ignoring it.
+    /// Selects the execution mode for experiments that accept one.
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Reads `NMPIC_QUICK`, `NMPIC_MAX_NNZ`, `NMPIC_SYSTEM`,
+    /// `NMPIC_PARTITION` and `NMPIC_EXEC`, recording a warning for every
+    /// malformed value instead of silently ignoring it.
     pub fn from_env(mut self) -> Self {
         if let Ok(v) = std::env::var("NMPIC_QUICK") {
             match v.trim() {
@@ -165,6 +178,14 @@ impl ExperimentOptsBuilder {
                 }
             }
         }
+        if let Ok(v) = std::env::var("NMPIC_EXEC") {
+            if !v.trim().is_empty() {
+                match v.parse::<ExecMode>() {
+                    Ok(m) => self.exec = Some(m),
+                    Err(e) => self.warnings.push(format!("ignoring NMPIC_EXEC: {e}")),
+                }
+            }
+        }
         self
     }
 
@@ -185,6 +206,7 @@ impl ExperimentOptsBuilder {
             max_nnz,
             system: self.system,
             partition: self.partition,
+            exec: self.exec,
         }
     }
 }
@@ -995,6 +1017,168 @@ pub fn solver_convergence(opts: &ExperimentOpts) -> Vec<SolverRow> {
         .collect()
 }
 
+/// One analytic-vs-cycle-accurate validation point: the same prepared
+/// matrix run through both execution modes on the same system × backend,
+/// with relative errors on every reported cost metric.
+#[derive(Debug, Clone)]
+pub struct AnalyticValidationRow {
+    /// Matrix label.
+    pub matrix: String,
+    /// System label (`base`, `pack256`, `sharded x4 (...)`).
+    pub system: String,
+    /// Backend label (`ideal`, `hbm`, `hbm x4`, `hbm x8`).
+    pub backend: String,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix nonzeros.
+    pub nnz: u64,
+    /// Cycle-accurate total cycles.
+    pub cycle_cycles: u64,
+    /// Analytic total cycles.
+    pub analytic_cycles: u64,
+    /// Cycle-accurate off-chip bytes.
+    pub cycle_bytes: u64,
+    /// Analytic off-chip bytes.
+    pub analytic_bytes: u64,
+    /// Cycle-accurate effective bandwidth (GB/s at 1 GHz).
+    pub cycle_gbps: f64,
+    /// Analytic effective bandwidth (GB/s at 1 GHz).
+    pub analytic_gbps: f64,
+    /// |analytic − cycle| / cycle on total cycles.
+    pub rel_err_cycles: f64,
+    /// |analytic − cycle| / cycle on off-chip bytes.
+    pub rel_err_bytes: f64,
+    /// |analytic − cycle| / cycle on effective GB/s.
+    pub rel_err_gbps: f64,
+    /// Whether every relative error is within the pinned tolerance
+    /// ([`nmpic_model::analytic::PINNED_REL_TOL`]).
+    pub within_tol: bool,
+    /// Whether both modes produced bit-identical result vectors.
+    pub values_match: bool,
+}
+
+impl AnalyticValidationRow {
+    /// Largest of the three relative errors.
+    pub fn max_rel_err(&self) -> f64 {
+        self.rel_err_cycles
+            .max(self.rel_err_bytes)
+            .max(self.rel_err_gbps)
+    }
+}
+
+fn rel_err(analytic: f64, cycle: f64) -> f64 {
+    if cycle == 0.0 {
+        if analytic == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (analytic - cycle).abs() / cycle.abs()
+    }
+}
+
+/// The backends the analytic validation grid sweeps: single ideal
+/// channel, one HBM2 channel, and 4-/8-channel interleaved stacks.
+pub fn analytic_backends() -> Vec<BackendConfig> {
+    vec![
+        BackendConfig::ideal(),
+        BackendConfig::hbm(),
+        BackendConfig::interleaved(4),
+        BackendConfig::interleaved(8),
+    ]
+}
+
+/// The systems the analytic validation grid sweeps.
+pub fn analytic_systems() -> Vec<SystemKind> {
+    vec![
+        SystemKind::Base,
+        SystemKind::Pack(AdapterConfig::mlp(256)),
+        SystemKind::Sharded {
+            units: 4,
+            strategy: PartitionStrategy::ByNnz,
+        },
+    ]
+}
+
+/// Validates [`ExecMode::Analytic`] against cycle-accurate execution on
+/// a structured and a hub-heavy matrix across every backend × system of
+/// the grid (`NMPIC_SYSTEM`/`NMPIC_EXEC` narrow it): both modes run the
+/// same prepared matrix and the row records the relative error of every
+/// cost metric plus bit-equality of the result vectors.
+///
+/// # Panics
+///
+/// Panics if any run fails verification — that is a simulator bug, not
+/// a measurement.
+pub fn analytic_validation(opts: &ExperimentOpts) -> Vec<AnalyticValidationRow> {
+    let per_row = 6usize;
+    let rows = (opts.max_nnz as usize / per_row).clamp(64, usize::MAX);
+    let matrices = vec![
+        (
+            "banded_fem",
+            nmpic_sparse::gen::banded_fem(rows, per_row, 48, 5),
+        ),
+        (
+            "circuit",
+            nmpic_sparse::gen::circuit(rows, per_row, 64, 0.02, 8, 7),
+        ),
+    ];
+    let systems = match &opts.system {
+        Some(k) => vec![k.clone()],
+        None => analytic_systems(),
+    };
+    let mut jobs = Vec::new();
+    for (name, csr) in &matrices {
+        for backend in analytic_backends() {
+            for system in &systems {
+                jobs.push((name.to_string(), csr, backend.clone(), system.clone()));
+            }
+        }
+    }
+    parallel_map(jobs, |(name, csr, backend, system)| {
+        let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
+        let run_mode = |mode: ExecMode| {
+            let engine = SpmvEngine::builder()
+                .backend(backend.clone())
+                .system(system.clone())
+                .exec_mode(mode)
+                .build();
+            let mut plan = engine.prepare(csr);
+            plan.run(&x)
+        };
+        let cycle = run_mode(ExecMode::CycleAccurate);
+        let analytic = run_mode(ExecMode::Analytic);
+        assert!(
+            cycle.verified && analytic.verified,
+            "{name}/{system}/{}: golden mismatch",
+            backend.label()
+        );
+        let rel_err_cycles = rel_err(analytic.cycles as f64, cycle.cycles as f64);
+        let rel_err_bytes = rel_err(analytic.offchip_bytes as f64, cycle.offchip_bytes as f64);
+        let rel_err_gbps = rel_err(analytic.gbps(), cycle.gbps());
+        let tol = nmpic_model::analytic::PINNED_REL_TOL;
+        AnalyticValidationRow {
+            matrix: name,
+            system: system.to_string(),
+            backend: backend.label(),
+            rows: csr.rows(),
+            nnz: csr.nnz() as u64,
+            cycle_cycles: cycle.cycles,
+            analytic_cycles: analytic.cycles,
+            cycle_bytes: cycle.offchip_bytes,
+            analytic_bytes: analytic.offchip_bytes,
+            cycle_gbps: cycle.gbps(),
+            analytic_gbps: analytic.gbps(),
+            rel_err_cycles,
+            rel_err_bytes,
+            rel_err_gbps,
+            within_tol: rel_err_cycles <= tol && rel_err_bytes <= tol && rel_err_gbps <= tol,
+            values_match: cycle.y_bits() == analytic.y_bits(),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1003,6 +1187,30 @@ mod tests {
         ExperimentOpts {
             max_nnz: 4_000,
             ..ExperimentOpts::default()
+        }
+    }
+
+    #[test]
+    fn analytic_validation_is_within_pinned_tolerance() {
+        let rows = analytic_validation(&tiny());
+        assert_eq!(rows.len(), 2 * 4 * 3);
+        for r in &rows {
+            assert!(
+                r.values_match,
+                "{}/{}/{}: result vectors diverged between modes",
+                r.matrix, r.system, r.backend
+            );
+            assert!(
+                r.within_tol,
+                "{}/{}/{}: rel errs cycles={:.3} bytes={:.3} gbps={:.3} exceed {}",
+                r.matrix,
+                r.system,
+                r.backend,
+                r.rel_err_cycles,
+                r.rel_err_bytes,
+                r.rel_err_gbps,
+                nmpic_model::analytic::PINNED_REL_TOL
+            );
         }
     }
 

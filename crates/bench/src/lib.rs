@@ -17,6 +17,7 @@
 //! | extension | `batched_spmv` | multi-vector SpMV on one prepared plan vs per-vector plan rebuild |
 //! | extension | `service_throughput` | multi-tenant `SpmvService` requests/sec + wall-clock speedup vs shard workers |
 //! | extension | `solver_convergence` | CG iterations-to-1e-10 + amortized per-iteration cycles/GB/s on resident plans |
+//! | extension | `analytic_validation` | analytic vs cycle-accurate cost metrics (rel. error per point) + large-matrix speedup |
 //! | all      | `all_experiments` | everything above, CSVs under `results/` |
 //!
 //! Sweeps run their configuration points in parallel across CPU cores
@@ -27,7 +28,8 @@
 //! `NMPIC_MAX_NNZ=<nnz>` (default 150 000) or `NMPIC_QUICK=1`; worker
 //! threads with `NMPIC_JOBS=<n>` (default: all cores). Experiments with
 //! a selectable system honour `NMPIC_SYSTEM=<base|packN|shardedK>` and
-//! `NMPIC_PARTITION=<nnz|rows>`.
+//! `NMPIC_PARTITION=<nnz|rows>`; the execution mode is selected with
+//! `NMPIC_EXEC=<cycle|analytic>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,11 +40,12 @@ pub mod runner;
 pub mod timing;
 
 pub use experiments::{
-    batch_x, batched_spmv, fig3, fig3_variants, fig4, fig4_variants, fig5, fig5_adapters,
-    fig5_matrix, fig6a, fig6b, measure_stream_gbps, scaling_channels, scaling_units,
-    service_throughput, solver_backends, solver_convergence, solver_systems, BatchRow,
-    ChannelScalingRow, ExperimentOpts, ExperimentOptsBuilder, ServiceRow, SolverRow, StreamRow,
-    SystemRow, UnitScalingRow, BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS, SERVICE_REQUESTS,
+    analytic_backends, analytic_systems, analytic_validation, batch_x, batched_spmv, fig3,
+    fig3_variants, fig4, fig4_variants, fig5, fig5_adapters, fig5_matrix, fig6a, fig6b,
+    measure_stream_gbps, scaling_channels, scaling_units, service_throughput, solver_backends,
+    solver_convergence, solver_systems, AnalyticValidationRow, BatchRow, ChannelScalingRow,
+    ExperimentOpts, ExperimentOptsBuilder, ServiceRow, SolverRow, StreamRow, SystemRow,
+    UnitScalingRow, BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS, SERVICE_REQUESTS,
     SERVICE_WORKERS,
 };
 pub use output::{f, Table};

@@ -22,23 +22,48 @@ pub struct Measurement {
 }
 
 impl Measurement {
+    /// The floor below which a total elapsed time is indistinguishable
+    /// from timer resolution: dividing by it produces rates that are
+    /// noise, not throughput.
+    const RESOLUTION_FLOOR: Duration = Duration::from_micros(1);
+
     /// Mean wall time of one iteration.
     pub fn per_iter(&self) -> Duration {
         self.total / self.iters.max(1)
     }
 
-    /// Throughput in elements per second, when `elems_per_iter` is set.
+    /// `true` when the *total* measured time fell at or below the timer
+    /// resolution floor — the run finished too fast for the clock, and
+    /// any derived rate would be bogus.
+    pub fn under_resolution(&self) -> bool {
+        self.total <= Self::RESOLUTION_FLOOR
+    }
+
+    /// Throughput in elements per second, when `elems_per_iter` is set
+    /// and the measurement resolved. `None` both when no element count
+    /// was given and when the elapsed total was at or below timer
+    /// resolution ([`Measurement::under_resolution`]) — reporting a
+    /// quotient of a sub-resolution denominator would fabricate a rate.
     pub fn elems_per_sec(&self) -> Option<f64> {
-        if self.elems_per_iter == 0 {
+        if self.elems_per_iter == 0 || self.under_resolution() {
             return None;
         }
         let secs = self.per_iter().as_secs_f64();
         (secs > 0.0).then(|| self.elems_per_iter as f64 / secs)
     }
 
-    /// Renders the standard one-line report.
+    /// Renders the standard one-line report. Sub-resolution runs get a
+    /// visible warning instead of a fabricated rate — raise `iters`
+    /// until the total comfortably exceeds the timer resolution.
     pub fn report(&self) -> String {
         let per = self.per_iter();
+        if self.under_resolution() {
+            return format!(
+                "{:<40} {:>12.3?}/iter  [warning: total {:?} under timer \
+                 resolution; rate not reported — raise iters]",
+                self.name, per, self.total
+            );
+        }
         match self.elems_per_sec() {
             Some(eps) => format!(
                 "{:<40} {:>12.3?}/iter  {:>12.0} elems/s",
@@ -86,7 +111,34 @@ mod tests {
         });
         assert_eq!(calls, 6, "5 timed + 1 warmup");
         assert_eq!(m.iters, 5);
-        assert!(m.elems_per_sec().is_some());
+        // A trivial closure may finish under timer resolution, in which
+        // case the rate is (correctly) withheld.
+        assert_eq!(m.elems_per_sec().is_some(), !m.under_resolution());
+    }
+
+    #[test]
+    fn sub_resolution_runs_warn_instead_of_fabricating_a_rate() {
+        let m = Measurement {
+            name: "g/fast".into(),
+            iters: 1000,
+            total: Duration::from_nanos(10),
+            elems_per_iter: 1_000_000,
+        };
+        assert!(m.under_resolution());
+        assert_eq!(m.elems_per_sec(), None, "no rate from a ~0 denominator");
+        let r = m.report();
+        assert!(r.contains("under timer resolution"), "{r}");
+        assert!(!r.contains("elems/s"), "{r}");
+        // A resolved run still reports normally.
+        let ok = Measurement {
+            name: "g/slow".into(),
+            iters: 10,
+            total: Duration::from_millis(5),
+            elems_per_iter: 100,
+        };
+        assert!(!ok.under_resolution());
+        assert!(ok.elems_per_sec().is_some());
+        assert!(ok.report().contains("elems/s"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod harness;
 mod request;
 mod scatter;
 mod shard;
+mod traffic;
 mod unit;
 
 pub use coalescer::{Coalescer, CoalescerStats};
@@ -60,4 +61,5 @@ pub use harness::{
 pub use request::{ElemOut, ElemRequest};
 pub use scatter::{ScatterRequest, ScatterStats, ScatterUnit};
 pub use shard::{MergedCollector, ShardArbiter};
+pub use traffic::{CoalescerTrafficModel, TrafficCounts};
 pub use unit::{AdapterStats, BeginError, IndirectStreamUnit};

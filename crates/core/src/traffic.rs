@@ -1,0 +1,257 @@
+//! Structural (event-free) traffic model of the request coalescer.
+//!
+//! [`CoalescerTrafficModel`] replays an element address stream through
+//! the coalescer's *window/CSHR semantics only* — W-entry windows,
+//! parallel hit check against one open tag, oldest-first re-tagging, and
+//! cross-window tag carry — without queues, timers or per-cycle
+//! stepping. It predicts how many wide DRAM requests the real
+//! [`Coalescer`](crate::Coalescer) issues for the stream, which is the
+//! x-gather traffic term the analytic execution mode in `nmpic-model`
+//! needs: every wide request is one 64 B line of off-chip traffic.
+//!
+//! The model is exact on steady-state streams (the regulator's partial
+//! windows and the watchdog change *when* requests issue, not *how
+//! many*) and costs O(1) hash work per element instead of hundreds of
+//! simulated cycles.
+
+use std::collections::HashSet;
+
+use nmpic_mem::block_addr;
+
+use crate::config::{AdapterConfig, CoalescerMode};
+
+/// Counters accumulated by a [`CoalescerTrafficModel`] replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounts {
+    /// Elements pushed through the model.
+    pub elements: u64,
+    /// Wide (64 B) requests the coalescer would issue downstream.
+    pub wide_requests: u64,
+    /// Elements that merged into an already-open block (window hit or
+    /// cross-window carry) instead of costing a new wide request.
+    pub reused: u64,
+}
+
+impl TrafficCounts {
+    /// Elements served per wide request — the paper's coalesce rate.
+    /// `0.0` when nothing was requested.
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.wide_requests == 0 {
+            0.0
+        } else {
+            self.elements as f64 / self.wide_requests as f64
+        }
+    }
+}
+
+/// Streaming structural model of the coalescer's wide-request count.
+///
+/// Feed element byte addresses in stream order with
+/// [`CoalescerTrafficModel::push`]; read the prediction from
+/// [`CoalescerTrafficModel::counts`] at any point. Window state mirrors
+/// the hardware: each window holds `W` elements, every element whose
+/// block was already adopted in the current window (or is the tag
+/// carried across the boundary in cross-window mode) coalesces for
+/// free, and each newly adopted block costs exactly one wide request
+/// when its tag eventually retires.
+///
+/// # Example
+///
+/// ```
+/// use nmpic_core::{AdapterConfig, CoalescerTrafficModel};
+///
+/// let mut m = CoalescerTrafficModel::new(&AdapterConfig::mlp(8));
+/// for k in 0..16u64 {
+///     m.push(k * 8); // two windows, both fully inside blocks 0 and 64
+/// }
+/// assert_eq!(m.counts().wide_requests, 2);
+/// assert!(m.counts().coalesce_rate() > 7.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoalescerTrafficModel {
+    window: usize,
+    coalescing: bool,
+    cross_window: bool,
+    /// Block tag the CSHR holds open across the next window boundary.
+    carry: Option<u64>,
+    /// Last block adopted in the current window (the tag that will be
+    /// open at the boundary, when any adoption happened).
+    last_adopted: Option<u64>,
+    /// Blocks that coalesce for free in the current window: everything
+    /// adopted here plus the carried tag.
+    adopted: HashSet<u64>,
+    /// Elements consumed by the current window so far.
+    fill: usize,
+    counts: TrafficCounts,
+}
+
+impl CoalescerTrafficModel {
+    /// Builds the model for an adapter configuration. `MLPnc`
+    /// (no-coalescing) configurations degrade to one wide request per
+    /// element, exactly like the real request generator's direct path.
+    pub fn new(cfg: &AdapterConfig) -> Self {
+        Self {
+            window: cfg.window.max(1),
+            coalescing: cfg.mode != CoalescerMode::None,
+            cross_window: cfg.cross_window,
+            carry: None,
+            last_adopted: None,
+            adopted: HashSet::new(),
+            fill: 0,
+            counts: TrafficCounts::default(),
+        }
+    }
+
+    /// Feeds one element byte address in stream order.
+    pub fn push(&mut self, addr: u64) {
+        self.counts.elements += 1;
+        if !self.coalescing {
+            self.counts.wide_requests += 1;
+            return;
+        }
+        if self.fill == 0 {
+            // A fresh window opens with the whole window visible to the
+            // watcher; the carried tag (if any) coalesces its matches
+            // anywhere in the window before any new adoption.
+            self.adopted.clear();
+            self.adopted.extend(self.carry);
+        }
+        let block = block_addr(addr);
+        if self.adopted.contains(&block) {
+            self.counts.reused += 1;
+        } else {
+            // A new block adoption: one wide request when it retires.
+            self.adopted.insert(block);
+            self.last_adopted = Some(block);
+            self.counts.wide_requests += 1;
+        }
+        self.fill += 1;
+        if self.fill == self.window {
+            self.close_window();
+        }
+    }
+
+    /// Feeds a whole slice of element addresses.
+    pub fn push_all(&mut self, addrs: impl IntoIterator<Item = u64>) {
+        for a in addrs {
+            self.push(a);
+        }
+    }
+
+    /// The counters accumulated so far.
+    pub fn counts(&self) -> TrafficCounts {
+        self.counts
+    }
+
+    /// Ends the current (possibly partial) window, as the regulator's
+    /// fill timeout does at a stream tail, and resets for a fresh burst
+    /// while keeping the counters.
+    pub fn flush(&mut self) {
+        self.close_window();
+        self.carry = None;
+        self.last_adopted = None;
+    }
+
+    fn close_window(&mut self) {
+        self.fill = 0;
+        if self.cross_window {
+            // The tag open at the boundary survives: the last adoption,
+            // or the previous carry when this window adopted nothing.
+            if let Some(b) = self.last_adopted.take() {
+                self.carry = Some(b);
+            }
+        } else {
+            // Ablation mode retires the CSHR at every window boundary.
+            self.carry = None;
+            self.last_adopted = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(cfg: &AdapterConfig, addrs: &[u64]) -> TrafficCounts {
+        let mut m = CoalescerTrafficModel::new(cfg);
+        m.push_all(addrs.iter().copied());
+        m.counts()
+    }
+
+    #[test]
+    fn all_same_block_is_one_wide_request() {
+        let c = count(
+            &AdapterConfig::mlp(8),
+            &(0..8u64).map(|s| s * 8).collect::<Vec<_>>(),
+        );
+        assert_eq!(c.wide_requests, 1);
+        assert_eq!(c.reused, 7);
+    }
+
+    #[test]
+    fn distinct_blocks_cost_one_each() {
+        let c = count(
+            &AdapterConfig::mlp(8),
+            &(0..8u64).map(|s| s * 64).collect::<Vec<_>>(),
+        );
+        assert_eq!(c.wide_requests, 8);
+        assert_eq!(c.reused, 0);
+    }
+
+    #[test]
+    fn cross_window_carry_matches_real_coalescer_counts() {
+        // The cycle-accurate coalescer's pinned behaviours
+        // (`coalescer.rs` tests): 24 same-block requests over three
+        // windows plus one foreign block → 2 wide requests with carry,
+        // one per window boundary without.
+        let mut addrs: Vec<u64> = (0..24u64).map(|s| (s % 8) * 8).collect();
+        addrs.push(4096);
+        let carry = count(&AdapterConfig::mlp(8), &addrs);
+        assert_eq!(carry.wide_requests, 2);
+        let mut no_carry_cfg = AdapterConfig::mlp(8);
+        no_carry_cfg.cross_window = false;
+        let same_block: Vec<u64> = (0..32u64).map(|s| (s % 8) * 8).collect();
+        assert_eq!(count(&no_carry_cfg, &same_block).wide_requests, 4);
+        assert_eq!(count(&AdapterConfig::mlp(8), &same_block).wide_requests, 1);
+    }
+
+    #[test]
+    fn interleaved_blocks_dedup_within_window() {
+        // Alternating between two far-apart blocks: each window of 8
+        // holds 4 of each → 2 adoptions per window; the carry saves at
+        // most the re-adoption of the boundary tag.
+        let addrs: Vec<u64> = (0..16u64).map(|s| (s % 2) * 1024 + (s / 2) * 8).collect();
+        let c = count(&AdapterConfig::mlp(8), &addrs);
+        assert!(
+            (2..=4).contains(&c.wide_requests),
+            "wide {}",
+            c.wide_requests
+        );
+    }
+
+    #[test]
+    fn nocoal_mode_is_one_request_per_element() {
+        let c = count(
+            &AdapterConfig::mlp_nc(),
+            &(0..100u64).map(|s| (s % 4) * 8).collect::<Vec<_>>(),
+        );
+        assert_eq!(c.wide_requests, 100);
+        assert_eq!(c.coalesce_rate(), 1.0);
+    }
+
+    #[test]
+    fn flush_ends_the_carry() {
+        let mut m = CoalescerTrafficModel::new(&AdapterConfig::mlp(8));
+        m.push_all((0..8u64).map(|s| s * 8));
+        m.flush();
+        m.push_all((0..8u64).map(|s| s * 8));
+        // Two separate bursts to the same block: no carry across flush.
+        assert_eq!(m.counts().wide_requests, 2);
+    }
+
+    #[test]
+    fn empty_stream_has_zero_rate() {
+        let m = CoalescerTrafficModel::new(&AdapterConfig::mlp(8));
+        assert_eq!(m.counts().coalesce_rate(), 0.0);
+    }
+}

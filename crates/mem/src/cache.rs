@@ -1,4 +1,11 @@
 //! Set-associative cache model for the baseline system's 1 MiB LLC.
+//!
+//! Lives in `nmpic-mem` because two independent consumers drive it: the
+//! baseline system's cycle-accurate executor in `nmpic-system` (which
+//! re-exports these types, preserving their original paths) and the
+//! analytic cost model in `nmpic-model`, which replays the same access
+//! stream structurally — no per-cycle stepping — to predict hit rates
+//! and off-chip traffic.
 
 /// Configuration of a set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +61,7 @@ impl CacheStats {
 /// # Example
 ///
 /// ```
-/// use nmpic_system::{Cache, CacheConfig};
+/// use nmpic_mem::{Cache, CacheConfig};
 /// let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 });
 /// assert!(!c.access(0));  // cold miss
 /// c.fill(0);
@@ -167,7 +174,7 @@ impl Cache {
     /// # Example
     ///
     /// ```
-    /// use nmpic_system::{Cache, CacheConfig};
+    /// use nmpic_mem::{Cache, CacheConfig};
     /// let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 });
     /// c.fill(0);
     /// c.fill(64);

@@ -45,12 +45,14 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod cache;
 mod channel;
 mod ideal;
 mod interleave;
 mod memory;
 
 pub use backend::{build_backend, BackendConfig, BackendKind, ParseBackendError};
+pub use cache::{Cache, CacheConfig, CacheStats};
 pub use channel::{HbmChannel, HbmConfig, HbmStats, PagePolicy, SchedPolicy};
 pub use ideal::IdealChannel;
 pub use interleave::InterleavedChannels;

@@ -8,6 +8,9 @@
 //!   comparison points of Fig. 6b.
 //! * [`render_table1`] — the Table I parameter dump with derived on-chip
 //!   storage.
+//! * [`analytic`] — the closed-form traffic/latency model behind the
+//!   engine's analytic execution mode ([`base_cost`], [`pack_cost`],
+//!   [`shard_gather_cost`], [`collect_cost`]).
 //!
 //! # Example
 //!
@@ -22,11 +25,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 mod area;
 mod efficiency;
 mod energy;
 mod table1;
 
+pub use analytic::{
+    base_cost, collect_cost, pack_cost, shard_gather_cost, AnalyticCost, BaseAddrs, BaseParams,
+    ChannelModel, PackParams, PINNED_REL_TOL,
+};
 pub use area::{
     adapter_area, AreaBreakdown, COAL_KGE_POINTS, ELE_GEN_KGE, GE_UM2, IDX_QUEUE_KGE_REF,
     OTHERS_KGE,

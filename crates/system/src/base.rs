@@ -13,8 +13,8 @@
 use nmpic_mem::{BackendConfig, ChannelPort, Memory, WideRequest, BLOCK_BYTES};
 use nmpic_sparse::Csr;
 
-use crate::cache::{Cache, CacheConfig};
 use crate::report::{bits_equal, golden_x, SpmvReport};
+use nmpic_mem::{Cache, CacheConfig};
 
 /// Configuration of the baseline system.
 #[derive(Debug, Clone)]

@@ -55,7 +55,6 @@ use nmpic_sparse::{Csr, Sell};
 use crate::base::{
     base_ideal_bytes, base_memory_size, exec_base, layout_base, write_base_vector, BaseLayout,
 };
-use crate::cache::Cache;
 use crate::pack::{
     exec_pack, layout_pack, pack_ideal_bytes, pack_plan_memory_size, row_map, write_pack_vector,
     PackLayout,
@@ -66,6 +65,7 @@ use crate::shard::{
     PartitionStrategy, ShardReport,
 };
 use crate::{BaseConfig, PackConfig};
+use nmpic_mem::Cache;
 
 /// Which end-to-end system a [`SpmvEngine`] simulates.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,11 +168,71 @@ impl FromStr for SystemKind {
     }
 }
 
+/// How a [`SpmvPlan`] executes its runs.
+///
+/// Both modes fill the same [`RunReport`]/[`IterReport`] fields and
+/// produce byte-identical result values; they differ in how the **cost
+/// metrics** (cycles, indirect cycles, off-chip traffic) are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Step every controller queue, coalescer window and DRAM bank state
+    /// machine one simulated cycle at a time — the reference mode.
+    #[default]
+    CycleAccurate,
+    /// Replace per-cycle stepping with the closed-form traffic/latency
+    /// model in [`nmpic_model::analytic`]; compute result values natively
+    /// with [`Csr::spmv_fast`] (byte-identical to the golden kernel).
+    /// Cost metrics agree with cycle-accurate mode within
+    /// [`nmpic_model::analytic::PINNED_REL_TOL`]; wall-clock cost drops
+    /// by orders of magnitude, unlocking million-row sweeps.
+    Analytic,
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecMode::CycleAccurate => write!(f, "cycle"),
+            ExecMode::Analytic => write!(f, "analytic"),
+        }
+    }
+}
+
+/// Error returned when an execution-mode name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExecModeError(String);
+
+impl fmt::Display for ParseExecModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown execution mode '{}': expected 'cycle' or 'analytic'",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseExecModeError {}
+
+impl FromStr for ExecMode {
+    type Err = ParseExecModeError;
+
+    /// Parses `cycle` or `analytic` (case-insensitive) — the grammar the
+    /// `NMPIC_EXEC` environment knob uses.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cycle" => Ok(ExecMode::CycleAccurate),
+            "analytic" => Ok(ExecMode::Analytic),
+            _ => Err(ParseExecModeError(s.to_string())),
+        }
+    }
+}
+
 /// Builder for [`SpmvEngine`]. Obtain via [`SpmvEngine::builder`].
 #[derive(Debug, Clone)]
 pub struct SpmvEngineBuilder {
     backend: BackendConfig,
     system: SystemKind,
+    exec_mode: ExecMode,
     base: BaseConfig,
     pack: PackConfig,
     sharded_adapter: AdapterConfig,
@@ -185,6 +245,7 @@ impl Default for SpmvEngineBuilder {
         Self {
             backend: BackendConfig::hbm(),
             system: SystemKind::default(),
+            exec_mode: ExecMode::default(),
             base: BaseConfig::default(),
             pack: PackConfig::default(),
             sharded_adapter: AdapterConfig::mlp(256),
@@ -205,6 +266,15 @@ impl SpmvEngineBuilder {
     /// Selects the system kind (default: pack with MLP256).
     pub fn system(mut self, system: SystemKind) -> Self {
         self.system = system;
+        self
+    }
+
+    /// Selects the execution mode every plan of this engine runs in
+    /// (default: [`ExecMode::CycleAccurate`]). [`ExecMode::Analytic`]
+    /// trades pinned-tolerance cost metrics for orders-of-magnitude
+    /// faster runs; result values stay byte-identical.
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
         self
     }
 
@@ -269,6 +339,7 @@ impl SpmvEngineBuilder {
         SpmvEngine {
             backend: self.backend,
             system: self.system,
+            exec_mode: self.exec_mode,
             base: self.base,
             pack: self.pack,
             sharded_adapter: self.sharded_adapter,
@@ -284,6 +355,7 @@ impl SpmvEngineBuilder {
 pub struct SpmvEngine {
     backend: BackendConfig,
     system: SystemKind,
+    exec_mode: ExecMode,
     base: BaseConfig,
     pack: PackConfig,
     sharded_adapter: AdapterConfig,
@@ -308,6 +380,11 @@ impl SpmvEngine {
         &self.system
     }
 
+    /// The engine's execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
     /// Prepares a plan for `csr`: partitioning (sharded), format
     /// conversion (pack converts to SELL), and DRAM layout of the matrix
     /// image all happen here, **once** — every subsequent
@@ -328,6 +405,7 @@ impl SpmvEngine {
                 let layout = layout_base(&mut *chan, csr);
                 let llc = Cache::new(cfg.llc);
                 SpmvPlan {
+                    exec: self.exec_mode,
                     inner: PlanInner::Base(Box::new(BasePlan {
                         cfg,
                         csr: csr.clone(),
@@ -375,6 +453,7 @@ impl SpmvEngine {
         let row_of = row_map(&sell);
         let unit = IndirectStreamUnit::new(cfg.adapter.clone());
         SpmvPlan {
+            exec: self.exec_mode,
             inner: PlanInner::Pack(Box::new(PackPlan {
                 cfg,
                 sell,
@@ -443,6 +522,7 @@ impl SpmvEngine {
         let scatter = ScatterUnit::new(self.sharded_adapter.clone());
 
         SpmvPlan {
+            exec: self.exec_mode,
             inner: PlanInner::Sharded(Box::new(ShardedPlan {
                 adapter: self.sharded_adapter.clone(),
                 backend: self.backend.clone(),
@@ -542,6 +622,7 @@ enum PlanInner {
 /// partitioning/conversion done. Run it against as many vectors as the
 /// workload brings.
 pub struct SpmvPlan {
+    exec: ExecMode,
     inner: PlanInner,
 }
 
@@ -601,11 +682,19 @@ impl SpmvPlan {
     pub fn run_into(&mut self, x: &[f64], y: &mut [f64]) -> IterReport {
         assert_eq!(x.len(), self.cols(), "vector length must equal cols");
         assert_eq!(y.len(), self.rows(), "result buffer length must equal rows");
-        match &mut self.inner {
-            PlanInner::Base(p) => run_base_iter(p, x, y),
-            PlanInner::Pack(p) => run_pack_iter(p, x, y),
-            PlanInner::Sharded(p) => run_sharded_iter(p, x, y),
+        match (&mut self.inner, self.exec) {
+            (PlanInner::Base(p), ExecMode::CycleAccurate) => run_base_iter(p, x, y),
+            (PlanInner::Base(p), ExecMode::Analytic) => analytic_base_iter(p, x, y),
+            (PlanInner::Pack(p), ExecMode::CycleAccurate) => run_pack_iter(p, x, y),
+            (PlanInner::Pack(p), ExecMode::Analytic) => analytic_pack_iter(p, x, y),
+            (PlanInner::Sharded(p), ExecMode::CycleAccurate) => run_sharded_iter(p, x, y),
+            (PlanInner::Sharded(p), ExecMode::Analytic) => analytic_sharded_iter(p, x, y),
         }
+    }
+
+    /// The plan's execution mode (inherited from the engine).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// The plan's report label (`base`, `pack256`, `sharded x4 (...)`).
@@ -640,10 +729,13 @@ impl SpmvPlan {
         for x in xs {
             assert_eq!(x.len(), self.cols(), "vector length must equal cols");
         }
-        match &mut self.inner {
-            PlanInner::Base(p) => run_base_plan(p, xs),
-            PlanInner::Pack(p) => run_pack_plan(p, xs),
-            PlanInner::Sharded(p) => run_sharded_plan(p, xs),
+        match (&mut self.inner, self.exec) {
+            (PlanInner::Base(p), ExecMode::CycleAccurate) => run_base_plan(p, xs),
+            (PlanInner::Base(p), ExecMode::Analytic) => analytic_base_plan(p, xs),
+            (PlanInner::Pack(p), ExecMode::CycleAccurate) => run_pack_plan(p, xs),
+            (PlanInner::Pack(p), ExecMode::Analytic) => analytic_pack_plan(p, xs),
+            (PlanInner::Sharded(p), ExecMode::CycleAccurate) => run_sharded_plan(p, xs),
+            (PlanInner::Sharded(p), ExecMode::Analytic) => analytic_sharded_plan(p, xs),
         }
     }
 }
@@ -691,7 +783,10 @@ fn run_base_plan(plan: &mut BasePlan, xs: &[&[f64]]) -> RunReport {
         cycles += run.cycles;
         indir_cycles += run.indir_cycles;
         offchip += plan.chan.data_bytes();
-        verified &= bits_equal(&y, &plan.csr.spmv(x));
+        // The golden reference runs through the parallel native kernel —
+        // byte-identical to `Csr::spmv` (pinned in nmpic-sparse's tests)
+        // and much faster on large matrices.
+        verified &= bits_equal(&y, &plan.csr.spmv_fast(x));
         ys.push(y);
     }
     RunReport {
@@ -872,7 +967,7 @@ fn run_sharded_plan(plan: &mut ShardedPlan, xs: &[&[f64]]) -> RunReport {
         collect_cycles += ccycles;
         offchip += plan.collect_chan.data_bytes();
         scatter_stats.get_or_insert(sstats);
-        let golden_bits: Vec<u64> = csr.spmv(x).iter().map(|v| v.to_bits()).collect();
+        let golden_bits: Vec<u64> = csr.spmv_fast(x).iter().map(|v| v.to_bits()).collect();
         verified &= result_bits == golden_bits;
         ys.push(y);
     }
@@ -1012,6 +1107,276 @@ fn run_sharded_iter(plan: &mut ShardedPlan, x: &[f64], y: &mut [f64]) -> IterRep
         cycles: gather_cycles + collect_cycles,
         indir_cycles: gather_cycles,
         offchip_bytes: offchip,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analytic execution mode
+// ---------------------------------------------------------------------
+//
+// The analytic executors fill the same reports from the closed-form
+// model in `nmpic_model::analytic` instead of stepping the simulators.
+// Result values are computed natively (`Csr::spmv_fast` for CSR-order
+// systems, `Sell::spmv` for the pack system's padded order) and are
+// byte-identical to what the cycle-accurate executors accumulate — the
+// identity both kernels pin in their own test suites — so `verified`
+// reports an honest `true` and iterative solvers reproduce their
+// cycle-accurate residual trajectories exactly.
+
+fn analytic_base_params(cfg: &BaseConfig) -> nmpic_model::BaseParams {
+    nmpic_model::BaseParams {
+        chunk: cfg.chunk,
+        llc_hit_latency: cfg.llc_hit_latency,
+        gather_issue_interval: cfg.gather_issue_interval,
+        macs_per_cycle: cfg.macs_per_cycle as u64,
+        row_overhead_cycles: cfg.row_overhead_cycles,
+        chan: nmpic_model::ChannelModel::of(&cfg.backend),
+    }
+}
+
+fn analytic_base_addrs(l: &BaseLayout) -> nmpic_model::BaseAddrs {
+    nmpic_model::BaseAddrs {
+        ptr_base: l.ptr_base,
+        idx_base: l.idx_base,
+        val_base: l.val_base,
+        vec_base: l.vec_base,
+        res_base: l.res_base,
+    }
+}
+
+fn analytic_base_plan(plan: &mut BasePlan, xs: &[&[f64]]) -> RunReport {
+    let p = analytic_base_params(&plan.cfg);
+    let a = analytic_base_addrs(&plan.layout);
+    let vec_lo = plan.layout.vec_base;
+    let vec_hi = vec_lo + 8 * plan.csr.cols() as u64;
+    // Same LLC discipline as the cycle-accurate batch: cold start, matrix
+    // lines warm across vectors, stale vector range invalidated.
+    plan.llc.reset();
+    let mut cycles = 0u64;
+    let mut indir_cycles = 0u64;
+    let mut offchip = 0u64;
+    let mut ys = Vec::with_capacity(xs.len());
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            plan.llc.invalidate_range(vec_lo, vec_hi);
+        }
+        let cost = nmpic_model::base_cost(
+            &p,
+            &a,
+            plan.csr.row_ptr(),
+            plan.csr.col_idx(),
+            &mut plan.llc,
+        );
+        cycles += cost.cycles.round() as u64;
+        indir_cycles += cost.indir_cycles.round() as u64;
+        offchip += cost.offchip_bytes;
+        ys.push(plan.csr.spmv_fast(x));
+    }
+    RunReport {
+        label: "base".to_string(),
+        cycles,
+        vectors: xs.len(),
+        indir_cycles,
+        nnz: plan.csr.nnz() as u64,
+        entries: plan.csr.nnz() as u64,
+        offchip_bytes: offchip,
+        ideal_bytes: base_ideal_bytes(&plan.csr, xs.len() as u64),
+        verified: true,
+        ys,
+        shards: None,
+    }
+}
+
+fn analytic_base_iter(plan: &mut BasePlan, x: &[f64], y: &mut [f64]) -> IterReport {
+    let p = analytic_base_params(&plan.cfg);
+    let a = analytic_base_addrs(&plan.layout);
+    let vec_lo = plan.layout.vec_base;
+    let vec_hi = vec_lo + 8 * plan.csr.cols() as u64;
+    plan.llc.invalidate_range(vec_lo, vec_hi);
+    let cost = nmpic_model::base_cost(
+        &p,
+        &a,
+        plan.csr.row_ptr(),
+        plan.csr.col_idx(),
+        &mut plan.llc,
+    );
+    plan.csr.spmv_fast_into(x, y);
+    IterReport {
+        cycles: cost.cycles.round() as u64,
+        indir_cycles: cost.indir_cycles.round() as u64,
+        offchip_bytes: cost.offchip_bytes,
+    }
+}
+
+fn analytic_pack_params(plan: &PackPlan, vectors: usize) -> nmpic_model::PackParams {
+    nmpic_model::PackParams {
+        tile_entries: plan.cfg.tile_entries_batched(vectors).max(64),
+        ptr_count: plan.sell.slice_ptr().len(),
+        rows: plan.sell.rows(),
+        vectors,
+        compute_elems_per_cycle: plan.cfg.compute_elems_per_cycle,
+        adapter: plan.cfg.adapter.clone(),
+        chan: nmpic_model::ChannelModel::of(&plan.cfg.backend),
+        idx_base: plan.layout.idx_base,
+        vec_bases: plan.layout.vec_bases[..vectors.min(plan.layout.vec_bases.len())].to_vec(),
+    }
+}
+
+fn analytic_pack_plan(plan: &mut PackPlan, xs: &[&[f64]]) -> RunReport {
+    let capacity = plan.layout.vec_bases.len();
+    let mut cycles = 0u64;
+    let mut indir_cycles = 0u64;
+    let mut offchip = 0u64;
+    let mut ys = Vec::with_capacity(xs.len());
+    for chunk in xs.chunks(capacity) {
+        let params = analytic_pack_params(plan, chunk.len());
+        let cost = nmpic_model::pack_cost(&params, plan.sell.col_idx());
+        cycles += cost.cycles.round() as u64;
+        indir_cycles += cost.indir_cycles.round() as u64;
+        offchip += cost.offchip_bytes;
+        for x in chunk {
+            ys.push(plan.sell.spmv(x));
+        }
+    }
+    RunReport {
+        label: plan.cfg.adapter.label(),
+        cycles,
+        vectors: xs.len(),
+        indir_cycles,
+        nnz: plan.sell.nnz() as u64,
+        entries: plan.sell.padded_len() as u64,
+        offchip_bytes: offchip,
+        ideal_bytes: pack_ideal_bytes(&plan.sell, xs.len() as u64),
+        verified: true,
+        ys,
+        shards: None,
+    }
+}
+
+fn analytic_pack_iter(plan: &mut PackPlan, x: &[f64], y: &mut [f64]) -> IterReport {
+    let params = analytic_pack_params(plan, 1);
+    let cost = nmpic_model::pack_cost(&params, plan.sell.col_idx());
+    y.copy_from_slice(&plan.sell.spmv(x));
+    IterReport {
+        cycles: cost.cycles.round() as u64,
+        indir_cycles: cost.indir_cycles.round() as u64,
+        offchip_bytes: cost.offchip_bytes,
+    }
+}
+
+/// Per-vector analytic sharded costs: the gather phase is the slowest
+/// shard's burst, the collection phase streams the merged result rows.
+/// Costs do not depend on vector values, so one evaluation covers every
+/// vector of a batch.
+fn analytic_sharded_costs(
+    plan: &ShardedPlan,
+) -> (Vec<nmpic_model::AnalyticCost>, nmpic_model::AnalyticCost) {
+    let unit_chan = nmpic_model::ChannelModel::of(&plan.backend.split(plan.units));
+    let collect_chan =
+        nmpic_model::ChannelModel::of(&plan.backend.split(plan.backend.kind.channels()));
+    // Each shard's replay is independent; fan them across the work pool
+    // (this is the analytic path's dominant cost on large matrices).
+    let jobs: Vec<(usize, u64, u64, u64)> = plan
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(i, slot)| (i, slot.nnz, slot.idx_base, slot.x_base))
+        .collect();
+    let workers = nmpic_sim::pool::parallel_jobs();
+    // Capture only plain data: the plan also owns channel ports, which
+    // are not Sync.
+    let (partition, csr, adapter) = (&plan.partition, &plan.csr, &plan.adapter);
+    let per_shard =
+        nmpic_sim::pool::parallel_map_jobs(workers, jobs, |(i, nnz, idx_base, x_base)| {
+            if nnz == 0 {
+                return nmpic_model::AnalyticCost::default();
+            }
+            let shard = partition.csr_shard(csr, i);
+            nmpic_model::shard_gather_cost(adapter, &unit_chan, idx_base, x_base, shard.col_idx())
+        });
+    (
+        per_shard,
+        nmpic_model::collect_cost(plan.csr.rows(), &collect_chan),
+    )
+}
+
+fn analytic_sharded_plan(plan: &mut ShardedPlan, xs: &[&[f64]]) -> RunReport {
+    let (shard_costs, collect) = analytic_sharded_costs(plan);
+    let n = xs.len() as u64;
+    let mut gather_per_vec = 0u64;
+    let mut shard_bytes = 0u64;
+    let mut payload_per_vec = 0u64;
+    let mut cycle_ext = Extrema::new();
+    let bus_ext = Extrema::new();
+    let mut per_shard = Vec::with_capacity(plan.slots.len());
+    for (i, (slot, cost)) in plan.slots.iter().zip(&shard_costs).enumerate() {
+        let cyc = cost.cycles.round() as u64;
+        gather_per_vec = gather_per_vec.max(cyc);
+        shard_bytes += cost.offchip_bytes;
+        let payload = 8 * slot.nnz;
+        payload_per_vec += payload;
+        cycle_ext.add(cyc as f64);
+        per_shard.push(ShardReport {
+            shard: i,
+            rows: slot.rows,
+            nnz: slot.nnz,
+            cycles: cyc,
+            indir_gbps: if cyc == 0 {
+                0.0
+            } else {
+                payload as f64 / cyc as f64
+            },
+            adapter: Default::default(),
+            dram: None,
+        });
+    }
+    let gather_cycles = gather_per_vec * n;
+    let collect_cycles = collect.cycles.round() as u64 * n;
+    let ys: Vec<Vec<f64>> = xs.iter().map(|x| plan.csr.spmv_fast(x)).collect();
+    let detail = ShardDetail {
+        units: plan.units,
+        gather_cycles,
+        collect_cycles,
+        aggregate_gbps: if gather_cycles == 0 {
+            0.0
+        } else {
+            (payload_per_vec * n) as f64 / gather_cycles as f64
+        },
+        nnz_imbalance: plan.partition.nnz_imbalance(),
+        cycle_imbalance: cycle_ext.imbalance(),
+        bus_imbalance: bus_ext.imbalance(),
+        scatter: Default::default(),
+        dram: None,
+        per_shard,
+    };
+    RunReport {
+        label: sharded_label(plan),
+        cycles: gather_cycles + collect_cycles,
+        vectors: xs.len(),
+        indir_cycles: gather_cycles,
+        nnz: plan.csr.nnz() as u64,
+        entries: plan.csr.nnz() as u64,
+        offchip_bytes: (shard_bytes + collect.offchip_bytes) * n,
+        ideal_bytes: base_ideal_bytes(&plan.csr, n),
+        verified: true,
+        ys,
+        shards: Some(detail),
+    }
+}
+
+fn analytic_sharded_iter(plan: &mut ShardedPlan, x: &[f64], y: &mut [f64]) -> IterReport {
+    let (shard_costs, collect) = analytic_sharded_costs(plan);
+    let gather = shard_costs
+        .iter()
+        .map(|c| c.cycles.round() as u64)
+        .max()
+        .unwrap_or(0);
+    let shard_bytes: u64 = shard_costs.iter().map(|c| c.offchip_bytes).sum();
+    plan.csr.spmv_fast_into(x, y);
+    IterReport {
+        cycles: gather + collect.cycles.round() as u64,
+        indir_cycles: gather,
+        offchip_bytes: shard_bytes + collect.offchip_bytes,
     }
 }
 

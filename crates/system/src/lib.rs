@@ -59,7 +59,6 @@
 #![warn(missing_docs)]
 
 mod base;
-mod cache;
 mod engine;
 mod pack;
 mod report;
@@ -69,8 +68,11 @@ mod solve;
 
 #[allow(deprecated)]
 pub use base::{base_memory_size, run_base_spmv, run_base_spmv_on, BaseConfig};
-pub use cache::{Cache, CacheConfig, CacheStats};
-pub use engine::{ParseSystemError, SpmvEngine, SpmvEngineBuilder, SpmvPlan, SystemKind};
+pub use engine::{
+    ExecMode, ParseExecModeError, ParseSystemError, SpmvEngine, SpmvEngineBuilder, SpmvPlan,
+    SystemKind,
+};
+pub use nmpic_mem::{Cache, CacheConfig, CacheStats};
 #[allow(deprecated)]
 pub use pack::{pack_label, pack_memory_size, run_pack_spmv, run_pack_spmv_on, PackConfig};
 pub use report::{golden_x, results_match, IterReport, RunReport, ShardDetail, SpmvReport};

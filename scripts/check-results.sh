@@ -49,6 +49,33 @@ for file in "$@"; do
             bad=1
         fi
     fi
+    # Analytic-validation results carry per-point relative errors of the
+    # analytic execution mode vs cycle-accurate. Gate on the row's own
+    # verdict columns and, belt-and-braces, on the numeric errors
+    # against the pinned tolerance (keep in sync with
+    # `nmpic_model::analytic::PINNED_REL_TOL` in
+    # crates/model/src/analytic.rs).
+    if grep -q '"rel err cycles"' "$file"; then
+        rel_tol=0.5
+        if grep -qE '"(within tol|values match)": "?false"?' "$file"; then
+            echo "FAIL: $file contains out-of-tolerance or value-mismatched points:" >&2
+            grep -nE '"(within tol|values match)": "?false"?' "$file" >&2
+            bad=1
+        fi
+        if ! awk -v tol="$rel_tol" '
+            {
+                while (match($0, /"rel err [^"]*": *[0-9.eE+-]+/)) {
+                    s = substr($0, RSTART, RLENGTH)
+                    sub(/^.*: */, "", s)
+                    if (s + 0 > tol + 0) { print "line " NR ": " s; bad = 1 }
+                    $0 = substr($0, RSTART + RLENGTH)
+                }
+            }
+            END { exit bad }' "$file"; then
+            echo "FAIL: $file contains relative errors above the pinned tolerance $rel_tol" >&2
+            bad=1
+        fi
+    fi
     if [ "$bad" -eq 0 ]; then
         echo "OK: $file ($rows rows, all values finite)"
     else

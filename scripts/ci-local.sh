@@ -7,6 +7,7 @@
 #   test        release build + quick-scale test suite (stable, plus the
 #               MSRV toolchain when rustup has it installed)
 #   bench-smoke scaling_units + scaling_channels + batched_spmv +
+#               analytic_validation +
 #               service_throughput + solver_convergence at NMPIC_QUICK=1,
 #               then gate the JSON results on zero rows / NaN values
 #               (plus zero iterations / non-convergence for the solver)
@@ -47,14 +48,15 @@ run_test() {
 }
 
 run_bench() {
-    step "bench-smoke: scaling_units + scaling_channels + batched_spmv + service_throughput + solver_convergence (NMPIC_QUICK=1)"
+    step "bench-smoke: scaling_units + scaling_channels + batched_spmv + service_throughput + solver_convergence + analytic_validation (NMPIC_QUICK=1)"
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_units
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_channels
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin batched_spmv
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin service_throughput
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin solver_convergence
+    NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin analytic_validation
     step "bench-smoke: gating results"
-    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json results/batched_spmv.json results/service_throughput.json results/solver_convergence.json
+    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json results/batched_spmv.json results/service_throughput.json results/solver_convergence.json results/analytic_validation.json
 }
 
 run_doc() {
