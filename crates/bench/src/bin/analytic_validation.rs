@@ -20,9 +20,7 @@
 //!
 //! Run with: `cargo run --release -p nmpic-bench --bin analytic_validation`
 
-use std::time::Instant;
-
-use nmpic_bench::{analytic_validation, f, timing, ExperimentOpts, Table};
+use nmpic_bench::{analytic_validation, f, timing, timing::Stopwatch, ExperimentOpts, Table};
 use nmpic_mem::BackendConfig;
 use nmpic_system::{golden_x, ExecMode, SpmvEngine, SystemKind};
 
@@ -116,10 +114,10 @@ fn large_matrix_sweep() {
                 .system(sys.clone())
                 .exec_mode(ExecMode::Analytic)
                 .build();
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let mut plan = engine.prepare(&csr);
             let prep = t0.elapsed();
-            let t1 = Instant::now();
+            let t1 = Stopwatch::start();
             let r = plan.run(&x);
             let run = t1.elapsed();
             assert!(
@@ -178,7 +176,7 @@ fn speedup_measurement() {
     });
 
     let mut cycle = build(ExecMode::CycleAccurate);
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let r = cycle.run_batch(&xs);
     let cycle_wall = t0.elapsed();
     assert!(r.verified);

@@ -6,7 +6,7 @@
 //! [`crate::runner::parallel_map`]; every point is an independent,
 //! deterministic simulation, and results keep their sweep order.
 
-use std::time::Instant;
+use crate::timing::Stopwatch;
 
 use nmpic_core::{run_indirect_stream, AdapterConfig, StreamOptions, StreamResult};
 use nmpic_mem::{BackendConfig, ChannelPort, HbmChannel, HbmConfig, Memory, WideRequest};
@@ -279,6 +279,7 @@ fn run_stream_jobs(jobs: Vec<StreamJob<'_>>) -> Vec<StreamRow> {
 fn build_matrices(names: &[&str], opts: &ExperimentOpts) -> Vec<(String, Csr, Sell)> {
     let max_nnz = opts.max_nnz;
     parallel_map(names.to_vec(), move |name| {
+        // nmpic-lint: allow(L2) — invariant: the name is a compile-time member of the built-in suite; by_name covers it
         let spec = nmpic_sparse::by_name(name).expect("suite matrix");
         let csr = spec.build_capped(max_nnz);
         let sell = Sell::from_csr_default(&csr);
@@ -526,6 +527,7 @@ pub const SCALING_CHANNELS: [usize; 4] = [1, 2, 4, 8];
 ///
 /// Panics if any run fails verification.
 pub fn scaling_channels(opts: &ExperimentOpts) -> Vec<ChannelScalingRow> {
+    // nmpic-lint: allow(L2) — invariant: the name is a compile-time member of the built-in suite; by_name covers it
     let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
     let csr = spec.build_capped(opts.max_nnz.min(100_000));
     let sell = Sell::from_csr_default(&csr);
@@ -591,6 +593,7 @@ pub const SCALING_UNITS: [usize; 4] = [1, 2, 4, 8];
 ///
 /// Panics if any run fails its byte-identical golden verification.
 pub fn scaling_units(opts: &ExperimentOpts) -> Vec<UnitScalingRow> {
+    // nmpic-lint: allow(L2) — invariant: the name is a compile-time member of the built-in suite; by_name covers it
     let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
     let csr = spec.build_capped(opts.max_nnz.min(100_000));
     let strategy = opts.partition.unwrap_or_default();
@@ -681,6 +684,7 @@ pub fn batch_x(b: usize, i: usize) -> f64 {
 ///
 /// Panics if any run fails its golden verification.
 pub fn batched_spmv(opts: &ExperimentOpts) -> Vec<BatchRow> {
+    // nmpic-lint: allow(L2) — invariant: the name is a compile-time member of the built-in suite; by_name covers it
     let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
     let csr = spec.build_capped(opts.max_nnz.min(100_000));
     let system = match (&opts.system, opts.partition) {
@@ -694,6 +698,7 @@ pub fn batched_spmv(opts: &ExperimentOpts) -> Vec<BatchRow> {
     let engine = SpmvEngine::builder()
         .backend(BackendConfig::interleaved(8))
         .system(system)
+        // nmpic-lint: allow(L2) — invariant: BATCH_SIZES is a non-empty const sweep
         .batch_capacity(*BATCH_SIZES.iter().max().expect("non-empty sweep"))
         .build();
 
@@ -786,6 +791,7 @@ pub const SERVICE_REQUESTS: usize = 8;
 ///
 /// Panics if any served result diverges from the serial reference.
 pub fn service_throughput(opts: &ExperimentOpts) -> Vec<ServiceRow> {
+    // nmpic-lint: allow(L2) — invariant: the name is a compile-time member of the built-in suite; by_name covers it
     let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
     let csr = spec.build_capped(opts.max_nnz.min(100_000));
     let strategy = opts.partition.unwrap_or_default();
@@ -833,23 +839,26 @@ pub fn service_throughput(opts: &ExperimentOpts) -> Vec<ServiceRow> {
         assert_eq!(service.prepare(&csr), key);
         // Untimed warmup so one-time costs (thread stacks, page faults)
         // don't land inside a single point's measurement.
+        // nmpic-lint: allow(L2) — documented panic: the driver's Panics section covers run/verification failures
         let warm = service.run(key, xs[0].clone()).expect("warmup");
         assert!(warm.verified);
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let tickets: Vec<_> = xs
             .iter()
             .map(|x| {
                 service
                     .submit(key, x.clone())
+                    // nmpic-lint: allow(L2) — documented panic: the service queue is sized for the burst, and the driver documents its Panics
                     .expect("queue sized for burst")
             })
             .collect();
         service.collect();
-        let wall_ms = (t0.elapsed().as_secs_f64() * 1e3).max(1e-6);
+        let wall_ms = t0.elapsed_ms();
 
         let mut verified = true;
         for (t, want) in tickets.into_iter().zip(&reference) {
+            // nmpic-lint: allow(L2) — invariant: collect() above drained every submitted ticket
             let done = service.take(t).expect("collected");
             verified &= done.verified;
             let got: Vec<u64> = done.y.iter().map(|v| v.to_bits()).collect();
@@ -863,6 +872,7 @@ pub fn service_throughput(opts: &ExperimentOpts) -> Vec<ServiceRow> {
         if workers == 1 {
             serial_wall_ms = Some(wall_ms);
         }
+        // nmpic-lint: allow(L2) — invariant: the workers sweep starts at 1, which sets the serial baseline
         let base = serial_wall_ms.expect("1-worker point runs first");
         rows.push(ServiceRow {
             workers,

@@ -131,6 +131,7 @@ impl Table {
                     '\n' => out.push_str("\\n"),
                     '\r' => out.push_str("\\r"),
                     '\t' => out.push_str("\\t"),
+                    // nmpic-lint: allow(L1) — in range on every target: char scalars are at most 0x10FFFF, so u32 holds every value
                     c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
                     c => out.push(c),
                 }
@@ -210,6 +211,7 @@ fn is_json_number(s: &str) -> bool {
     // Integer part: `0` alone or a nonzero-led digit run.
     match b.get(i) {
         Some(b'0') => i += 1,
+        // nmpic-lint: allow(L2) — invariant: the match guard saw an ascii digit at i, so digits() returns Some
         Some(c) if c.is_ascii_digit() => i = digits(b, i).expect("digit checked"),
         _ => return false,
     }

@@ -74,6 +74,32 @@ impl Measurement {
     }
 }
 
+/// A started wall-clock timer — the sanctioned way for bench code outside
+/// this module to read host time. Simulated results must never depend on
+/// the host clock (`nmpic-lint` rule L6), so every wall-clock read is
+/// funneled through here, where it is auditable and clearly labeled as a
+/// *host-side* measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the watch.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Wall time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Wall time since [`Stopwatch::start`] in milliseconds, floored at a
+    /// small epsilon so downstream rate divisions stay finite.
+    pub fn elapsed_ms(&self) -> f64 {
+        (self.elapsed().as_secs_f64() * 1e3).max(1e-6)
+    }
+}
+
 /// Times `f` for `iters` iterations (after one warmup call) and prints the
 /// one-line report. The closure's return value is consumed with
 /// [`std::hint::black_box`] so the compiler cannot elide the work.
@@ -139,6 +165,16 @@ mod tests {
         assert!(!ok.under_resolution());
         assert!(ok.elems_per_sec().is_some());
         assert!(ok.report().contains("elems/s"));
+    }
+
+    #[test]
+    fn stopwatch_advances_and_floors_ms() {
+        let w = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(w.elapsed() >= Duration::from_millis(2));
+        assert!(w.elapsed_ms() >= 2.0);
+        // The epsilon floor keeps rates finite even for ~0 elapsed reads.
+        assert!(Stopwatch::start().elapsed_ms() > 0.0);
     }
 
     #[test]

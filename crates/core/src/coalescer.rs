@@ -318,6 +318,7 @@ impl Coalescer {
                         bits: std::mem::replace(&mut self.hitmap, vec![false; self.window]),
                         last: false,
                     };
+                    // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
                     self.hitmap_q.try_push(entry).expect("checked space");
                     self.hit_count = 0;
                     self.stats.cross_window_merges += 1;
@@ -333,6 +334,7 @@ impl Coalescer {
         // Adopt a tag from the oldest valid entry if the CSHR is idle.
         if self.tag.is_none() {
             if let Some(w) = self.oldest_valid(None) {
+                // nmpic-lint: allow(L2) — invariant: win_valid marks exactly the windows whose request queue is nonempty
                 let addr = self.req_q[w].peek().expect("valid head").addr;
                 self.tag = Some(block_addr(addr));
                 progress = true;
@@ -349,6 +351,7 @@ impl Coalescer {
             if !self.win_valid[w] {
                 continue;
             }
+            // nmpic-lint: allow(L2) — invariant: win_valid marks exactly the windows whose request queue is nonempty
             let head = self.req_q[w].peek().expect("valid head exists");
             if block_addr(head.addr) != tag {
                 continue;
@@ -357,13 +360,16 @@ impl Coalescer {
                 stalled_hit = true;
                 continue;
             }
+            // nmpic-lint: allow(L2) — invariant: the same head was peeked this cycle, so the queue is nonempty
             let req = self.req_q[w].pop().expect("peeked");
+            // nmpic-lint: allow(L1) — in range: block offsets are below BLOCK_BYTES (64), so the lane offset fits 8 bits
             let offset = (block_offset(req.addr) / self.elem_bytes) as u8;
             self.offsets_q[w]
                 .try_push(OffsetEntry {
                     offset,
                     seq: req.seq,
                 })
+                // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
                 .expect("checked space");
             debug_assert!(!self.hitmap[w], "window slot coalesced twice");
             self.hitmap[w] = true;
@@ -374,6 +380,7 @@ impl Coalescer {
         }
 
         let misses_remain = (0..self.window).any(|w| {
+            // nmpic-lint: allow(L2) — invariant: win_valid marks exactly the windows whose request queue is nonempty
             self.win_valid[w] && block_addr(self.req_q[w].peek().expect("valid head").addr) != tag
         });
 
@@ -385,7 +392,9 @@ impl Coalescer {
                 self.issue_current(false);
                 let next = self
                     .oldest_valid(Some(tag))
+                    // nmpic-lint: allow(L2) — invariant: misses_remain just observed a valid window whose head misses the tag
                     .expect("misses_remain guarantees a candidate");
+                // nmpic-lint: allow(L2) — invariant: win_valid marks exactly the windows whose request queue is nonempty
                 let addr = self.req_q[next].peek().expect("valid head").addr;
                 self.tag = Some(block_addr(addr));
                 progress = true;
@@ -399,12 +408,15 @@ impl Coalescer {
     /// always true here — `false` entries are pushed by the window-close
     /// path) and the wide request.
     fn issue_current(&mut self, from_watchdog: bool) {
+        // nmpic-lint: allow(L2) — invariant: callers only issue while a coalescing tag is open
         let tag = self.tag.take().expect("issue requires a tag");
         let entry = HitmapEntry {
             bits: std::mem::replace(&mut self.hitmap, vec![false; self.window]),
             last: true,
         };
+        // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
         self.hitmap_q.try_push(entry).expect("caller checked space");
+        // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
         self.wide_out.try_push(tag).expect("caller checked space");
         self.hit_count = 0;
         self.stats.wide_requests += 1;
@@ -419,6 +431,7 @@ impl Coalescer {
             if !self.win_valid[w] {
                 continue;
             }
+            // nmpic-lint: allow(L2) — invariant: win_valid marks exactly the windows whose request queue is nonempty
             let head = self.req_q[w].peek().expect("valid head");
             if let Some(t) = exclude_tag {
                 if block_addr(head.addr) == t {
@@ -454,6 +467,7 @@ impl Coalescer {
         for w in bits {
             let off = self.offsets_q[w]
                 .pop()
+                // nmpic-lint: allow(L2) — invariant: an offset is enqueued for every accepted request, in the same order
                 .expect("offset pushed at accept time");
             let lo = off.offset as usize * self.elem_bytes;
             let mut buf = [0u8; 8];
@@ -464,6 +478,7 @@ impl Coalescer {
                     seq: off.seq,
                     value,
                 })
+                // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
                 .expect("checked space");
             self.stats.elements_out += 1;
         }

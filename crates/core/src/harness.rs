@@ -153,6 +153,7 @@ pub fn run_indirect_stream_on(
         elem_base,
         elem_size: ElemSize::B8,
     })
+    // nmpic-lint: allow(L2) — invariant: the unit was constructed immediately above, and a fresh unit accepts a burst
     .expect("fresh unit accepts a burst");
 
     let mut unpacker = Unpacker::new(ElemSize::B8);

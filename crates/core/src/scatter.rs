@@ -245,6 +245,7 @@ impl ScatterUnit {
             return false;
         }
         for v in beat.elements() {
+            // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
             self.data_q.try_push(v).expect("checked space");
         }
         self.accepted += beat.elems as u64;
@@ -369,6 +370,7 @@ impl ScatterUnit {
         }
         let req = WideRequest::write_masked(w.tag, 0, w.data, w.mask);
         let merged = w.merged;
+        // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
         self.write_q.try_push(req).expect("checked space");
         self.stats.wide_writes += 1;
         self.written += merged;
@@ -381,6 +383,7 @@ impl ScatterUnit {
         let Some(block) = self.idx_staging.front() else {
             return;
         };
+        // nmpic-lint: allow(L2) — invariant: a meta record is enqueued with every issued block request, in order
         let (start, cnt) = *self.idx_block_meta.front().expect("meta pushed at issue");
         if self.idx_q.free() < cnt {
             return; // whole-block push keeps this simple; queue is deep
@@ -392,6 +395,7 @@ impl ScatterUnit {
             buf.copy_from_slice(&block[lo..lo + idx_bytes.min(4)]);
             self.idx_q
                 .try_push(u32::from_le_bytes(buf))
+                // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
                 .expect("checked space");
         }
         self.idx_staging.pop_front();
@@ -410,6 +414,7 @@ impl ScatterUnit {
         }
         self.idx_req_q
             .try_push(WideRequest::read(self.idx_next_block, TAG_SCATTER_IDX))
+            // nmpic-lint: allow(L2) — invariant: fullness was checked before issuing this request
             .expect("checked not full");
         self.idx_block_meta.push_back((start, cnt));
         self.idx_outstanding += cnt;
@@ -436,8 +441,10 @@ impl ScatterUnit {
                     // Put it back at the head by re-queueing via a fresh
                     // fifo push; depth ≥ 1 is free because we just popped.
                     let mut items = q.drain_all();
+                    // nmpic-lint: allow(L2) — invariant: the pop above freed exactly one slot in this fixed-depth queue
                     q.try_push(back).expect("slot freed by pop");
                     for item in items.drain(..) {
+                        // nmpic-lint: allow(L2) — invariant: re-pushing items just drained from this queue cannot exceed its depth
                         q.try_push(item).expect("restoring same elements");
                     }
                 } else {

@@ -192,6 +192,7 @@ impl MergedCollector {
                 s
             }
         };
+        // nmpic-lint: allow(L2) — invariant: the arbiter only grants queues it observed nonempty this cycle
         let (row, bits) = self.queues[s].pop_front().expect("granted nonempty");
         Some((s, row, bits))
     }

@@ -30,6 +30,7 @@ impl IndirectStreamUnit {
         }
         self.idx_req_q
             .try_push(WideRequest::read(self.idx_next_block, TAG_IDX))
+            // nmpic-lint: allow(L2) — invariant: fullness was checked before issuing this request
             .expect("checked not full");
         self.idx_block_meta.push_back((start, cnt));
         self.idx_outstanding += cnt;
@@ -55,6 +56,7 @@ impl IndirectStreamUnit {
         let cnt = ((per_block - start) as u64).min(self.idx_elems_left) as usize;
         self.contig_req_q
             .try_push(WideRequest::read(self.idx_next_block, TAG_CONTIG))
+            // nmpic-lint: allow(L2) — invariant: fullness was checked before issuing this request
             .expect("checked not full");
         self.contig_block_meta.push_back((start, cnt));
         self.contig_outstanding += 1;

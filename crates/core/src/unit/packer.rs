@@ -22,6 +22,7 @@ impl IndirectStreamUnit {
         let (start, cnt) = self
             .contig_block_meta
             .pop_front()
+            // nmpic-lint: allow(L2) — invariant: a meta record is enqueued with every issued block request, in order
             .expect("meta pushed at issue");
         let e = elem_size.bytes();
         for k in 0..cnt {
@@ -55,6 +56,7 @@ impl IndirectStreamUnit {
                 }
             }
             _ => {
+                // nmpic-lint: allow(L2) — invariant: every coalescing mode constructs the unit with a coalescer
                 let coal = self.coal.as_mut().expect("coalescer present");
                 let ports = coal.ports() as u64;
                 for _ in 0..ports {
@@ -82,10 +84,13 @@ impl IndirectStreamUnit {
         }
         if let Some(beat) = self.packer.pop_beat() {
             self.stats.beats_emitted += 1;
+            // nmpic-lint: allow(L2) — invariant: fullness was checked before issuing this request
             self.beats.try_push(beat).expect("checked not full");
         } else if self.burst_delivered == self.burst_target && self.packer.pending() > 0 {
+            // nmpic-lint: allow(L2) — invariant: guarded by packer.pending() > 0 in the branch condition
             let beat = self.packer.flush().expect("pending > 0");
             self.stats.beats_emitted += 1;
+            // nmpic-lint: allow(L2) — invariant: fullness was checked before issuing this request
             self.beats.try_push(beat).expect("checked not full");
         }
     }

@@ -25,11 +25,13 @@ impl IndirectStreamUnit {
         };
         match self.cfg.mode {
             CoalescerMode::Parallel => {
+                // nmpic-lint: allow(L2) — invariant: parallel mode constructs the unit with a coalescer
                 let coal = self.coal.as_mut().expect("parallel mode has coalescer");
                 for lane in 0..self.cfg.lanes {
                     if self.lane_q[lane].is_empty() || !coal.can_accept(lane) {
                         continue;
                     }
+                    // nmpic-lint: allow(L2) — invariant: emptiness was checked in the branch condition above
                     let (seq, idx) = self.lane_q[lane].pop().expect("nonempty");
                     let addr = elem_base + idx as u64 * elem_bytes;
                     let ok = coal.try_push_request(lane, ElemRequest { seq, addr });
@@ -39,9 +41,11 @@ impl IndirectStreamUnit {
             }
             CoalescerMode::Sequential => {
                 // One request per cycle, in stream order, through port 0.
+                // nmpic-lint: allow(L2) — invariant: sequential mode constructs the unit with a coalescer
                 let coal = self.coal.as_mut().expect("seq mode has coalescer");
                 let lane = (self.next_gen_seq % self.cfg.lanes as u64) as usize;
                 if !self.lane_q[lane].is_empty() && coal.can_accept(0) {
+                    // nmpic-lint: allow(L2) — invariant: emptiness was checked in the branch condition above
                     let (seq, idx) = self.lane_q[lane].pop().expect("nonempty");
                     debug_assert_eq!(seq, self.next_gen_seq);
                     let addr = elem_base + idx as u64 * elem_bytes;
@@ -64,9 +68,11 @@ impl IndirectStreamUnit {
                     debug_assert_eq!(seq, self.next_gen_seq);
                     self.lane_q[lane].pop();
                     let addr = elem_base + idx as u64 * elem_bytes;
+                    // nmpic-lint: allow(L1) — in range: block offsets are below BLOCK_BYTES (64), so the lane offset fits 8 bits
                     let offset = (block_offset(addr) / elem_bytes as usize) as u8;
                     self.nocoal_req_q
                         .try_push(WideRequest::read(addr, TAG_ELEM))
+                        // nmpic-lint: allow(L2) — invariant: fullness was checked before issuing this request
                         .expect("checked not full");
                     self.nocoal_meta.push_back((seq, offset));
                     self.nocoal_outstanding += 1;
@@ -101,9 +107,11 @@ impl IndirectStreamUnit {
                     let seq = *next;
                     let addr = *base + seq * *stride;
                     let elem_bytes = elem_size.bytes();
+                    // nmpic-lint: allow(L1) — in range: block offsets are below BLOCK_BYTES (64), so the lane offset fits 8 bits
                     let offset = (block_offset(addr) / elem_bytes) as u8;
                     self.nocoal_req_q
                         .try_push(WideRequest::read(addr, TAG_ELEM))
+                        // nmpic-lint: allow(L2) — invariant: fullness was checked before issuing this request
                         .expect("checked not full");
                     self.nocoal_meta.push_back((seq, offset));
                     self.nocoal_outstanding += 1;
@@ -112,6 +120,7 @@ impl IndirectStreamUnit {
                 }
             }
             _ => {
+                // nmpic-lint: allow(L2) — invariant: every coalescing mode constructs the unit with a coalescer
                 let coal = self.coal.as_mut().expect("coalescer present");
                 let ports = coal.ports() as u64;
                 for _ in 0..ports {
@@ -137,6 +146,7 @@ impl IndirectStreamUnit {
         if self.cfg.mode != CoalescerMode::None {
             // Coalesced path: offer the head response to the splitter.
             if let Some(block) = self.elem_staging.front() {
+                // nmpic-lint: allow(L2) — invariant: every coalescing mode constructs the unit with a coalescer
                 let coal = self.coal.as_mut().expect("coalescer present");
                 if coal.offer_response(*block) {
                     self.elem_staging.pop_front();
@@ -153,6 +163,7 @@ impl IndirectStreamUnit {
         let (seq, offset) = self
             .nocoal_meta
             .pop_front()
+            // nmpic-lint: allow(L2) — invariant: a meta record is enqueued with every issued request, in order
             .expect("meta pushed at request");
         let e = self.cfg.elem_size.bytes();
         let lo = offset as usize * e;
@@ -163,6 +174,7 @@ impl IndirectStreamUnit {
                 seq,
                 value: u64::from_le_bytes(buf),
             })
+            // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
             .expect("checked space");
         self.nocoal_outstanding -= 1;
     }

@@ -12,6 +12,7 @@ impl IndirectStreamUnit {
                 let (start, cnt) = self
                     .idx_block_meta
                     .pop_front()
+                    // nmpic-lint: allow(L2) — invariant: a meta record is enqueued with every issued block request, in order
                     .expect("meta pushed at issue");
                 self.split_cur = Some((block, start, cnt));
             } else {
@@ -20,6 +21,7 @@ impl IndirectStreamUnit {
         }
         let lanes = self.cfg.lanes as u64;
         let idx_bytes = self.cfg.idx_size.bytes();
+        // nmpic-lint: allow(L2) — invariant: split_cur was populated in the branch above
         let (block, start, cnt) = self.split_cur.as_mut().expect("set above");
         while *cnt > 0 {
             let lane = (self.next_split_seq % lanes) as usize;
@@ -32,6 +34,7 @@ impl IndirectStreamUnit {
             let idx = u32::from_le_bytes(buf);
             self.lane_q[lane]
                 .try_push((self.next_split_seq, idx))
+                // nmpic-lint: allow(L2) — invariant: the caller checked free space on this queue this cycle
                 .expect("checked space");
             self.next_split_seq += 1;
             *start += 1;

@@ -1,0 +1,39 @@
+//! CLI entry point: `nmpic-lint [ROOT]`.
+//!
+//! Lints every `.rs` file under `ROOT` (default: the current directory)
+//! and prints one line per unsuppressed violation. Exit status: `0`
+//! clean, `1` violations found, `2` I/O failure — the CI `invariants`
+//! job runs this as a hard gate.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root: PathBuf = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let report = match nmpic_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nmpic-lint: cannot walk {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    println!(
+        "nmpic-lint: {} files, {} violation{}, {} suppressed by allow-markers",
+        report.files,
+        report.violations.len(),
+        if report.violations.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.suppressed
+    );
+    if !report.violations.is_empty() {
+        std::process::exit(1);
+    }
+}

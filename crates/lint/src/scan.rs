@@ -1,0 +1,420 @@
+//! Source scanner: separates code from comments and string/char-literal
+//! content, and marks test-gated regions.
+//!
+//! The rule matchers in [`crate::rules`] only ever look at the *code*
+//! channel, so a doc example containing `.unwrap()`, a format string
+//! containing `as u32`, or a comment discussing `panic!` can never trip
+//! a lint. Conversely the allow-marker and justification-comment logic
+//! only looks at the *comment* channel.
+//!
+//! This is a hand-rolled scanner, not a Rust parser: it understands
+//! exactly as much syntax as the rules need — line and (nested) block
+//! comments, plain/raw/byte string literals, char literals vs lifetimes,
+//! attributes, and brace depth for `#[cfg(test)]` / `#[test]` region
+//! tracking. Anything it cannot see (macro-generated code, multi-line
+//! split of a single `as u32` cast) is an accepted false negative; the
+//! workspace is rustfmt-formatted, which keeps those constructs on one
+//! line in practice.
+
+/// One scanned source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments and string/char-literal *content*
+    /// blanked to spaces (delimiters kept), so column positions are
+    /// preserved for reporting.
+    pub code: String,
+    /// Comment text carried by this line (line, block, and doc
+    /// comments), with non-comment characters omitted.
+    pub comment: String,
+    /// `true` when the line belongs to a `#[cfg(test)]` or `#[test]`
+    /// gated item (including the attribute line itself).
+    pub test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment { depth: usize },
+    Str { esc: bool },
+    RawStr { hashes: usize },
+    CharLit { esc: bool },
+}
+
+/// Scans `source` into per-line code/comment channels and marks
+/// test-gated regions. Never fails: unterminated literals simply blank
+/// the remainder of the file, which only makes the linter *more*
+/// conservative.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut lines = split_channels(source);
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// `Some((prefix_len, hashes))` when `chars[i..]` starts a raw string
+/// literal (`r"`, `r#"`, `br"`, ...): `prefix_len` covers the `r`/`br`
+/// prefix, `hashes` the `#` run.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    if chars.get(j + hashes) == Some(&'"') {
+        Some((j - i, hashes))
+    } else {
+        None
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn split_channels(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    // Last significant code character, to keep `r"..."` raw-string
+    // detection from firing inside identifiers like `var"`.
+    let mut last_code: Option<char> = None;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                test: false,
+            });
+            match mode {
+                Mode::LineComment => mode = Mode::Code,
+                // A `\` immediately before the newline continues the
+                // string; the escape is spent on the newline itself.
+                Mode::Str { .. } => mode = Mode::Str { esc: false },
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment { depth: 1 };
+                    code.push_str("  ");
+                    i += 2;
+                } else if !last_code.is_some_and(is_ident_char)
+                    && raw_string_start(&chars, i).is_some()
+                {
+                    // Raw (possibly byte) string literal start.
+                    let (prefix, hashes) = raw_string_start(&chars, i).unwrap_or_default();
+                    for k in 0..prefix + hashes + 1 {
+                        code.push(chars[i + k]);
+                    }
+                    mode = Mode::RawStr { hashes };
+                    last_code = Some('"');
+                    i += prefix + hashes + 1;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str { esc: false };
+                    last_code = Some('"');
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a `'` starts a char
+                    // literal when followed by an escape, or when the
+                    // char after next closes it (`'a'`).
+                    if next == Some('\\') {
+                        code.push('\'');
+                        mode = Mode::CharLit { esc: false };
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        last_code = Some('\'');
+                        i += 3;
+                    } else {
+                        // Lifetime or loop label: keep as code.
+                        code.push('\'');
+                        last_code = Some('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    if !c.is_whitespace() {
+                        last_code = Some(c);
+                    }
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            Mode::BlockComment { depth } => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment { depth: depth + 1 };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment { depth: depth - 1 };
+                    }
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str { esc } => {
+                if esc {
+                    mode = Mode::Str { esc: false };
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\\' {
+                    mode = Mode::Str { esc: true };
+                    code.push(' ');
+                    i += 1;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr { hashes } => {
+                let closes = c == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                if closes {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::CharLit { esc } => {
+                if esc {
+                    mode = Mode::CharLit { esc: false };
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\\' {
+                    mode = Mode::CharLit { esc: true };
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    code.push('\'');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            test: false,
+        });
+    }
+    lines
+}
+
+/// Marks every line that belongs to a `#[cfg(test)]`- or
+/// `#[test]`-gated item: the attribute line(s), the item header, and
+/// the brace-matched body. Operates on the code channel only, so
+/// attributes quoted in comments or strings are invisible.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: usize = 0;
+    // Brace depths at which a test region was entered; a region is
+    // active while `depth >=` its entry.
+    let mut regions: Vec<usize> = Vec::new();
+    // Saw a test attribute, waiting for the item's `{` (or a `;` for
+    // out-of-line `mod tests;`, which the path classifier handles).
+    let mut pending = false;
+    // Attribute text being captured across `#[ ... ]`, possibly over
+    // multiple lines.
+    let mut attr: Option<String> = None;
+    let mut attr_brackets: usize = 0;
+    for line in lines.iter_mut() {
+        let mut line_test = !regions.is_empty() || pending || attr.is_some();
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut k = 0;
+        while k < chars.len() {
+            let c = chars[k];
+            if let Some(text) = attr.as_mut() {
+                match c {
+                    '[' => {
+                        attr_brackets += 1;
+                        text.push(c);
+                    }
+                    ']' => {
+                        attr_brackets = attr_brackets.saturating_sub(1);
+                        if attr_brackets == 0 {
+                            let t: String = text.chars().filter(|ch| !ch.is_whitespace()).collect();
+                            if t.contains("cfg(test)") || t.contains("cfg(all(test") || t == "test"
+                            {
+                                pending = true;
+                                line_test = true;
+                            }
+                            attr = None;
+                        } else {
+                            text.push(c);
+                        }
+                    }
+                    _ => text.push(c),
+                }
+                k += 1;
+                continue;
+            }
+            match c {
+                '#' if chars.get(k + 1) == Some(&'[') => {
+                    attr = Some(String::new());
+                    attr_brackets = 1;
+                    k += 2;
+                    continue;
+                }
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                        line_test = true;
+                    }
+                }
+                '}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' => {
+                    // Semicolon item (e.g. `#[cfg(test)] mod tests;`):
+                    // nothing to brace-match here.
+                    pending = false;
+                }
+                _ => {}
+            }
+            if !regions.is_empty() {
+                line_test = true;
+            }
+            k += 1;
+        }
+        line.test = line_test || !regions.is_empty() || pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked_but_delimited() {
+        let got = code_of("let s = \"x as u32 .unwrap()\";\n");
+        assert!(!got[0].contains("as u32"));
+        assert!(!got[0].contains("unwrap"));
+        assert!(got[0].contains("let s = \""));
+    }
+
+    #[test]
+    fn comments_are_split_out() {
+        let lines = scan("let a = 1; // call .unwrap() later\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains(".unwrap() later"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = scan("a /* one /* two */ still */ b\n/* open\nstill comment panic!()\n*/ c\n");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[2].code.contains("panic"));
+        assert!(lines[2].comment.contains("panic!()"));
+        assert!(lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn raw_strings_including_hashes() {
+        let got =
+            code_of("let r = r#\"contains .unwrap() and \"quotes\" here\"#;\nlet after = 1;\n");
+        assert!(!got[0].contains("unwrap"));
+        assert!(got[1].contains("let after = 1;"), "{:?}", got[1]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let got = code_of("let c = '\"'; let q: Vec<'a> = f::<'b>(); let n = '\\n';\n");
+        // The quote char content is blanked, so the string machinery
+        // never turns on and the rest of the line stays code.
+        assert!(got[0].contains("let q: Vec<'a>"));
+        assert!(got[0].contains("let n ="));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let got = code_of("let s = \"a\\\" as u8\"; let t = 2;\n");
+        assert!(!got[0].contains("as u8"));
+        assert!(got[0].contains("let t = 2;"));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = scan(src);
+        let flags: Vec<bool> = lines.iter().map(|l| l.test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_fn_region_is_marked() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    boom();\n}\nfn b() {}\n";
+        let flags: Vec<bool> = scan(src).iter().map(|l| l.test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_in_string_or_comment_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\"; // #[cfg(test)]\nfn real() {}\n";
+        let flags: Vec<bool> = scan(src).iter().map(|l| l.test).collect();
+        assert_eq!(flags, vec![false, false]);
+    }
+
+    #[test]
+    fn out_of_line_test_mod_does_not_poison_the_rest() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() {}\n";
+        let flags: Vec<bool> = scan(src).iter().map(|l| l.test).collect();
+        assert_eq!(flags, vec![true, true, false]);
+    }
+}

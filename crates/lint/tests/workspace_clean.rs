@@ -1,0 +1,33 @@
+//! The workspace gates on itself: linting the whole repo from the test
+//! suite must find zero unsuppressed violations, so `cargo test` fails
+//! the moment a new cast/panic/clock read lands without either a fix or
+//! an audited allow-marker. This is the same check CI's `invariants`
+//! job runs via the CLI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unsuppressed_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = nmpic_lint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        report.files > 50,
+        "walk looks truncated: only {} files scanned",
+        report.files
+    );
+    assert!(
+        report.violations.is_empty(),
+        "{} unsuppressed violation(s):\n{}",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.suppressed > 0,
+        "no marker suppressed anything — the allow-marker path looks dead"
+    );
+}

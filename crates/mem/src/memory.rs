@@ -80,13 +80,33 @@ impl Memory {
         self.alloc(count * elem_bytes, BLOCK_BYTES as u64)
     }
 
+    /// Converts a simulated byte address into a backing-store index,
+    /// **checked**: a simulated address that does not fit in `usize`
+    /// cannot possibly be in bounds (capacity is a `usize`), so it must
+    /// fail the same way any other out-of-range address does — on the
+    /// bounds check — rather than silently truncating on a 32-bit
+    /// target and aliasing a lower address (the `as u32` SELL
+    /// `slice_ptr` bug class from the byte-identity post-mortems).
+    fn index(&self, addr: u64) -> usize {
+        match usize::try_from(addr) {
+            Ok(a) => a,
+            Err(_) => {
+                // nmpic-lint: allow(L2) — documented panic: an address wider than usize is out of bounds by definition, matching the slice bounds-check contract below
+                panic!(
+                    "address {addr:#x} exceeds the simulated address space ({} bytes)",
+                    self.data.len()
+                )
+            }
+        }
+    }
+
     /// Reads the 64 B block containing `addr`.
     ///
     /// # Panics
     ///
     /// Panics if the block lies outside memory.
     pub fn read_block(&self, addr: u64) -> Block {
-        let base = block_addr(addr) as usize;
+        let base = self.index(block_addr(addr));
         let mut out = [0u8; BLOCK_BYTES];
         out.copy_from_slice(&self.data[base..base + BLOCK_BYTES]);
         out
@@ -98,31 +118,38 @@ impl Memory {
     ///
     /// Panics if the block lies outside memory.
     pub fn write_block(&mut self, addr: u64, block: &Block) {
-        let base = block_addr(addr) as usize;
+        let base = self.index(block_addr(addr));
         self.data[base..base + BLOCK_BYTES].copy_from_slice(block);
     }
 
     /// Reads a little-endian `u32` at `addr`.
     pub fn read_u32(&self, addr: u64) -> u32 {
-        let a = addr as usize;
-        u32::from_le_bytes(self.data[a..a + 4].try_into().expect("in bounds"))
+        let a = self.index(addr);
+        u32::from_le_bytes([
+            self.data[a],
+            self.data[a + 1],
+            self.data[a + 2],
+            self.data[a + 3],
+        ])
     }
 
     /// Writes a little-endian `u32` at `addr`.
     pub fn write_u32(&mut self, addr: u64, value: u32) {
-        let a = addr as usize;
+        let a = self.index(addr);
         self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
     }
 
     /// Reads a little-endian `u64` at `addr`.
     pub fn read_u64(&self, addr: u64) -> u64 {
-        let a = addr as usize;
-        u64::from_le_bytes(self.data[a..a + 8].try_into().expect("in bounds"))
+        let a = self.index(addr);
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.data[a..a + 8]);
+        u64::from_le_bytes(bytes)
     }
 
     /// Writes a little-endian `u64` at `addr`.
     pub fn write_u64(&mut self, addr: u64, value: u64) {
-        let a = addr as usize;
+        let a = self.index(addr);
         self.data[a..a + 8].copy_from_slice(&value.to_le_bytes());
     }
 
@@ -228,5 +255,18 @@ mod tests {
     #[should_panic(expected = "multiple of 64")]
     fn odd_size_panics() {
         let _ = Memory::new(100);
+    }
+
+    /// Regression (32-bit-target truncation audit): an address near the
+    /// top of the u64 space must fail loudly — the bounds check on
+    /// 64-bit targets, the checked `index` conversion on 32-bit ones —
+    /// never alias a low address. Before the checked conversion, `addr
+    /// as usize` on a 32-bit target would silently wrap `u32::MAX + 4`
+    /// down to 4 and read/write the wrong bytes.
+    #[test]
+    #[should_panic]
+    fn huge_address_panics_instead_of_aliasing() {
+        let m = Memory::new(256);
+        let _ = m.read_u32(u64::MAX - 16);
     }
 }

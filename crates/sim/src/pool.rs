@@ -126,16 +126,21 @@ where
             s.spawn(|| {
                 IN_POOL_WORKER.with(|flag| flag.set(true));
                 loop {
+                    // Relaxed suffices: the counter is only a work-stealing
+                    // ticket; the slot mutexes order the item/result data.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let item = work[i]
                         .lock()
+                        // nmpic-lint: allow(L2) — invariant: each slot is locked exactly once (the ticket counter hands out distinct indices), so no holder can have panicked with it
                         .expect("job slot poisoned")
                         .take()
+                        // nmpic-lint: allow(L2) — invariant: distinct tickets mean each slot is taken exactly once
                         .expect("each slot taken once");
                     let r = f(item);
+                    // nmpic-lint: allow(L2) — invariant: each result slot is locked exactly once by the worker holding its ticket
                     *out[i].lock().expect("result slot poisoned") = Some(r);
                 }
             });
@@ -144,7 +149,9 @@ where
     out.into_iter()
         .map(|m| {
             m.into_inner()
+                // nmpic-lint: allow(L2) — invariant: a worker panic already propagated out of thread::scope before this line runs
                 .expect("result slot poisoned")
+                // nmpic-lint: allow(L2) — invariant: the scope joins all workers, and the ticket counter covers every index below n
                 .expect("every job ran")
         })
         .collect()

@@ -99,8 +99,8 @@ impl Coo {
         for &(r, c, _) in &self.entries {
             if r as usize >= self.rows || c as usize >= self.cols {
                 return Err(FormatError::IndexOutOfRange {
-                    row: r,
-                    col: c,
+                    row: r.into(),
+                    col: c.into(),
                     rows: self.rows,
                     cols: self.cols,
                 });
@@ -125,6 +125,7 @@ impl Coo {
         let mut last: Option<(u32, u32)> = None;
         for &(r, c, v) in &sorted {
             if last == Some((r, c)) {
+                // nmpic-lint: allow(L2) — invariant: `last == Some(..)` proves at least one entry was already pushed
                 *values.last_mut().expect("last entry exists") += v;
             } else {
                 col_idx.push(c);
@@ -138,6 +139,7 @@ impl Coo {
             row_ptr[i + 1] = row_ptr[i] + row_counts[i];
         }
         Csr::from_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            // nmpic-lint: allow(L2) — invariant: the conversion builds a monotone row_ptr from counts and Coo::push bounds every index, so from_parts cannot reject it
             .expect("COO conversion preserves invariants")
     }
 }

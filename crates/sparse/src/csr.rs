@@ -50,6 +50,7 @@ impl Csr {
         if row_ptr.windows(2).any(|w| w[0] > w[1]) {
             return Err(FormatError::BadRowPtr);
         }
+        // nmpic-lint: allow(L2) — invariant: the `first() == Some(&0)` check above already proved row_ptr nonempty
         if *row_ptr.last().expect("nonempty") as usize != col_idx.len() {
             return Err(FormatError::BadRowPtr);
         }
@@ -61,10 +62,10 @@ impl Csr {
         }
         for (k, &c) in col_idx.iter().enumerate() {
             if c as usize >= cols {
-                let row = row_ptr.partition_point(|&p| p as usize <= k) as u32 - 1;
+                let row = (row_ptr.partition_point(|&p| p as usize <= k) - 1) as u64;
                 return Err(FormatError::IndexOutOfRange {
                     row,
-                    col: c,
+                    col: c.into(),
                     rows,
                     cols,
                 });
@@ -288,12 +289,15 @@ impl Csr {
         if self.rows != self.cols {
             return false;
         }
-        let mut fwd: Vec<(u32, u32, u64)> = Vec::with_capacity(self.nnz());
-        let mut rev: Vec<(u32, u32, u64)> = Vec::with_capacity(self.nnz());
+        // 64 b triplet keys: `rows` is a usize that can legally exceed the
+        // 32 b index width (row_ptr only bounds the nonzero count), and a
+        // wrapped row key would let an asymmetric matrix sort as symmetric.
+        let mut fwd: Vec<(u64, u64, u64)> = Vec::with_capacity(self.nnz());
+        let mut rev: Vec<(u64, u64, u64)> = Vec::with_capacity(self.nnz());
         for i in 0..self.rows {
             for (c, v) in self.row(i) {
-                fwd.push((i as u32, c, v.to_bits()));
-                rev.push((c, i as u32, v.to_bits()));
+                fwd.push((i as u64, c.into(), v.to_bits()));
+                rev.push((c.into(), i as u64, v.to_bits()));
             }
         }
         fwd.sort_unstable();

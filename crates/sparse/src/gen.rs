@@ -18,8 +18,35 @@ fn rng(seed: u64) -> SimRng {
     SimRng::new(seed)
 }
 
+/// Converts a generator loop index into the 32 b matrix index type,
+/// checked: [`Coo::new`] already rejects dimensions past `u32::MAX`
+/// (the paper's index width), so this is unreachable for any matrix the
+/// generators can legally build — but a wrap here would silently alias
+/// rows, so it fails loudly instead of casting.
+fn idx(i: usize) -> u32 {
+    match u32::try_from(i) {
+        Ok(v) => v,
+        Err(_) => {
+            // nmpic-lint: allow(L2) — invariant: Coo::new rejects dimensions past u32::MAX, so every in-range generator index fits; wrapping would alias rows
+            panic!("index {i} does not fit the 32 b index type")
+        }
+    }
+}
+
+/// [`idx`] for signed coordinate arithmetic whose result is non-negative
+/// and in-range by construction (clamped or grid-bounded).
+fn idx_i(i: i64) -> u32 {
+    match u32::try_from(i) {
+        Ok(v) => v,
+        Err(_) => {
+            // nmpic-lint: allow(L2) — invariant: callers clamp or grid-bound the coordinate into [0, dim) and Coo::new bounds dim at u32::MAX
+            panic!("coordinate {i} does not fit the 32 b index type")
+        }
+    }
+}
+
 fn clamp_col(c: i64, cols: usize) -> u32 {
-    c.clamp(0, cols as i64 - 1) as u32
+    idx_i(c.clamp(0, cols as i64 - 1))
 }
 
 /// Random nonzero value in `[0.5, 1.5)` — nonzero so padding (0.0) stays
@@ -54,7 +81,7 @@ pub fn stencil27(nx: usize, ny: usize, nz: usize) -> Csr {
     for z in 0..nz as i64 {
         for y in 0..ny as i64 {
             for x in 0..nx as i64 {
-                let r = ((z * ny as i64 + y) * nx as i64 + x) as u32;
+                let r = idx_i((z * ny as i64 + y) * nx as i64 + x);
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
@@ -68,7 +95,7 @@ pub fn stencil27(nx: usize, ny: usize, nz: usize) -> Csr {
                             {
                                 continue;
                             }
-                            let c = ((zz * ny as i64 + yy) * nx as i64 + xx) as u32;
+                            let c = idx_i((zz * ny as i64 + yy) * nx as i64 + xx);
                             let v = if c == r { 26.0 } else { -1.0 };
                             coo.push(r, c, v);
                         }
@@ -92,13 +119,13 @@ pub fn grid5(nx: usize, ny: usize) -> Csr {
     let mut coo = Coo::new(n, n);
     for y in 0..ny as i64 {
         for x in 0..nx as i64 {
-            let r = (y * nx as i64 + x) as u32;
+            let r = idx_i(y * nx as i64 + x);
             for (dx, dy) in [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)] {
                 let (xx, yy) = (x + dx, y + dy);
                 if xx < 0 || yy < 0 || xx >= nx as i64 || yy >= ny as i64 {
                     continue;
                 }
-                let c = (yy * nx as i64 + xx) as u32;
+                let c = idx_i(yy * nx as i64 + xx);
                 let v = if c == r { 4.0 } else { -1.0 };
                 coo.push(r, c, v);
             }
@@ -127,7 +154,7 @@ pub fn banded_fem(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) 
     let bw = bandwidth.max(2).max(nnz_per_row) as i64;
     let mut coo = Coo::new(rows, rows);
     for i in 0..rows {
-        coo.push(i as u32, i as u32, 4.0 + val(&mut r));
+        coo.push(idx(i), idx(i), 4.0 + val(&mut r));
         // Runs of 3 consecutive columns until the row quota is met.
         let quota = nnz_per_row.saturating_sub(1).max(1);
         let runs = quota.div_ceil(3);
@@ -136,7 +163,7 @@ pub fn banded_fem(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) 
             for d in 0..3 {
                 let c = clamp_col(center + d, rows);
                 if c as usize != i {
-                    coo.push(i as u32, c, -val(&mut r));
+                    coo.push(idx(i), c, -val(&mut r));
                 }
             }
         }
@@ -165,24 +192,24 @@ pub fn circuit(
     assert!((0.0..=1.0).contains(&far_frac), "far_frac must be in [0,1]");
     let mut r = rng(seed);
     let hub_cols: Vec<u32> = (0..hubs.max(1))
-        .map(|_| r.gen_usize(0, rows) as u32)
+        .map(|_| idx(r.gen_usize(0, rows)))
         .collect();
     let w = local_window.max(1) as i64;
     let mut coo = Coo::new(rows, rows);
     for i in 0..rows {
-        coo.push(i as u32, i as u32, 2.0 + val(&mut r));
+        coo.push(idx(i), idx(i), 2.0 + val(&mut r));
         let extra = r.gen_usize(1, (2 * nnz_per_row).saturating_sub(1).max(1) + 1);
         for _ in 0..extra {
             let roll: f64 = r.gen_f64();
             let c = if roll < 0.05 {
                 hub_cols[r.gen_usize(0, hub_cols.len())]
             } else if roll < 0.05 + far_frac {
-                r.gen_usize(0, rows) as u32
+                idx(r.gen_usize(0, rows))
             } else {
                 clamp_col(i as i64 + r.gen_i64(-w, w), rows)
             };
             if c as usize != i {
-                coo.push(i as u32, c, -val(&mut r));
+                coo.push(idx(i), c, -val(&mut r));
             }
         }
     }
@@ -207,11 +234,11 @@ pub fn mesh(rows: usize, nnz_per_row: usize, window: usize, seed: u64) -> Csr {
     let w = window.max(1).max(nnz_per_row) as i64;
     let mut coo = Coo::new(rows, rows);
     for i in 0..rows {
-        coo.push(i as u32, i as u32, 4.0 + val(&mut r));
+        coo.push(idx(i), idx(i), 4.0 + val(&mut r));
         for _ in 0..nnz_per_row.saturating_sub(1) {
             let c = clamp_col(i as i64 + r.gen_i64(-w, w), rows);
             if c as usize != i {
-                coo.push(i as u32, c, -val(&mut r));
+                coo.push(idx(i), c, -val(&mut r));
             }
         }
     }
@@ -234,7 +261,7 @@ pub fn dense_blocks(rows: usize, block: usize, seed: u64) -> Csr {
         let b1 = (b0 + block).min(rows);
         for c in b0..b1 {
             let v = if c == i { block as f64 } else { -val(&mut r) };
-            coo.push(i as u32, c as u32, v);
+            coo.push(idx(i), idx(c), v);
         }
     }
     coo.to_csr()
@@ -255,12 +282,12 @@ pub fn kkt(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr 
     let per_block = (nnz_per_row / 2).max(1);
     let mut coo = Coo::new(rows, rows);
     for i in 0..rows {
-        coo.push(i as u32, i as u32, 4.0 + val(&mut r));
+        coo.push(idx(i), idx(i), 4.0 + val(&mut r));
         // Local (H or A-row) band.
         for _ in 0..per_block {
             let c = clamp_col(i as i64 + r.gen_i64(-bw, bw), rows);
             if c as usize != i {
-                coo.push(i as u32, c, -val(&mut r));
+                coo.push(idx(i), c, -val(&mut r));
             }
         }
         // Coupling band: mirror position in the other half.
@@ -268,7 +295,7 @@ pub fn kkt(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr 
         for _ in 0..per_block {
             let c = clamp_col(partner + r.gen_i64(-bw, bw), rows);
             if c as usize != i {
-                coo.push(i as u32, c, val(&mut r));
+                coo.push(idx(i), c, val(&mut r));
             }
         }
     }
@@ -317,14 +344,14 @@ pub fn spd(rows: usize, nnz_per_row: usize, bandwidth: usize, seed: u64) -> Csr 
             }
             picked.push(j);
             let v = -val(&mut r);
-            coo.push(i as u32, j as u32, v);
-            coo.push(j as u32, i as u32, v);
+            coo.push(idx(i), idx(j), v);
+            coo.push(idx(j), idx(i), v);
             offdiag_abs[i] += v.abs();
             offdiag_abs[j] += v.abs();
         }
     }
     for (i, &abs) in offdiag_abs.iter().enumerate() {
-        coo.push(i as u32, i as u32, abs + 1.0 + val(&mut r));
+        coo.push(idx(i), idx(i), abs + 1.0 + val(&mut r));
     }
     coo.to_csr()
 }
@@ -344,8 +371,8 @@ pub fn random_uniform(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -
     let mut coo = Coo::new(rows, cols);
     for i in 0..rows {
         for _ in 0..nnz_per_row {
-            let c = r.gen_usize(0, cols) as u32;
-            coo.push(i as u32, c, val(&mut r));
+            let c = idx(r.gen_usize(0, cols));
+            coo.push(idx(i), c, val(&mut r));
         }
     }
     coo.to_csr()

@@ -63,10 +63,11 @@ pub enum FormatError {
     },
     /// An index exceeds the matrix dimensions.
     IndexOutOfRange {
-        /// Row of the offending entry.
-        row: u32,
+        /// Row of the offending entry (64 b so diagnostics stay exact
+        /// even for matrices with more rows than the 32 b index width).
+        row: u64,
         /// Column of the offending entry.
-        col: u32,
+        col: u64,
         /// Matrix row count.
         rows: usize,
         /// Matrix column count.

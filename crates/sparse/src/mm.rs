@@ -173,12 +173,25 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MmError> {
                 })
             };
             let (r, c, n) = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
+            // Checked against the 32 b index width here, so malformed
+            // files get a typed error instead of tripping `Coo::new`'s
+            // dimension assertion (a panic) from library code.
+            if r > u32::MAX as usize || c > u32::MAX as usize {
+                return Err(MmError::Parse {
+                    line: lineno + 1,
+                    what: format!(
+                        "dimensions {r}x{c} exceed the 32 b index limit ({})",
+                        u32::MAX
+                    ),
+                });
+            }
             size = Some((r, c, n));
             expected = n;
             coo = Some(Coo::new(r.max(1), c.max(1)));
             continue;
         }
 
+        // nmpic-lint: allow(L2) — invariant: the `size.is_none()` branch above sets `coo = Some(..)` and `continue`s, so entry lines always see it populated
         let coo = coo.as_mut().expect("size parsed before entries");
         // The `Truncated` check below only catches a shortfall; a surplus
         // entry must fail eagerly too, before it is folded into the
@@ -218,7 +231,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MmError> {
                 what: format!("bad value `{}`", parts[2]),
             })?,
         };
-        let (r0, c0) = ((r - 1) as u32, (c - 1) as u32);
+        // Checked narrowing: a file indexing past the 32 b limit used to
+        // wrap through `as u32` and silently build the wrong matrix.
+        let to_idx = |v: u64| -> Result<u32, MmError> {
+            u32::try_from(v - 1).map_err(|_| MmError::Parse {
+                line: lineno + 1,
+                what: format!("index {v} exceeds the 32 b index limit ({})", u32::MAX),
+            })
+        };
+        let (r0, c0) = (to_idx(r)?, to_idx(c)?);
         // A skew-symmetric matrix satisfies A = −Aᵀ, which forces a zero
         // diagonal; a nonzero diagonal entry cannot be mirrored
         // consistently and is a malformed file, not data.
@@ -250,6 +271,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MmError> {
             got: read_entries,
         });
     }
+    // nmpic-lint: allow(L2) — invariant: the `size.is_none()` early return above guarantees the size line (and thus `coo`) was seen
     Ok(coo.expect("constructed with size line").to_csr())
 }
 
@@ -398,6 +420,30 @@ mod tests {
                 got: 1
             })
         ));
+    }
+
+    /// Regression: a 1-based entry index of `2^32 + 1` used to wrap
+    /// through `as u32` to row 0 — in range for the declared shape, so
+    /// the file was silently accepted and built the wrong matrix.
+    #[test]
+    fn rejects_entry_index_past_32b_limit() {
+        let big = (u32::MAX as u64) + 2;
+        let text = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n{big} 1 1.0\n");
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, MmError::Parse { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("32 b index limit"), "{err}");
+    }
+
+    /// Regression: an oversized size line used to reach `Coo::new`'s
+    /// dimension assertion and panic out of the parser instead of
+    /// returning a typed error.
+    #[test]
+    fn rejects_oversized_dimensions() {
+        let big = (u32::MAX as u64) + 1;
+        let text = format!("%%MatrixMarket matrix coordinate real general\n{big} 2 0\n");
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, MmError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("32 b index limit"), "{err}");
     }
 
     #[test]

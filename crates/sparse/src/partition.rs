@@ -110,6 +110,7 @@ impl Partition {
     /// was built from (row count mismatch).
     pub fn csr_shard<'a>(&self, csr: &'a Csr, i: usize) -> CsrShard<'a> {
         assert_eq!(
+            // nmpic-lint: allow(L2) — invariant: every constructor pushes boundary 0 first, so the list is never empty
             *self.boundaries.last().expect("nonempty boundaries"),
             csr.rows(),
             "partition was built for a different matrix"
@@ -139,6 +140,7 @@ impl Partition {
     /// the row counts disagree.
     pub fn sell_shard<'a>(&self, sell: &'a Sell, i: usize) -> SellShard<'a> {
         assert_eq!(
+            // nmpic-lint: allow(L2) — invariant: every constructor pushes boundary 0 first, so the list is never empty
             *self.boundaries.last().expect("nonempty boundaries"),
             sell.rows(),
             "partition was built for a different matrix"
@@ -249,6 +251,7 @@ pub fn by_nnz_aligned(csr: &Csr, k: usize, align: usize) -> Partition {
         // Round to the nearest aligned boundary (ties go down), keeping
         // the partition monotone.
         b = (b + align / 2) / align * align;
+        // nmpic-lint: allow(L2) — invariant: boundary 0 was pushed just before this loop
         let prev = *boundaries.last().expect("pushed above");
         boundaries.push(b.clamp(prev, rows));
     }
@@ -268,6 +271,7 @@ fn compact_trailing(boundaries: Vec<usize>, rows: usize, k: usize) -> Vec<usize>
     let mut compact: Vec<usize> = Vec::with_capacity(k + 1);
     compact.push(0);
     for &b in &boundaries[1..] {
+        // nmpic-lint: allow(L2) — invariant: `compact` is seeded with boundary 0 two lines up
         if b > *compact.last().expect("seeded with 0") {
             compact.push(b);
         }
@@ -330,10 +334,24 @@ impl<'a> CsrShard<'a> {
 
     /// Maps every stream position (0-based within the shard) to its
     /// **global** row — the accumulation map a unit's result path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a global row exceeds the 32 b row-id width (the map's
+    /// element type) — wrapping would silently misroute accumulation.
     pub fn row_of_positions(&self) -> Vec<u32> {
         let mut map = Vec::with_capacity(self.nnz());
         for r in 0..self.n_rows() {
-            let global = (self.rows.start + r) as u32;
+            let global = match u32::try_from(self.rows.start + r) {
+                Ok(g) => g,
+                Err(_) => {
+                    // nmpic-lint: allow(L2) — documented panic: row ids in the accumulation map are 32 b by the paper's index-width contract; a wrapped id would misroute results
+                    panic!(
+                        "row {} does not fit the 32 b row-id width",
+                        self.rows.start + r
+                    )
+                }
+            };
             map.extend(std::iter::repeat_n(global, self.row_nnz(r)));
         }
         map

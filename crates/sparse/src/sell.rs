@@ -53,6 +53,7 @@ impl Sell {
     pub fn from_csr(csr: &Csr, slice_height: usize) -> Self {
         match Self::try_from_csr(csr, slice_height) {
             Ok(sell) => sell,
+            // nmpic-lint: allow(L2) — documented panic: from_csr advertises this in its Panics section; try_from_csr is the error-returning variant
             Err(e) => panic!("CSR to SELL conversion failed: {e}"),
         }
     }
@@ -118,6 +119,7 @@ impl Sell {
                     }
                 }
             }
+            // nmpic-lint: allow(L2) — invariant: the structure-only pre-pass above rejected any padded size past u32::MAX before allocation
             slice_ptr.push(u32::try_from(col_idx.len()).expect("checked by the pre-pass"));
         }
 
@@ -257,7 +259,7 @@ impl Sell {
             if c as usize >= self.cols {
                 return Err(FormatError::IndexOutOfRange {
                     row: 0,
-                    col: c,
+                    col: c.into(),
                     rows: self.rows,
                     cols: self.cols,
                 });

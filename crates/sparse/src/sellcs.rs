@@ -35,6 +35,7 @@ impl SellCSigma {
     pub fn from_csr(csr: &Csr, c: usize, sigma: usize) -> Self {
         match Self::try_from_csr(csr, c, sigma) {
             Ok(s) => s,
+            // nmpic-lint: allow(L2) — documented panic: from_csr advertises this in its Panics section; try_from_csr is the error-returning variant
             Err(e) => panic!("CSR to SELL-C-sigma conversion failed: {e}"),
         }
     }
@@ -56,7 +57,14 @@ impl SellCSigma {
     pub fn try_from_csr(csr: &Csr, c: usize, sigma: usize) -> Result<Self, FormatError> {
         assert!(c > 0 && sigma > 0, "slice height and sigma must be nonzero");
         let rows = csr.rows();
-        let mut perm: Vec<u32> = (0..rows as u32).collect();
+        let rows32 = match u32::try_from(rows) {
+            Ok(r) => r,
+            Err(_) => {
+                // nmpic-lint: allow(L2) — documented panic: the row permutation stores 32 b row ids (paper index width); more rows cannot be permuted losslessly, and the former cast wrapped instead
+                panic!("{rows} rows exceed the 32 b row-id width of the SELL-C-sigma permutation")
+            }
+        };
+        let mut perm: Vec<u32> = (0..rows32).collect();
         for window in perm.chunks_mut(sigma) {
             window.sort_by_key(|&r| std::cmp::Reverse(csr.row_nnz(r as usize)));
         }
@@ -70,9 +78,11 @@ impl SellCSigma {
                 col_idx.push(cidx);
                 values.push(v);
             }
+            // nmpic-lint: allow(L2) — invariant: the permuted entry count equals the source CSR's nnz, which its u32 row_ptr already bounds at u32::MAX
             row_ptr.push(u32::try_from(col_idx.len()).expect("source CSR bounds nnz"));
         }
         let permuted = Csr::from_parts(rows, csr.cols(), row_ptr, col_idx, values)
+            // nmpic-lint: allow(L2) — invariant: reordering whole rows of a valid CSR keeps row_ptr monotone and indices in range
             .expect("permutation preserves CSR invariants");
         Ok(Self {
             sell: Sell::try_from_csr(&permuted, c)?,

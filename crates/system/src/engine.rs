@@ -435,6 +435,7 @@ impl SpmvEngine {
 
     fn prepare_sell_owned(&self, sell: Sell) -> SpmvPlan {
         let SystemKind::Pack(adapter) = &self.system else {
+            // nmpic-lint: allow(L2) — documented panic: prepare_sell advertises this misuse panic in its Panics section
             panic!(
                 "prepare_sell is only valid for SystemKind::Pack; use prepare(&Csr) for `{}`",
                 self.system
@@ -491,6 +492,7 @@ impl SpmvEngine {
                 let row_of = shard
                     .row_of_positions()
                     .iter()
+                    // nmpic-lint: allow(L1) — in range: row_start ≤ every id in the (checked 32 b) position map, so the cast and subtraction cannot wrap
                     .map(|&r| r - row_start as u32)
                     .collect();
                 ShardSlot {

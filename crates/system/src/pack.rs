@@ -347,6 +347,7 @@ pub(crate) fn exec_pack(
                         elem_size: ElemSize::B8,
                     },
                 };
+                // nmpic-lint: allow(L2) — invariant: a new burst only begins after is_done() reported the previous one drained
                 unit.begin(req).expect("unit drained between bursts");
                 burst_begun = true;
             }
@@ -398,6 +399,7 @@ pub(crate) fn exec_pack(
                 vpc_running = true;
             }
         } else if now >= vpc_busy_until {
+            // nmpic-lint: allow(L2) — invariant: `vpc_running` is only set where `cur_tile` was populated
             let (vals, vecs) = cur_tile.take().expect("running tile");
             for (b, vecs_b) in vecs.iter().enumerate() {
                 debug_assert_eq!(vals.len(), vecs_b.len());
@@ -459,6 +461,10 @@ pub fn pack_label(adapter: &AdapterConfig) -> String {
 
 /// Maps each padded SELL stream position to its row.
 pub(crate) fn row_map(sell: &Sell) -> Vec<u32> {
+    if u32::try_from(sell.rows().saturating_sub(1)).is_err() {
+        // nmpic-lint: allow(L2) — documented panic: row ids in the position map are 32 b by the paper's index-width contract; the former per-entry cast silently wrapped and misrouted accumulation instead
+        panic!("{} rows exceed the 32 b row-id width", sell.rows());
+    }
     let mut map = vec![0u32; sell.padded_len()];
     let h = sell.slice_height();
     for s in 0..sell.n_slices() {
@@ -468,6 +474,7 @@ pub(crate) fn row_map(sell: &Sell) -> Vec<u32> {
             for i in 0..h {
                 let pos = base + j * h + i;
                 let row = (s * h + i).min(sell.rows() - 1);
+                // nmpic-lint: allow(L1) — in range: clamped below rows, and the guard above rejects row counts past u32::MAX
                 map[pos] = row as u32;
             }
         }

@@ -296,6 +296,19 @@ struct ServiceState {
 /// interleavings equivalent to *some* serial order — and every serial
 /// order produces byte-identical per-request results, because plan
 /// execution is deterministic and resets to a cold controller per run.
+///
+/// # Poisoning policy
+///
+/// A panic on a thread holding the state mutex (a plan's documented
+/// panic surfacing mid-`collect`, say) poisons it. The service
+/// **recovers** instead of cascading the panic to every other tenant:
+/// each mutation either completes under the lock or unwinds during plan
+/// execution — after the pending queues were already drained with
+/// `mem::take` — so the state a recovering tenant sees is internally
+/// consistent; at worst the panicking batch's results are absent, which
+/// the ticket API already models (`take` returns `None`). Availability
+/// for the surviving tenants beats amplifying one tenant's panic into a
+/// service-wide one.
 pub struct SpmvService {
     engine: SpmvEngine,
     queue_capacity: usize,
@@ -338,6 +351,15 @@ impl SpmvService {
         }
     }
 
+    /// Locks the serving state, recovering from a poisoned mutex per the
+    /// type-level poisoning policy (see the [`SpmvService`] docs).
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ServiceState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// The engine every cached plan was prepared by.
     pub fn engine(&self) -> &SpmvEngine {
         &self.engine
@@ -364,7 +386,7 @@ impl SpmvService {
     /// one tenant another tenant's plan.
     pub fn prepare(&self, csr: &Csr) -> MatrixKey {
         let key = MatrixKey(csr.fingerprint());
-        let mut st = self.state.lock().expect("service state poisoned");
+        let mut st = self.lock_state();
         let st = &mut *st;
         match st.plans.entry(key.0) {
             std::collections::hash_map::Entry::Occupied(hit) => {
@@ -400,11 +422,7 @@ impl SpmvService {
 
     /// `true` when `key` names a resident plan.
     pub fn contains(&self, key: MatrixKey) -> bool {
-        self.state
-            .lock()
-            .expect("service state poisoned")
-            .plans
-            .contains_key(&key.0)
+        self.lock_state().plans.contains_key(&key.0)
     }
 
     /// Enqueues one request (`y = A·x` for the keyed matrix) and returns
@@ -418,7 +436,7 @@ impl SpmvService {
     /// [`ServiceError::QueueFull`] once `queue_capacity` requests are
     /// pending.
     pub fn submit(&self, key: MatrixKey, x: Vec<f64>) -> Result<Ticket, ServiceError> {
-        let mut st = self.state.lock().expect("service state poisoned");
+        let mut st = self.lock_state();
         let Some(entry) = st.plans.get(&key.0) else {
             return Err(ServiceError::UnknownMatrix(key));
         };
@@ -466,7 +484,7 @@ impl SpmvService {
         if !opts.damping.is_finite() || opts.damping <= 0.0 || opts.damping > 1.0 {
             return Err(ServiceError::InvalidDamping);
         }
-        let mut st = self.state.lock().expect("service state poisoned");
+        let mut st = self.lock_state();
         let Some(entry) = st.plans.get(&key.0) else {
             return Err(ServiceError::UnknownMatrix(key));
         };
@@ -517,7 +535,7 @@ impl SpmvService {
     /// are kept, evicting the **oldest** first — a tenant that abandons
     /// its tickets cannot grow the service without limit.
     pub fn collect(&self) -> Vec<Ticket> {
-        let mut st = self.state.lock().expect("service state poisoned");
+        let mut st = self.lock_state();
         let pending = std::mem::take(&mut st.pending);
         let solves = std::mem::take(&mut st.pending_solves);
         if pending.is_empty() && solves.is_empty() {
@@ -534,6 +552,7 @@ impl SpmvService {
         }
         let mut finished = Vec::new();
         for key in order {
+            // nmpic-lint: allow(L2) — invariant: `order` holds exactly the keys inserted into `groups` by the loop above, each once
             let group = groups.remove(&key.0).expect("grouped above");
             let (tickets, xs): (Vec<Ticket>, Vec<Vec<f64>>) =
                 group.into_iter().map(|r| (r.ticket, r.x)).unzip();
@@ -541,6 +560,7 @@ impl SpmvService {
             let entry = st
                 .plans
                 .get_mut(&key.0)
+                // nmpic-lint: allow(L2) — invariant: submit() verifies the key names a resident plan and plans are never evicted
                 .expect("plan resident while queued");
             let report = entry.plan.run_batch(&xs);
             let cycles_per_vector = report.cycles_per_vector();
@@ -570,6 +590,7 @@ impl SpmvService {
             let entry = st
                 .plans
                 .get_mut(&solve.key.0)
+                // nmpic-lint: allow(L2) — invariant: submit_solve() verifies the key names a resident plan and plans are never evicted
                 .expect("plan resident while queued");
             let report = match &solve.request {
                 SolveRequest::Cg { b } => Solver::cg(&mut entry.plan, b, &solve.opts),
@@ -589,15 +610,11 @@ impl SpmvService {
             st.stats.solves_completed += 1;
         }
         let retention = RESULT_RETENTION_FACTOR * self.queue_capacity;
-        while st.done.len() > retention {
-            let evicted = st.done.pop_first().expect("nonempty above");
+        while st.done.len() > retention && st.done.pop_first().is_some() {
             st.stats.evicted += 1;
-            drop(evicted);
         }
-        while st.done_solves.len() > retention {
-            let evicted = st.done_solves.pop_first().expect("nonempty above");
+        while st.done_solves.len() > retention && st.done_solves.pop_first().is_some() {
             st.stats.evicted += 1;
-            drop(evicted);
         }
         finished
     }
@@ -607,11 +624,7 @@ impl SpmvService {
     /// ticket was already taken, or if the result aged out of the
     /// bounded retention window (see [`SpmvService::collect`]).
     pub fn take(&self, ticket: Ticket) -> Option<Completed> {
-        self.state
-            .lock()
-            .expect("service state poisoned")
-            .done
-            .remove(&ticket.0)
+        self.lock_state().done.remove(&ticket.0)
     }
 
     /// Redeems a solve ticket, removing the result from the service.
@@ -619,11 +632,7 @@ impl SpmvService {
     /// if the ticket was already taken, or if the result aged out of the
     /// bounded retention window.
     pub fn take_solve(&self, ticket: Ticket) -> Option<CompletedSolve> {
-        self.state
-            .lock()
-            .expect("service state poisoned")
-            .done_solves
-            .remove(&ticket.0)
+        self.lock_state().done_solves.remove(&ticket.0)
     }
 
     /// Convenience for a single solve: submit, collect (which may also
@@ -664,13 +673,13 @@ impl SpmvService {
     /// Number of requests (one-shot SpMVs **and** solves — they share
     /// the bounded queue) waiting for the next [`SpmvService::collect`].
     pub fn pending(&self) -> usize {
-        let st = self.state.lock().expect("service state poisoned");
+        let st = self.lock_state();
         st.pending.len() + st.pending_solves.len()
     }
 
     /// Snapshot of the serving counters.
     pub fn stats(&self) -> ServiceStats {
-        self.state.lock().expect("service state poisoned").stats
+        self.lock_state().stats
     }
 }
 
@@ -788,6 +797,31 @@ mod tests {
         // Draining the queue reopens it.
         svc.collect();
         svc.submit(key, x).unwrap();
+    }
+
+    /// The poisoning policy in action: a panic under the state mutex
+    /// (here, the engine's empty-matrix assert firing inside `prepare`)
+    /// used to poison it permanently — every later call from any tenant
+    /// then panicked on `lock().expect(..)`. The service now recovers
+    /// and keeps serving.
+    #[test]
+    fn service_recovers_from_a_poisoned_state_mutex() {
+        let svc = service(SystemKind::Base);
+        let empty = Csr::from_parts(4, 4, vec![0; 5], vec![], vec![]).unwrap();
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.prepare(&empty)));
+        assert!(
+            panicked.is_err(),
+            "empty matrix must trip the engine assert"
+        );
+        // The mutex was poisoned while held; surviving tenants carry on.
+        let csr = banded_fem(64, 4, 8, 1);
+        let key = svc.prepare(&csr);
+        let x = x_for(&csr, 0);
+        let done = svc.run(key, x.clone()).unwrap();
+        assert!(done.verified);
+        assert_eq!(done.y, csr.spmv(&x));
+        assert_eq!(svc.stats().completed, 1);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 # pushing. Mirrors .github/workflows/ci.yml job for job:
 #
 #   lint        cargo fmt --check + clippy -D warnings + -D deprecated
-#               on the bench/tests/examples targets (legacy-API gate)
+#               on the bench/tests/examples targets (legacy-API gate),
+#               then nmpic-lint (workspace invariant checker: casts,
+#               panic paths, unordered floats, unsafe, Relaxed, clocks)
 #   test        release build + quick-scale test suite (stable, plus the
 #               MSRV toolchain when rustup has it installed)
 #   bench-smoke scaling_units + scaling_channels + batched_spmv +
@@ -29,6 +31,8 @@ run_lint() {
     step "lint: no deprecated API outside the shims"
     RUSTFLAGS="-D deprecated" cargo check -p nmpic-bench --all-targets
     RUSTFLAGS="-D deprecated" cargo check -p nmpic --tests --examples
+    step "lint: nmpic-lint workspace invariants"
+    cargo run -q -p nmpic-lint --release
 }
 
 run_test() {
