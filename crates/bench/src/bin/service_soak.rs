@@ -1,0 +1,90 @@
+//! Service soak: sustained mixed SpMV + iterative-solve traffic from
+//! several producer threads against a shared `SpmvService` with a live
+//! background drain, gating on exact ticket conservation, bounded
+//! retention, and byte-identity of every redeemed result.
+//!
+//! Each point pushes `soak_requests` requests (about 40k at
+//! `NMPIC_QUICK=1`, about 300k at full scale) across 6 tenant matrices
+//! from 4 producer threads, windowing redemptions and deliberately
+//! abandoning a slice of tickets so the bounded retention/eviction path
+//! is exercised. Runs on the analytic execution mode by default
+//! (`NMPIC_EXEC` overrides) — the soak stresses the serving layer, not
+//! the cycle-level simulator, and analytic mode is bit-identical on the
+//! result vector.
+//!
+//! The hard gates (also enforced by `scripts/check-results.sh` on the
+//! JSON): `lost == 0`, `failed == 0`, `retention ok == true`,
+//! `verified == true`, and a nonzero finite p99.
+//!
+//! Run with: `cargo run --release -p nmpic-bench --bin service_soak`
+
+use nmpic_bench::{f, service_soak, ExperimentOpts, Table};
+
+fn main() {
+    let opts = ExperimentOpts::from_env();
+    let rows = service_soak(&opts);
+
+    let mut table = Table::new(vec![
+        "workers",
+        "tenants",
+        "producers",
+        "accepted",
+        "rejected",
+        "completed",
+        "solves",
+        "failed",
+        "taken",
+        "evicted",
+        "retained",
+        "lost",
+        "retention ok",
+        "wall ms",
+        "req/s",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+        "verified",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.workers.to_string(),
+            r.tenants.to_string(),
+            r.producers.to_string(),
+            r.accepted.to_string(),
+            r.rejected.to_string(),
+            r.completed.to_string(),
+            r.solves.to_string(),
+            r.failed.to_string(),
+            r.taken.to_string(),
+            r.evicted.to_string(),
+            r.retained.to_string(),
+            r.lost.to_string(),
+            r.retention_ok.to_string(),
+            f(r.wall_ms, 1),
+            f(r.requests_per_sec, 0),
+            f(r.p50_us, 1),
+            f(r.p99_us, 1),
+            f(r.p999_us, 1),
+            r.verified.to_string(),
+        ]);
+    }
+    println!("SpmvService soak: mixed SpMV + solve traffic vs drain workers");
+    println!("{}", table.render());
+    let mut ok = true;
+    for r in &rows {
+        if r.lost != 0 || r.failed != 0 || !r.retention_ok || !r.verified {
+            ok = false;
+            eprintln!(
+                "SOAK GATE FAILED at {} worker(s): lost={} failed={} retention_ok={} verified={}",
+                r.workers, r.lost, r.failed, r.retention_ok, r.verified
+            );
+        }
+    }
+    println!(
+        "(gates: zero lost tickets, zero failures, bounded retention, and every \
+         redeemed result byte-identical to its serial single-tenant reference)"
+    );
+    table.write_csv("service_soak").expect("csv");
+    table.write_json("service_soak").expect("json");
+    assert!(ok, "service_soak gates failed");
+}

@@ -734,55 +734,85 @@ pub fn batched_spmv(opts: &ExperimentOpts) -> Vec<BatchRow> {
 }
 
 /// One service-throughput measurement: a shared [`SpmvService`] serving a
-/// burst of requests with a given shard-worker count.
+/// multi-tenant burst with a given number of background drain workers.
 #[derive(Debug, Clone)]
 pub struct ServiceRow {
-    /// Worker threads used for parallel shard execution (what
-    /// `NMPIC_JOBS=w` would select).
+    /// Background drain worker threads pulling the submission lanes.
     pub workers: usize,
-    /// System label of the cached plan.
+    /// System label of the cached plans.
     pub system: String,
+    /// Distinct tenant matrices in the burst.
+    pub tenants: usize,
     /// Requests served in the timed burst.
     pub requests: usize,
-    /// `run_batch` calls the burst collapsed into (1: all requests hit
-    /// the same matrix and share a batch).
+    /// `run_batch` calls the burst collapsed into (>= tenants: each
+    /// tenant's same-matrix requests share batches).
     pub batches: u64,
     /// Plan-cache hits recorded by the service.
     pub cache_hits: u64,
     /// Plan-cache misses (plans prepared from scratch).
     pub cache_misses: u64,
-    /// Wall-clock time of the submit + collect burst, in milliseconds.
+    /// Wall-clock time from first submit to quiesce, in milliseconds.
     pub wall_ms: f64,
     /// Served requests per second of wall-clock time.
     pub requests_per_sec: f64,
-    /// Wall-clock speedup over the 1-worker (serial shard execution)
-    /// point of the same sweep.
+    /// Wall-clock speedup over the 1-worker point of the same sweep.
     pub speedup_vs_serial: f64,
+    /// Median enqueue->publish latency, microseconds (wall clock).
+    pub p50_us: f64,
+    /// 99th-percentile enqueue->publish latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile enqueue->publish latency, microseconds.
+    pub p999_us: f64,
     /// Whether every served result was byte-identical to the serial
     /// single-tenant `SpmvPlan::run` reference.
     pub verified: bool,
 }
 
-/// The shard-worker counts swept by [`service_throughput`].
+/// The background drain-worker counts swept by [`service_throughput`].
 pub const SERVICE_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
-/// Requests per timed burst in [`service_throughput`].
-pub const SERVICE_REQUESTS: usize = 8;
+/// Tenant matrices in each [`service_throughput`] burst.
+pub const SERVICE_TENANTS: usize = 4;
+
+/// Total requests per timed burst in [`service_throughput`]
+/// (spread evenly across [`SERVICE_TENANTS`]).
+pub const SERVICE_REQUESTS: usize = 32;
+
+/// The tenant matrices served by [`service_throughput`] and
+/// [`service_soak`]: tenant 0 is the suite's af_shell10 (capped), the
+/// rest are banded FEM variants of a similar scale so tenants hash to
+/// different lanes and batch independently.
+fn service_tenant_matrices(tenants: usize, max_nnz: u64) -> Vec<Csr> {
+    // nmpic-lint: allow(L2) — invariant: the name is a compile-time member of the built-in suite; by_name covers it
+    let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
+    let cap = max_nnz.min(100_000);
+    let mut mats = vec![spec.build_capped(cap)];
+    let rows = ((cap / 12) as usize).clamp(48, 4096);
+    for t in 1..tenants {
+        mats.push(nmpic_sparse::gen::banded_fem(rows, 5, 12, t as u64));
+    }
+    mats
+}
 
 /// Runs the service-throughput study: a multi-tenant [`SpmvService`]
 /// over the sharded engine (default `sharded4` with MLP256 units on an
 /// 8-channel HBM stack; `NMPIC_SYSTEM`/`NMPIC_PARTITION` override),
-/// serving a burst of [`SERVICE_REQUESTS`] same-matrix requests at
-/// 1/2/4/8 shard workers.
+/// serving a burst of [`SERVICE_REQUESTS`] requests across
+/// [`SERVICE_TENANTS`] tenant matrices at 1/2/4/8 **drain workers**.
 ///
-/// The worker axis is exactly what `NMPIC_JOBS` selects for a plan left
-/// at its default: each shard's unit simulation runs on its own thread
-/// of the shared pool, so on a machine with ≥ 4 cores the 4-worker point
-/// should serve the burst well over 1.5× faster than the 1-worker
-/// (serial) point. Results are **byte-identical** across worker counts —
-/// each row's `verified` compares every served vector against the serial
-/// single-tenant plan — so the speedup is pure wall-clock, not a change
-/// in simulated behaviour.
+/// The worker axis is the service's own concurrency: each drain worker
+/// pulls submission lanes round-robin and executes batches, so on a
+/// machine with >= 4 cores the multi-worker points should serve the
+/// multi-tenant burst well over 1.5x faster than the 1-worker point
+/// (different tenants' batches execute concurrently; shard workers are
+/// pinned to 1 so the sweep isolates drain parallelism). Results are
+/// **byte-identical** across worker counts — each row's `verified`
+/// compares every served vector against the serial single-tenant plan —
+/// so the speedup is pure wall-clock, not a change in simulated
+/// behaviour. Latency columns are real host-side p50/p99/p999
+/// enqueue->publish tails measured through the injected
+/// [`crate::timing::WallClock`].
 ///
 /// Points run serially (never under [`parallel_map`]): each point owns
 /// the machine while its wall-clock is measured.
@@ -791,9 +821,7 @@ pub const SERVICE_REQUESTS: usize = 8;
 ///
 /// Panics if any served result diverges from the serial reference.
 pub fn service_throughput(opts: &ExperimentOpts) -> Vec<ServiceRow> {
-    // nmpic-lint: allow(L2) — invariant: the name is a compile-time member of the built-in suite; by_name covers it
-    let spec = nmpic_sparse::by_name("af_shell10").expect("suite matrix");
-    let csr = spec.build_capped(opts.max_nnz.min(100_000));
+    let mats = service_tenant_matrices(SERVICE_TENANTS, opts.max_nnz);
     let strategy = opts.partition.unwrap_or_default();
     let system = match &opts.system {
         Some(SystemKind::Sharded { units, .. }) => SystemKind::Sharded {
@@ -803,71 +831,89 @@ pub fn service_throughput(opts: &ExperimentOpts) -> Vec<ServiceRow> {
         Some(kind) => kind.clone(),
         None => SystemKind::Sharded { units: 4, strategy },
     };
-    let xs: Vec<Vec<f64>> = (0..SERVICE_REQUESTS)
-        .map(|b| (0..csr.cols()).map(|i| batch_x(b, i)).collect())
+    let per_tenant = SERVICE_REQUESTS / SERVICE_TENANTS;
+    let xs: Vec<Vec<Vec<f64>>> = mats
+        .iter()
+        .map(|csr| {
+            (0..per_tenant)
+                .map(|b| (0..csr.cols()).map(|i| batch_x(b, i)).collect())
+                .collect()
+        })
         .collect();
-
-    // Serial single-tenant reference: one plan, one `run` per vector.
-    let reference: Vec<Vec<u64>> = {
-        let engine = SpmvEngine::builder()
+    let engine_for = || {
+        SpmvEngine::builder()
             .backend(BackendConfig::interleaved(8))
             .system(system.clone())
             .shard_workers(1)
-            .build();
-        let mut plan = engine.prepare(&csr);
-        xs.iter()
-            .map(|x| {
-                let r = plan.run(x);
-                assert!(r.verified, "serial reference failed golden verification");
-                r.y_bits()
-            })
-            .collect()
+            .batch_capacity(SERVICE_REQUESTS)
+            .build()
     };
+
+    // Serial single-tenant references: one plan per tenant, one `run`
+    // per vector.
+    let reference: Vec<Vec<Vec<u64>>> = mats
+        .iter()
+        .zip(&xs)
+        .map(|(csr, txs)| {
+            let mut plan = engine_for().prepare(csr);
+            txs.iter()
+                .map(|x| {
+                    let r = plan.run(x);
+                    assert!(r.verified, "serial reference failed golden verification");
+                    r.y_bits()
+                })
+                .collect()
+        })
+        .collect();
 
     let mut rows: Vec<ServiceRow> = Vec::new();
     let mut serial_wall_ms = None;
     for workers in SERVICE_WORKERS {
-        let engine = SpmvEngine::builder()
-            .backend(BackendConfig::interleaved(8))
-            .system(system.clone())
-            .shard_workers(workers)
-            .batch_capacity(SERVICE_REQUESTS)
+        let service = SpmvService::builder(engine_for())
+            .drain_workers(workers)
+            .clock(std::sync::Arc::new(crate::timing::WallClock::new()))
             .build();
-        let service = SpmvService::new(engine);
-        let key = service.prepare(&csr);
+        let keys: Vec<_> = mats.iter().map(|csr| service.prepare(csr)).collect();
         // A second tenant registering the same matrix: pure cache hit.
-        assert_eq!(service.prepare(&csr), key);
-        // Untimed warmup so one-time costs (thread stacks, page faults)
-        // don't land inside a single point's measurement.
-        // nmpic-lint: allow(L2) — documented panic: the driver's Panics section covers run/verification failures
-        let warm = service.run(key, xs[0].clone()).expect("warmup");
-        assert!(warm.verified);
+        assert_eq!(service.prepare(&mats[0]), keys[0]);
+        // Untimed warmup (one request per tenant) so one-time costs
+        // (thread stacks, page faults) don't land inside a measurement.
+        for (key, txs) in keys.iter().zip(&xs) {
+            // nmpic-lint: allow(L2) — documented panic: the driver's Panics section covers run/verification failures
+            let warm = service.run(*key, txs[0].clone()).expect("warmup");
+            assert!(warm.verified);
+        }
+        service.reset_latency();
+        let warm_stats = service.stats();
 
         let t0 = Stopwatch::start();
-        let tickets: Vec<_> = xs
-            .iter()
-            .map(|x| {
-                service
-                    .submit(key, x.clone())
-                    // nmpic-lint: allow(L2) — documented panic: the service queue is sized for the burst, and the driver documents its Panics
-                    .expect("queue sized for burst")
+        // Interleave tenants so every lane has work from the start.
+        let tickets: Vec<(usize, usize, nmpic_system::Ticket)> = (0..per_tenant)
+            .flat_map(|q| (0..SERVICE_TENANTS).map(move |t| (t, q)))
+            .map(|(t, q)| {
+                let ticket = service
+                    .submit(keys[t], xs[t][q].clone())
+                    // nmpic-lint: allow(L2) — documented panic: lane quotas are sized for the burst, and the driver documents its Panics
+                    .expect("lane quota sized for burst");
+                (t, q, ticket)
             })
             .collect();
-        service.collect();
+        service.quiesce();
         let wall_ms = t0.elapsed_ms();
 
         let mut verified = true;
-        for (t, want) in tickets.into_iter().zip(&reference) {
-            // nmpic-lint: allow(L2) — invariant: collect() above drained every submitted ticket
-            let done = service.take(t).expect("collected");
+        for (t, q, ticket) in tickets {
+            // nmpic-lint: allow(L2) — invariant: quiesce() above published every submitted ticket
+            let done = service.take(ticket).expect("published by quiesce");
             verified &= done.verified;
             let got: Vec<u64> = done.y.iter().map(|v| v.to_bits()).collect();
             assert_eq!(
-                &got, want,
+                &got, &reference[t][q],
                 "{workers} workers: served bytes diverged from serial reference"
             );
         }
         let stats = service.stats();
+        let lat = service.latency();
         let label = service.engine().system().to_string();
         if workers == 1 {
             serial_wall_ms = Some(wall_ms);
@@ -877,15 +923,364 @@ pub fn service_throughput(opts: &ExperimentOpts) -> Vec<ServiceRow> {
         rows.push(ServiceRow {
             workers,
             system: label,
+            tenants: SERVICE_TENANTS,
             requests: SERVICE_REQUESTS,
-            // The warmup ran one extra batch; report only the burst's.
-            batches: stats.batches.saturating_sub(1),
+            // Warmup batches are excluded; report only the burst's.
+            batches: stats.batches.saturating_sub(warm_stats.batches),
             cache_hits: stats.plan_cache_hits,
             cache_misses: stats.plans_prepared,
             wall_ms,
             requests_per_sec: SERVICE_REQUESTS as f64 / (wall_ms / 1e3),
             speedup_vs_serial: base / wall_ms,
+            p50_us: lat.p50_ns as f64 / 1e3,
+            p99_us: lat.p99_ns as f64 / 1e3,
+            p999_us: lat.p999_ns as f64 / 1e3,
             verified,
+        });
+    }
+    rows
+}
+
+/// One soak measurement: sustained mixed SpMV + solve traffic from
+/// several producer threads against the background drain.
+#[derive(Debug, Clone)]
+pub struct SoakRow {
+    /// Background drain worker threads.
+    pub workers: usize,
+    /// Distinct tenant matrices.
+    pub tenants: usize,
+    /// Producer threads submitting concurrently.
+    pub producers: usize,
+    /// Requests accepted into lanes (the service's `submitted`).
+    pub accepted: u64,
+    /// Admission rejections (quota backpressure events; producers retry).
+    pub rejected: u64,
+    /// One-shot SpMV completions.
+    pub completed: u64,
+    /// Iterative-solve completions.
+    pub solves: u64,
+    /// Requests that reached a `Failed` terminal state (must be 0: no
+    /// panics are injected here).
+    pub failed: u64,
+    /// Results redeemed through `take`/`wait`.
+    pub taken: u64,
+    /// Unredeemed results dropped by bounded retention (abandoned
+    /// tickets age out — the soak abandons a slice on purpose).
+    pub evicted: u64,
+    /// Results still retained (published, never redeemed) at the end.
+    pub retained: usize,
+    /// Ticket-conservation gap `accepted - (taken + evicted +
+    /// retained)`; **must be 0** — every accepted ticket reaches
+    /// exactly one terminal accounting bucket.
+    pub lost: i64,
+    /// Whether final retention respected the per-lane bound
+    /// (`lanes x RESULT_RETENTION_FACTOR x quota`).
+    pub retention_ok: bool,
+    /// Wall-clock time of the whole soak phase, milliseconds.
+    pub wall_ms: f64,
+    /// Accepted requests per second of wall-clock time.
+    pub requests_per_sec: f64,
+    /// Median enqueue->publish latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile enqueue->publish latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile enqueue->publish latency, microseconds.
+    pub p999_us: f64,
+    /// Whether every redeemed result was byte-identical to its serial
+    /// single-tenant reference (SpMV bytes, CG solution bytes, power
+    /// eigenvector bytes).
+    pub verified: bool,
+}
+
+/// The drain-worker counts swept by [`service_soak`].
+pub const SOAK_WORKERS: [usize; 2] = [1, 2];
+
+/// Producer threads in [`service_soak`].
+pub const SOAK_PRODUCERS: usize = 4;
+
+/// Tenant matrices in [`service_soak`] (even indices are SPD so solves
+/// have CG-able targets).
+pub const SOAK_TENANTS: usize = 6;
+
+/// Distinct request vectors per tenant in [`service_soak`] (references
+/// are precomputed per pool slot).
+const SOAK_X_POOL: usize = 8;
+
+/// In-flight window per producer before it starts redeeming oldest
+/// tickets.
+const SOAK_WINDOW: usize = 24;
+
+/// Every `SOAK_ABANDON`-th ticket is deliberately never redeemed, so the
+/// run exercises bounded retention/eviction.
+const SOAK_ABANDON: usize = 37;
+
+/// Every `SOAK_SOLVE`-th request on an SPD tenant is an iterative solve
+/// instead of a one-shot SpMV.
+const SOAK_SOLVE: usize = 16;
+
+/// Requests each soak point pushes through the service, scaled off the
+/// nnz cap: ~40k at CI quick scale, ~300k at full experiment scale.
+pub fn soak_requests(opts: &ExperimentOpts) -> usize {
+    ((opts.max_nnz as usize) * 2).clamp(800, 500_000)
+}
+
+/// What one soak producer submits for its `i`-th request.
+enum SoakOp {
+    Spmv { tenant: usize, slot: usize },
+    Cg { tenant: usize, slot: usize },
+    Power { tenant: usize },
+}
+
+/// Deterministic request mix: tenant and vector-pool slot from a hash of
+/// `(producer, i)`, every [`SOAK_SOLVE`]-th request on an SPD tenant a
+/// solve (alternating CG / power iteration).
+fn soak_op(producer: usize, i: usize) -> SoakOp {
+    let h = (i as u64)
+        .wrapping_mul(2654435761)
+        .wrapping_add(producer as u64 * 7919);
+    let tenant = (h % SOAK_TENANTS as u64) as usize;
+    let slot = ((h >> 8) % SOAK_X_POOL as u64) as usize;
+    if i % SOAK_SOLVE == SOAK_SOLVE - 1 && tenant.is_multiple_of(2) {
+        if (h >> 16).is_multiple_of(2) {
+            SoakOp::Cg { tenant, slot }
+        } else {
+            SoakOp::Power { tenant }
+        }
+    } else {
+        SoakOp::Spmv { tenant, slot }
+    }
+}
+
+/// Runs the service soak: [`SOAK_PRODUCERS`] producer threads push
+/// [`soak_requests`] mixed SpMV + CG + power-iteration requests across
+/// [`SOAK_TENANTS`] tenant matrices into a shared [`SpmvService`] with a
+/// live background drain, windowing redemptions and deliberately
+/// abandoning every `SOAK_ABANDON`-th ticket. After quiescing, each
+/// row gates on **exact ticket conservation** (`lost == 0`), bounded
+/// retention, zero failed requests, and byte-identity of every redeemed
+/// result against serial single-tenant references.
+///
+/// Runs on the analytic execution mode by default (`NMPIC_EXEC`
+/// overrides): the soak stresses the serving layer, not the cycle-level
+/// simulator, and analytic mode is bit-identical on the result vector.
+///
+/// # Panics
+///
+/// Panics if a producer thread panics (e.g. on a byte mismatch, which
+/// also clears `verified`) or an unexpected submission error occurs.
+pub fn service_soak(opts: &ExperimentOpts) -> Vec<SoakRow> {
+    use nmpic_sparse::gen::{banded_fem, spd};
+    use nmpic_system::{ServiceError, SolveRequest};
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|f| f.to_bits()).collect()
+    }
+
+    let exec = opts.exec.unwrap_or(ExecMode::Analytic);
+    let system = opts.system.clone().unwrap_or(SystemKind::Base);
+    let total = soak_requests(opts);
+    // Small matrices: soak load is request count, not matrix size.
+    let mats: Vec<Csr> = (0..SOAK_TENANTS)
+        .map(|t| {
+            if t % 2 == 0 {
+                spd(96 + 8 * t, 5, 8, t as u64)
+            } else {
+                banded_fem(112 + 8 * t, 5, 10, t as u64)
+            }
+        })
+        .collect();
+    let xs: Vec<Vec<Vec<f64>>> = mats
+        .iter()
+        .map(|csr| {
+            (0..SOAK_X_POOL)
+                .map(|s| (0..csr.cols()).map(|i| batch_x(s, i)).collect())
+                .collect()
+        })
+        .collect();
+    let engine = || {
+        SpmvEngine::builder()
+            .system(system.clone())
+            .exec_mode(exec)
+            .shard_workers(1)
+            .build()
+    };
+
+    // Serial references: SpMV bits per (tenant, slot); CG solution bits
+    // per (SPD tenant, slot); power eigenvector bits per SPD tenant.
+    let spmv_ref: Vec<Vec<Vec<u64>>> = mats
+        .iter()
+        .zip(&xs)
+        .map(|(csr, txs)| {
+            let mut plan = engine().prepare(csr);
+            txs.iter().map(|x| plan.run(x).y_bits()).collect()
+        })
+        .collect();
+    let cg_ref: Vec<Option<Vec<Vec<u64>>>> = mats
+        .iter()
+        .enumerate()
+        .map(|(t, csr)| {
+            (t % 2 == 0).then(|| {
+                let mut plan = engine().prepare(csr);
+                xs[t]
+                    .iter()
+                    .map(|b| bits(&Solver::cg(&mut plan, b, &SolveOptions::default()).x))
+                    .collect()
+            })
+        })
+        .collect();
+    let power_ref: Vec<Option<Vec<u64>>> = mats
+        .iter()
+        .enumerate()
+        .map(|(t, csr)| {
+            (t % 2 == 0).then(|| {
+                let mut plan = engine().prepare(csr);
+                bits(&Solver::power_iteration(&mut plan, &SolveOptions::default()).x)
+            })
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for workers in SOAK_WORKERS {
+        let service = SpmvService::builder(engine())
+            .drain_workers(workers)
+            .lane_quota(256)
+            .clock(std::sync::Arc::new(crate::timing::WallClock::new()))
+            .build();
+        let keys: Vec<_> = mats.iter().map(|csr| service.prepare(csr)).collect();
+        let per_producer = total / SOAK_PRODUCERS;
+
+        let t0 = Stopwatch::start();
+        let all_verified = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..SOAK_PRODUCERS)
+                .map(|p| {
+                    let service = &service;
+                    let keys = &keys;
+                    let xs = &xs;
+                    let spmv_ref = &spmv_ref;
+                    let cg_ref = &cg_ref;
+                    let power_ref = &power_ref;
+                    scope.spawn(move || {
+                        let mut ok = true;
+                        let mut window: std::collections::VecDeque<(nmpic_system::Ticket, SoakOp)> =
+                            std::collections::VecDeque::new();
+                        let redeem = |service: &SpmvService,
+                                      (ticket, op): (nmpic_system::Ticket, SoakOp)|
+                         -> bool {
+                            match op {
+                                SoakOp::Spmv { tenant, slot } => {
+                                    // nmpic-lint: allow(L2) — documented panic: soak producers fail loudly on any redemption error
+                                    let done = service.wait(ticket).expect("soak spmv");
+                                    bits(&done.y) == spmv_ref[tenant][slot]
+                                }
+                                SoakOp::Cg { tenant, slot } => {
+                                    // nmpic-lint: allow(L2) — documented panic: soak producers fail loudly on any redemption error
+                                    let done = service.wait_solve(ticket).expect("soak cg");
+                                    // nmpic-lint: allow(L2) — invariant: soak_op only emits Cg for even (SPD) tenants, whose reference is Some
+                                    let want = cg_ref[tenant].as_ref().expect("spd");
+                                    bits(&done.report.x) == want[slot]
+                                }
+                                SoakOp::Power { tenant } => {
+                                    // nmpic-lint: allow(L2) — documented panic: soak producers fail loudly on any redemption error
+                                    let done = service.wait_solve(ticket).expect("soak power");
+                                    // nmpic-lint: allow(L2) — invariant: soak_op only emits Power for even (SPD) tenants, whose reference is Some
+                                    let want = power_ref[tenant].as_ref().expect("spd");
+                                    bits(&done.report.x) == *want
+                                }
+                            }
+                        };
+                        for i in 0..per_producer {
+                            let op = soak_op(p, i);
+                            let ticket = loop {
+                                let attempt = match &op {
+                                    SoakOp::Spmv { tenant, slot } => {
+                                        service.submit(keys[*tenant], xs[*tenant][*slot].clone())
+                                    }
+                                    SoakOp::Cg { tenant, slot } => service.submit_solve(
+                                        keys[*tenant],
+                                        SolveRequest::Cg {
+                                            b: xs[*tenant][*slot].clone(),
+                                        },
+                                        SolveOptions::default(),
+                                    ),
+                                    SoakOp::Power { tenant } => service.submit_solve(
+                                        keys[*tenant],
+                                        SolveRequest::PowerIteration,
+                                        SolveOptions::default(),
+                                    ),
+                                };
+                                match attempt {
+                                    Ok(t) => break t,
+                                    Err(ServiceError::TenantQuotaExceeded { .. }) => {
+                                        // Backpressure: redeem the oldest
+                                        // in-flight ticket, then retry.
+                                        match window.pop_front() {
+                                            Some(entry) => ok &= redeem(service, entry),
+                                            None => std::thread::yield_now(),
+                                        }
+                                    }
+                                    // nmpic-lint: allow(L2) — documented panic: any non-backpressure submission error is a soak failure
+                                    Err(e) => panic!("soak submit failed: {e}"),
+                                }
+                            };
+                            if i % SOAK_ABANDON == SOAK_ABANDON - 1 {
+                                // Deliberately abandoned: retention must
+                                // bound it, eviction may reap it.
+                                continue;
+                            }
+                            window.push_back((ticket, op));
+                            if window.len() > SOAK_WINDOW {
+                                // nmpic-lint: allow(L2) — invariant: the branch guard just checked the window is non-empty
+                                let entry = window.pop_front().expect("non-empty window");
+                                ok &= redeem(service, entry);
+                            }
+                        }
+                        while let Some(entry) = window.pop_front() {
+                            ok &= redeem(service, entry);
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            // Collect before reducing: every producer must be joined
+            // even after a byte mismatch, so no short-circuiting here.
+            let verdicts: Vec<bool> = handles
+                .into_iter()
+                // nmpic-lint: allow(L2) — documented panic: a panicking producer is a soak failure, surfaced here
+                .map(|h| h.join().expect("soak producer"))
+                .collect();
+            verdicts.into_iter().all(|b| b)
+        });
+        service.quiesce();
+        let wall_ms = t0.elapsed_ms();
+
+        let stats = service.stats();
+        let retained = service.retained();
+        let lat = service.latency();
+        let terminal = stats.completed + stats.solves_completed + stats.failed;
+        let lost = stats.submitted as i64 - terminal as i64
+            + (terminal as i64 - (stats.taken + stats.evicted) as i64 - retained as i64);
+        let retention_bound =
+            service.lane_count() * nmpic_system::RESULT_RETENTION_FACTOR * service.lane_quota();
+        rows.push(SoakRow {
+            workers,
+            tenants: SOAK_TENANTS,
+            producers: SOAK_PRODUCERS,
+            accepted: stats.submitted,
+            rejected: stats.rejected,
+            completed: stats.completed,
+            solves: stats.solves_completed,
+            failed: stats.failed,
+            taken: stats.taken,
+            evicted: stats.evicted,
+            retained,
+            lost,
+            retention_ok: retained <= retention_bound,
+            wall_ms,
+            requests_per_sec: stats.submitted as f64 / (wall_ms / 1e3),
+            p50_us: lat.p50_ns as f64 / 1e3,
+            p99_us: lat.p99_ns as f64 / 1e3,
+            p999_us: lat.p999_ns as f64 / 1e3,
+            verified: all_verified,
         });
     }
     rows
@@ -1341,21 +1736,66 @@ mod tests {
             // the experiment; `verified` additionally carries the golden
             // check of every batch.
             assert!(r.verified, "{w} workers");
+            assert_eq!(r.tenants, SERVICE_TENANTS);
             assert_eq!(r.requests, SERVICE_REQUESTS);
-            assert_eq!(r.batches, 1, "one matrix must collapse into one batch");
-            assert_eq!(r.cache_misses, 1, "one plan prepared");
-            assert!(r.cache_hits >= 1, "second prepare must hit");
+            // Same-matrix requests share batches, so the burst needs at
+            // most one batch per tenant per drain turn — never one per
+            // request.
+            assert!(
+                r.batches >= SERVICE_TENANTS as u64 && r.batches <= SERVICE_REQUESTS as u64,
+                "{w} workers: {} batches",
+                r.batches
+            );
+            assert_eq!(
+                r.cache_misses, SERVICE_TENANTS as u64,
+                "one plan per tenant matrix"
+            );
+            assert!(r.cache_hits >= 1, "re-preparing tenant 0 must hit");
             // Wall-clock numbers are machine-dependent but must be
             // finite and positive — the JSON gate rejects NaN/inf.
             assert!(r.wall_ms.is_finite() && r.wall_ms > 0.0);
             assert!(r.requests_per_sec.is_finite() && r.requests_per_sec > 0.0);
             assert!(r.speedup_vs_serial.is_finite() && r.speedup_vs_serial > 0.0);
+            // Wall-clock latency tails: nonzero, finite, ordered.
+            assert!(r.p50_us > 0.0 && r.p50_us.is_finite(), "{w} workers");
+            assert!(r.p50_us <= r.p99_us && r.p99_us <= r.p999_us);
             assert!(r.system.starts_with("sharded"), "{}", r.system);
         }
         assert!(
             (rows[0].speedup_vs_serial - 1.0).abs() < 1e-12,
             "self-relative"
         );
+    }
+
+    #[test]
+    fn service_soak_conserves_every_ticket_and_verifies_bytes() {
+        let opts = ExperimentOpts {
+            max_nnz: 500, // -> soak_requests minimum (fast in-crate scale)
+            ..ExperimentOpts::default()
+        };
+        let total = soak_requests(&opts);
+        let rows = service_soak(&opts);
+        assert_eq!(rows.len(), SOAK_WORKERS.len());
+        for (r, w) in rows.iter().zip(SOAK_WORKERS) {
+            assert_eq!(r.workers, w);
+            assert_eq!(r.tenants, SOAK_TENANTS);
+            assert_eq!(r.producers, SOAK_PRODUCERS);
+            // Every producer's share was accepted (retries absorb quota
+            // rejections, so accepted = the full request count).
+            assert_eq!(r.accepted, (total / SOAK_PRODUCERS * SOAK_PRODUCERS) as u64);
+            assert!(r.solves > 0, "the mix must include solves");
+            assert_eq!(r.failed, 0, "no injected panics -> nothing may fail");
+            assert_eq!(r.lost, 0, "exact ticket conservation");
+            assert!(r.retention_ok, "retention bound respected");
+            assert!(r.verified, "all redeemed bytes match serial references");
+            assert_eq!(
+                r.accepted,
+                r.taken + r.evicted + r.retained as u64,
+                "every accepted ticket lands in exactly one terminal bucket"
+            );
+            assert!(r.p50_us > 0.0 && r.p50_us <= r.p99_us && r.p99_us <= r.p999_us);
+            assert!(r.requests_per_sec > 0.0 && r.requests_per_sec.is_finite());
+        }
     }
 
     #[test]

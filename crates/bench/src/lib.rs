@@ -15,7 +15,8 @@
 //! | extension | `scaling_channels` | indirect bandwidth vs interleaved channel count |
 //! | extension | `scaling_units` | sharded multi-unit SpMV vs unit count (aggregate GB/s + load imbalance) |
 //! | extension | `batched_spmv` | multi-vector SpMV on one prepared plan vs per-vector plan rebuild |
-//! | extension | `service_throughput` | multi-tenant `SpmvService` requests/sec + wall-clock speedup vs shard workers |
+//! | extension | `service_throughput` | multi-tenant `SpmvService` req/s + p50/p99/p999 latency vs background drain workers |
+//! | extension | `service_soak` | sustained mixed SpMV+solve soak: ticket conservation, bounded retention, byte-identity |
 //! | extension | `solver_convergence` | CG iterations-to-1e-10 + amortized per-iteration cycles/GB/s on resident plans |
 //! | extension | `analytic_validation` | analytic vs cycle-accurate cost metrics (rel. error per point) + large-matrix speedup |
 //! | all      | `all_experiments` | everything above, CSVs under `results/` |
@@ -42,11 +43,12 @@ pub mod timing;
 pub use experiments::{
     analytic_backends, analytic_systems, analytic_validation, batch_x, batched_spmv, fig3,
     fig3_variants, fig4, fig4_variants, fig5, fig5_adapters, fig5_matrix, fig6a, fig6b,
-    measure_stream_gbps, scaling_channels, scaling_units, service_throughput, solver_backends,
-    solver_convergence, solver_systems, AnalyticValidationRow, BatchRow, ChannelScalingRow,
-    ExperimentOpts, ExperimentOptsBuilder, ServiceRow, SolverRow, StreamRow, SystemRow,
-    UnitScalingRow, BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS, SERVICE_REQUESTS,
-    SERVICE_WORKERS,
+    measure_stream_gbps, scaling_channels, scaling_units, service_soak, service_throughput,
+    soak_requests, solver_backends, solver_convergence, solver_systems, AnalyticValidationRow,
+    BatchRow, ChannelScalingRow, ExperimentOpts, ExperimentOptsBuilder, ServiceRow, SoakRow,
+    SolverRow, StreamRow, SystemRow, UnitScalingRow, BATCH_SIZES, SCALING_CHANNELS, SCALING_UNITS,
+    SERVICE_REQUESTS, SERVICE_TENANTS, SERVICE_WORKERS, SOAK_PRODUCERS, SOAK_TENANTS, SOAK_WORKERS,
 };
 pub use output::{f, Table};
 pub use runner::{parallel_jobs, parallel_map, parallel_map_jobs};
+pub use timing::WallClock;

@@ -100,6 +100,36 @@ impl Stopwatch {
     }
 }
 
+/// A wall-clock [`nmpic_system::Clock`] for service latency accounting:
+/// nanoseconds since construction. Library code is forbidden from
+/// reading the host clock (`nmpic-lint` rule L6), so `SpmvService`
+/// defaults to a deterministic logical clock; benchmarks measuring real
+/// tail latency inject this instead via
+/// `SpmvService::builder(engine).clock(Arc::new(WallClock::new()))`.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock(Instant);
+
+impl WallClock {
+    /// A clock whose epoch (reading 0) is now.
+    pub fn new() -> Self {
+        WallClock(Instant::now())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl nmpic_system::Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        // 2^64 ns ≈ 584 years since construction: the cast cannot
+        // truncate in practice.
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
 /// Times `f` for `iters` iterations (after one warmup call) and prints the
 /// one-line report. The closure's return value is consumed with
 /// [`std::hint::black_box`] so the compiler cannot elide the work.
@@ -175,6 +205,17 @@ mod tests {
         assert!(w.elapsed_ms() >= 2.0);
         // The epsilon floor keeps rates finite even for ~0 elapsed reads.
         assert!(Stopwatch::start().elapsed_ms() > 0.0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_advances() {
+        use nmpic_system::Clock;
+        let c = WallClock::new();
+        let a = c.now_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now_ns();
+        assert!(b > a, "the clock must advance across a sleep");
+        assert!(b >= 2_000_000, "at least the slept 2 ms in ns");
     }
 
     #[test]

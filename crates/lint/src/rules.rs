@@ -1,4 +1,4 @@
-//! The six domain rules and the allow-marker protocol.
+//! The seven domain rules and the allow-marker protocol.
 //!
 //! Every rule matches on the scanner's *code* channel only
 //! ([`crate::scan::Line::code`]), so trigger tokens inside strings, doc
@@ -38,6 +38,11 @@ pub enum Rule {
     /// wall-clock reads anywhere else would leak nondeterminism into
     /// simulated results.
     WallClock,
+    /// L7 — every `std::sync::Mutex`/`RwLock` in the serving front-end
+    /// (`crates/system/src/service.rs`) carries an audited allow-marker:
+    /// the service's hot paths are atomics-first, so each blocking lock
+    /// must name the reason it is held briefly and never nested.
+    ServiceLock,
     /// M0 — a malformed `nmpic-lint:` marker: unparseable, naming an
     /// unknown rule, or missing the mandatory reason text.
     Marker,
@@ -45,16 +50,17 @@ pub enum Rule {
 
 impl Rule {
     /// All suppressible rules, for marker validation.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NarrowingCast,
         Rule::PanicPath,
         Rule::UnorderedFloat,
         Rule::ForbidUnsafe,
         Rule::RelaxedOrdering,
         Rule::WallClock,
+        Rule::ServiceLock,
     ];
 
-    /// Short display id (`L1`..`L6`, `M0`).
+    /// Short display id (`L1`..`L7`, `M0`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::NarrowingCast => "L1",
@@ -63,6 +69,7 @@ impl Rule {
             Rule::ForbidUnsafe => "L4",
             Rule::RelaxedOrdering => "L5",
             Rule::WallClock => "L6",
+            Rule::ServiceLock => "L7",
             Rule::Marker => "M0",
         }
     }
@@ -76,6 +83,7 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::RelaxedOrdering => "relaxed-ordering",
             Rule::WallClock => "wall-clock",
+            Rule::ServiceLock => "service-lock",
             Rule::Marker => "marker",
         }
     }
@@ -292,6 +300,7 @@ pub fn lint_file(ctx: &FileContext<'_>) -> FileReport {
     let lib_or_bin = matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
     let mem_usize = ctx.ws.usize_cast_applies(ctx.path);
     let clock_exempt = ctx.ws.clock_exempt(ctx.path);
+    let service_lock = ctx.ws.service_lock_applies(ctx.path);
 
     // --- L1 / L2 / L5 / L6: per-line token matchers ------------------------
     for (i, line) in ctx.lines.iter().enumerate() {
@@ -355,6 +364,24 @@ pub fn lint_file(ctx: &FileContext<'_>) -> FileReport {
                                   `Relaxed` on this or the three preceding lines"
                             .to_string(),
                     });
+                }
+            }
+            if service_lock {
+                // Exact-token match: `MutexGuard`/`RwLockReadGuard` are
+                // distinct identifiers and stay legal unmarked.
+                for &(_, t) in &toks {
+                    if t == "Mutex" || t == "RwLock" {
+                        raw.push(Violation {
+                            path: ctx.path.to_string(),
+                            line: i + 1,
+                            rule: Rule::ServiceLock,
+                            message: format!(
+                                "blocking `{t}` in the serving front-end — prefer atomics, or \
+                                 audit the lock with `// nmpic-lint: allow(L7) — <held briefly \
+                                 because ...>`"
+                            ),
+                        });
+                    }
                 }
             }
             if !clock_exempt && (s.contains("Instant::now") || s.contains("SystemTime")) {

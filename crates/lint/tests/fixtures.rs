@@ -170,6 +170,44 @@ fn l6_trips_everywhere_except_the_timing_module() {
     assert_eq!(rules(&lint_source(LIB, sys)), [Rule::WallClock]);
 }
 
+// --- L7: audited locks in the serving front-end ---------------------------
+
+const SERVICE: &str = "crates/system/src/service.rs";
+
+#[test]
+fn l7_trips_on_unaudited_mutex_and_rwlock_in_the_service() {
+    let src = "use std::sync::Mutex;\npub struct S {\n    state: Mutex<u32>,\n}\n";
+    let r = lint_source(SERVICE, src);
+    assert_eq!(rules(&r), [Rule::ServiceLock, Rule::ServiceLock]);
+    let src = "pub struct S {\n    plans: std::sync::RwLock<u32>,\n}\n";
+    assert_eq!(rules(&lint_source(SERVICE, src)), [Rule::ServiceLock]);
+}
+
+#[test]
+fn l7_applies_only_to_the_service_module() {
+    let src = "use std::sync::Mutex;\npub struct S {\n    state: Mutex<u32>,\n}\n";
+    assert_clean(&lint_source(LIB, src));
+    assert_clean(&lint_source(BIN, src));
+}
+
+#[test]
+fn l7_guard_types_and_test_code_stay_legal_unmarked() {
+    // `MutexGuard`/`RwLockReadGuard` are distinct identifier tokens.
+    let src = "use std::sync::MutexGuard;\npub fn f(g: MutexGuard<'_, u32>) -> u32 {\n    *g\n}\n";
+    assert_clean(&lint_source(SERVICE, src));
+    let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    #[test]\n    fn t() {\n        let _ = Mutex::new(0u32);\n    }\n}\n";
+    assert_clean(&lint_source(SERVICE, src));
+}
+
+#[test]
+fn l7_is_suppressible_by_an_audited_marker() {
+    let src = "pub struct S {\n    // nmpic-lint: allow(L7) — held briefly: push/pop only, never across run_batch\n    state: std::sync::Mutex<u32>,\n}\n";
+    let r = lint_source(SERVICE, src);
+    assert_clean(&r);
+    assert_eq!(r.suppressed, 1);
+    assert!(Rule::from_name("service-lock").is_some());
+}
+
 // --- Allow-marker protocol -----------------------------------------------
 
 #[test]

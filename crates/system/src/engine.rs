@@ -726,6 +726,15 @@ impl SpmvPlan {
         }
     }
 
+    /// Stored nonzeros of the prepared matrix.
+    pub fn nnz(&self) -> usize {
+        match &self.inner {
+            PlanInner::Base(p) => p.csr.nnz(),
+            PlanInner::Pack(p) => p.sell.nnz(),
+            PlanInner::Sharded(p) => p.csr.nnz(),
+        }
+    }
+
     fn run_vectors(&mut self, xs: &[&[f64]]) -> RunReport {
         assert!(!xs.is_empty(), "at least one vector");
         for x in xs {

@@ -27,9 +27,11 @@
 //! cycles and traffic into a [`SolveReport`].
 //!
 //! For serving many tenants, [`SpmvService`] wraps the engine with a
-//! fingerprint-keyed plan cache, a bounded batching submission queue
-//! (`submit`/`submit_solve` → [`Ticket`] → `collect`/`take`), and
-//! parallel shard execution on the shared `NMPIC_JOBS` work pool.
+//! fingerprint-keyed plan cache, sharded per-tenant submission lanes
+//! (`submit`/`submit_solve` → [`Ticket`] → `take`/`wait`), a background
+//! batching drain with per-lane fairness, lock-free statistics, and
+//! p50/p99/p999 tail-latency accounting — plus parallel shard execution
+//! on the shared `NMPIC_JOBS` work pool.
 //!
 //! The legacy one-shot free functions (`run_base_spmv[_on]`,
 //! `run_pack_spmv[_on]`, `run_sharded_spmv`) remain as deprecated shims
@@ -77,8 +79,9 @@ pub use nmpic_mem::{Cache, CacheConfig, CacheStats};
 pub use pack::{pack_label, pack_memory_size, run_pack_spmv, run_pack_spmv_on, PackConfig};
 pub use report::{golden_x, results_match, IterReport, RunReport, ShardDetail, SpmvReport};
 pub use service::{
-    Completed, CompletedSolve, MatrixKey, ServiceError, ServiceStats, SolveRequest, SpmvService,
-    Ticket, DEFAULT_QUEUE_CAPACITY, RESULT_RETENTION_FACTOR,
+    Clock, Completed, CompletedSolve, LatencySnapshot, LogicalClock, MatrixKey, ServiceBuilder,
+    ServiceError, ServiceStats, SolveRequest, SpmvService, Ticket, DEFAULT_DRAIN_BATCH,
+    DEFAULT_LANES, DEFAULT_QUEUE_CAPACITY, MAX_LANES, RESULT_RETENTION_FACTOR,
 };
 #[allow(deprecated)]
 pub use shard::{

@@ -1,37 +1,58 @@
-//! Multi-tenant SpMV serving: a thread-safe façade over [`SpmvEngine`]
-//! with a plan cache and a batching submission queue.
+//! Multi-tenant SpMV serving: a concurrency-native façade over
+//! [`SpmvEngine`] with sharded submission lanes, a background drain, and
+//! tail-latency accounting.
 //!
 //! The session API ([`SpmvEngine::prepare`] → [`SpmvPlan::run`])
 //! amortizes preparation across one caller's vectors, but a serving
 //! deployment has many callers: tenants submit (matrix, vector) requests
 //! concurrently, and most of them hit a small set of resident matrices.
-//! [`SpmvService`] closes that gap with three mechanisms:
+//! [`SpmvService`] closes that gap with four mechanisms:
 //!
 //! 1. **Plan cache** — plans are keyed by [`Csr::fingerprint`]
 //!    (dimensions + nnz + content hash). [`SpmvService::prepare`] returns
 //!    a [`MatrixKey`]; re-preparing an already-resident matrix is a cache
 //!    hit that reuses the warm DRAM image instead of rebuilding layout
 //!    and partitions. Hits and misses are counted in [`ServiceStats`].
-//! 2. **Bounded submission queue** — [`SpmvService::submit`] enqueues a
-//!    request and hands back a [`Ticket`]; the queue rejects (rather than
-//!    grows unboundedly) once `queue_capacity` requests are pending.
-//!    [`SpmvService::collect`] drains the queue, groups same-matrix
-//!    requests, and executes each group as **one**
-//!    [`SpmvPlan::run_batch`] call, so co-tenants of a matrix share its
-//!    stream fetches. Results are retrieved per ticket with
-//!    [`SpmvService::take`]. Iterative solves queue next to one-shot
-//!    SpMVs through [`SpmvService::submit_solve`] ([`SolveRequest::Cg`]
-//!    or [`SolveRequest::PowerIteration`]) and execute on the same
-//!    resident plans, redeemed with [`SpmvService::take_solve`].
-//! 3. **Parallel shard execution** — sharded plans run each shard's unit
-//!    simulation on its own worker thread (see
-//!    [`SpmvEngineBuilder::shard_workers`](crate::SpmvEngineBuilder::shard_workers)),
-//!    so a single request's gather phase also uses the machine, not just
-//!    the queue.
+//! 2. **Sharded submission lanes** — requests hash by [`MatrixKey`] into
+//!    a fixed array of independent lanes, each with its own bounded
+//!    queue, so tenants of different matrices never contend on a shared
+//!    lock at submission. Admission is a per-lane decision: once a
+//!    lane holds its quota, further submissions for its keys get
+//!    [`ServiceError::TenantQuotaExceeded`] naming the rejecting tenant
+//!    key — one hub tenant's burst cannot close the door on the others.
+//! 3. **Background drain** — dedicated drain worker threads
+//!    ([`nmpic_sim::pool::BackgroundWorker`]) pull lanes round-robin,
+//!    a bounded batch per lane per turn (SparseP-style fairness: a
+//!    skewed tenant cannot starve the rest), group same-matrix requests
+//!    into **one** [`SpmvPlan::run_batch`] call each, and publish
+//!    results into per-lane completion maps. [`SpmvService::take`] is a
+//!    non-blocking single-lane lookup for completed tickets;
+//!    [`SpmvService::wait`] blocks until the drain publishes. Retention
+//!    and eviction run on the drain side. With
+//!    [`ServiceBuilder::drain_workers`]`(0)` the service is synchronous:
+//!    callers drive the same drain via [`SpmvService::drain_now`] — the
+//!    deterministic mode tests use.
+//! 4. **Latency accounting** — every request records its
+//!    enqueue→publish latency (through an injectable [`Clock`], so
+//!    library code never reads the wall clock and tests stay
+//!    deterministic) into a streaming
+//!    [`nmpic_sim::stats::Histogram`]; [`SpmvService::latency`] reports
+//!    p50/p99/p999/mean/max.
 //!
 //! Every execution is byte-identical to the serial single-tenant path
-//! ([`SpmvPlan::run`]): batching changes *when* work happens, never what
-//! the simulated hardware computes.
+//! ([`SpmvPlan::run`]): batching, lanes, and drain concurrency change
+//! *when* work happens, never what the simulated hardware computes.
+//!
+//! # Migration from the single-mutex service (PR 9 → PR 10)
+//!
+//! | old API | new API |
+//! |---------|---------|
+//! | `collect()` (caller-driven batch) | background drain ([`ServiceBuilder::drain_workers`], default 1); `drain_now()` in synchronous mode; `quiesce()` to wait for in-flight work |
+//! | `take(t)` → `None` until collected | unchanged contract, now per-lane and non-blocking; `wait(t)` blocks until published |
+//! | `ServiceError::QueueFull { capacity }` | [`ServiceError::TenantQuotaExceeded`]` { key, quota }` — admission is per-lane and names the rejecting tenant |
+//! | `with_queue_capacity(engine, n)` | `SpmvService::builder(engine).lane_quota(n).build()` |
+//! | poisoned-mutex recovery (`lock_state`) | retired: plan building happens such that no panic unwinds while a lock is held; a drain-worker panic **quarantines one lane** ([`ServiceError::LaneQuarantined`]) and the rest keep serving |
+//! | `stats()` under the state mutex | lock-free atomic counters, same [`ServiceStats`] snapshot (plus `failed`/`taken`) |
 //!
 //! # Example
 //!
@@ -44,19 +65,26 @@
 //! let key = service.prepare(&csr);
 //! let x: Vec<f64> = (0..csr.cols()).map(golden_x).collect();
 //! let t = service.submit(key, x.clone()).unwrap();
-//! service.collect();
-//! let done = service.take(t).expect("collected");
+//! // A background drain worker batches and executes the request.
+//! let done = service.wait(t).expect("drained in the background");
 //! assert!(done.verified);
 //! assert_eq!(done.y, csr.spmv(&x));
 //! // A second tenant preparing the same matrix hits the plan cache.
 //! assert_eq!(service.prepare(&csr), key);
 //! assert_eq!(service.stats().plan_cache_hits, 1);
+//! assert!(service.latency().count >= 1);
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// nmpic-lint: allow(L7) — the audited lock inventory of this module: per-lane state mutexes, per-plan execution mutexes, the plan-cache RwLock, and the completion-signal mutex; each construction site carries its own audit marker
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::Duration;
 
+use nmpic_sim::pool::BackgroundWorker;
+use nmpic_sim::stats::Histogram;
 use nmpic_sparse::Csr;
 
 use crate::engine::{SpmvEngine, SpmvPlan};
@@ -66,7 +94,8 @@ use crate::solve::{SolveOptions, SolveReport, Solver};
 ///
 /// Obtained from [`SpmvService::prepare`]; equal keys mean equal matrix
 /// content ([`Csr::fingerprint`]), so tenants can exchange keys instead
-/// of matrices.
+/// of matrices. The key also selects the tenant's submission lane
+/// ([`SpmvService::lane_of`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatrixKey(u64);
 
@@ -83,27 +112,67 @@ impl fmt::Display for MatrixKey {
     }
 }
 
-/// A claim on one submitted request's result, redeemed with
-/// [`SpmvService::take`] after a [`SpmvService::collect`].
+/// Lane index bits packed into the low end of a ticket id.
+const LANE_BITS: u32 = 8;
+const LANE_MASK: u64 = (1 << LANE_BITS) - 1;
+/// Bit distinguishing solve tickets from one-shot SpMV tickets.
+const SOLVE_BIT: u64 = 1 << LANE_BITS;
+const SEQ_SHIFT: u32 = LANE_BITS + 1;
+
+/// Hard upper bound on [`ServiceBuilder::lanes`] (lane index must fit
+/// in a ticket's `LANE_BITS`).
+pub const MAX_LANES: usize = 1 << LANE_BITS;
+
+/// A claim on one submitted request's result: redeemed non-blocking with
+/// [`SpmvService::take`] once the background drain has published it, or
+/// blocking with [`SpmvService::wait`].
+///
+/// Tickets encode their lane and request kind, so redemption touches
+/// only the one lane the request lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ticket(u64);
 
-impl fmt::Display for Ticket {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ticket:{}", self.0)
+impl Ticket {
+    fn new(seq: u64, lane: usize, solve: bool) -> Self {
+        let kind = if solve { SOLVE_BIT } else { 0 };
+        Ticket((seq << SEQ_SHIFT) | kind | lane as u64)
+    }
+
+    /// The submission lane this ticket's request was queued on.
+    pub fn lane(&self) -> usize {
+        (self.0 & LANE_MASK) as usize
+    }
+
+    fn is_solve(&self) -> bool {
+        self.0 & SOLVE_BIT != 0
+    }
+
+    fn seq(&self) -> u64 {
+        self.0 >> SEQ_SHIFT
     }
 }
 
-/// Why a submission was refused.
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ticket:{}@lane{}", self.seq(), self.lane())
+    }
+}
+
+/// Why a submission or redemption failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The key does not name a prepared matrix (call
     /// [`SpmvService::prepare`] first).
     UnknownMatrix(MatrixKey),
-    /// The bounded queue is full; collect before submitting more.
-    QueueFull {
-        /// The configured queue capacity.
-        capacity: usize,
+    /// The tenant's lane already holds its admission quota of pending
+    /// requests; back off until the drain catches up. Replaces the old
+    /// global `QueueFull`: admission is per-lane, and the error names
+    /// the rejecting tenant key instead of a service-wide capacity.
+    TenantQuotaExceeded {
+        /// The tenant key whose lane refused admission.
+        key: MatrixKey,
+        /// The per-lane quota that was hit.
+        quota: usize,
     },
     /// The vector length does not match the matrix's column count.
     WrongVectorLength {
@@ -122,15 +191,33 @@ pub enum ServiceError {
         cols: usize,
     },
     /// A solve was submitted with a damping factor outside `(0, 1]`.
-    /// Rejected eagerly: the solver would otherwise panic inside
-    /// [`SpmvService::collect`] — under the service mutex, poisoning it
-    /// for every tenant.
+    /// Rejected eagerly so the solver cannot panic inside a drain
+    /// worker and quarantine the whole lane.
     InvalidDamping,
     /// The request executed, but its unredeemed result aged out of the
-    /// bounded retention window before it could be taken — only
-    /// possible when other tenants drive enough [`SpmvService::collect`]
-    /// traffic in between (see [`RESULT_RETENTION_FACTOR`]).
+    /// bounded retention window before it could be taken (see
+    /// [`RESULT_RETENTION_FACTOR`]), was already taken, or the ticket
+    /// was never issued by this service.
     ResultEvicted,
+    /// The request's lane was quarantined after a drain-worker panic;
+    /// its queued requests were failed and new submissions are refused.
+    /// Other lanes keep serving.
+    LaneQuarantined {
+        /// The tenant key whose lane is quarantined.
+        key: MatrixKey,
+    },
+    /// The request was accepted but its execution panicked mid-batch
+    /// (the lane is quarantined; see [`ServiceError::LaneQuarantined`]).
+    ExecutionFailed {
+        /// The matrix the failed request ran against.
+        key: MatrixKey,
+    },
+    /// [`SpmvService::wait`] gave up after its safety-valve timeout
+    /// without the result appearing — the ticket may still complete.
+    WaitTimeout,
+    /// A solve ticket was redeemed through the SpMV channel or vice
+    /// versa (`wait` vs `wait_solve`).
+    WrongTicketKind,
 }
 
 impl fmt::Display for ServiceError {
@@ -139,10 +226,11 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownMatrix(k) => {
                 write!(f, "no prepared plan for {k}; call prepare() first")
             }
-            ServiceError::QueueFull { capacity } => {
+            ServiceError::TenantQuotaExceeded { key, quota } => {
                 write!(
                     f,
-                    "submission queue full ({capacity} pending); collect() first"
+                    "tenant {key} exceeded its lane quota ({quota} pending); \
+                     wait for the background drain or take results first"
                 )
             }
             ServiceError::WrongVectorLength { expected, got } => {
@@ -163,7 +251,31 @@ impl fmt::Display for ServiceError {
             ServiceError::ResultEvicted => {
                 write!(
                     f,
-                    "the result aged out of the bounded retention window before it was taken"
+                    "the result aged out of the bounded retention window, was already \
+                     taken, or the ticket was never issued"
+                )
+            }
+            ServiceError::LaneQuarantined { key } => {
+                write!(
+                    f,
+                    "the lane serving {key} is quarantined after a drain-worker panic; \
+                     other lanes keep serving"
+                )
+            }
+            ServiceError::ExecutionFailed { key } => {
+                write!(
+                    f,
+                    "execution panicked mid-batch for {key}; lane quarantined"
+                )
+            }
+            ServiceError::WaitTimeout => {
+                write!(f, "timed out waiting for the result to be published")
+            }
+            ServiceError::WrongTicketKind => {
+                write!(
+                    f,
+                    "ticket kind mismatch: redeem multiplies with take/wait and \
+                     solves with take_solve/wait_solve"
                 )
             }
         }
@@ -210,7 +322,7 @@ pub enum SolveRequest {
 }
 
 /// One finished solve, redeemed by [`Ticket`] via
-/// [`SpmvService::take_solve`].
+/// [`SpmvService::take_solve`] / [`SpmvService::wait_solve`].
 #[derive(Debug, Clone)]
 pub struct CompletedSolve {
     /// The ticket this result answers.
@@ -223,151 +335,804 @@ pub struct CompletedSolve {
 }
 
 /// Serving counters. All monotonically increasing; snapshot with
-/// [`SpmvService::stats`].
+/// [`SpmvService::stats`] (a racy-but-consistent-enough read of
+/// independent atomics — no lock).
+///
+/// Conservation invariants (exact once [`SpmvService::quiesce`] returns):
+/// `submitted == completed + solves_completed + failed`, and
+/// `completed + solves_completed + failed == taken + evicted +`
+/// [`SpmvService::retained`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Plans built from scratch (plan-cache misses).
     pub plans_prepared: u64,
     /// [`SpmvService::prepare`] calls answered from the plan cache.
     pub plan_cache_hits: u64,
-    /// Requests accepted into the queue.
+    /// Requests accepted into a lane.
     pub submitted: u64,
-    /// Submissions refused because the queue was full.
+    /// Submissions refused by per-lane admission
+    /// ([`ServiceError::TenantQuotaExceeded`]).
     pub rejected: u64,
-    /// Requests executed and made redeemable.
+    /// One-shot requests executed and published.
     pub completed: u64,
-    /// [`SpmvPlan::run_batch`] calls issued by [`SpmvService::collect`]
+    /// [`SpmvPlan::run_batch`] calls issued by the drain
     /// (≤ `completed`: same-matrix requests share a batch).
     pub batches: u64,
-    /// Unredeemed results dropped by the bounded retention window
-    /// ([`RESULT_RETENTION_FACTOR`]` × queue_capacity`, oldest first).
+    /// Unredeemed results dropped by the per-lane bounded retention
+    /// window ([`RESULT_RETENTION_FACTOR`]` × lane_quota`, oldest
+    /// first).
     pub evicted: u64,
-    /// Iterative solves executed by [`SpmvService::collect`].
+    /// Iterative solves executed and published.
     pub solves_completed: u64,
+    /// Requests that reached a terminal `Failed` state because their
+    /// batch panicked or their lane was quarantined mid-flight.
+    pub failed: u64,
+    /// Published entries consumed through `take`/`wait` (including
+    /// consumed failure notices).
+    pub taken: u64,
 }
 
-struct PlanEntry {
-    plan: SpmvPlan,
-    /// Cheap shape echo of the fingerprinted matrix, cross-checked on
-    /// every cache hit so a 64-bit fingerprint collision between
-    /// different matrices fails loudly instead of silently serving one
-    /// tenant another tenant's plan.
+/// A single monotone event counter.
+///
+/// All `Relaxed` orderings for the service's statistics live in this
+/// type: each counter is independent, and readers only ever take an
+/// approximate snapshot — no reader infers cross-counter ordering.
+#[derive(Default)]
+struct Counter(AtomicU64);
+
+impl Counter {
+    fn bump(&self) {
+        self.add(1);
+    }
+
+    fn add(&self, n: u64) {
+        // Relaxed: independent monotone event counter (see type docs).
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        // Relaxed: approximate snapshot of a monotone counter.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    plans_prepared: Counter,
+    plan_cache_hits: Counter,
+    submitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    batches: Counter,
+    evicted: Counter,
+    solves_completed: Counter,
+    failed: Counter,
+    taken: Counter,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            plans_prepared: self.plans_prepared.get(),
+            plan_cache_hits: self.plan_cache_hits.get(),
+            submitted: self.submitted.get(),
+            rejected: self.rejected.get(),
+            completed: self.completed.get(),
+            batches: self.batches.get(),
+            evicted: self.evicted.get(),
+            solves_completed: self.solves_completed.get(),
+            failed: self.failed.get(),
+            taken: self.taken.get(),
+        }
+    }
+}
+
+/// A monotone time source for per-request latency accounting.
+///
+/// The service never reads the wall clock itself (lint rule L6):
+/// production callers inject a wall clock from `nmpic_bench::timing`
+/// (the one clock-exempt module); tests and library defaults use
+/// [`LogicalClock`], which is deterministic.
+pub trait Clock: Send + Sync {
+    /// Current time in nanoseconds (or logical ticks) — only
+    /// differences between two readings are ever used.
+    fn now_ns(&self) -> u64;
+}
+
+/// The default [`Clock`]: a deterministic logical counter that advances
+/// by one tick per reading. Latencies measured with it count *events*
+/// between enqueue and publish, which is stable across runs — exactly
+/// what deterministic tests want.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    tick: AtomicU64,
+}
+
+impl Clock for LogicalClock {
+    fn now_ns(&self) -> u64 {
+        // Relaxed: a monotone logical tick; callers only subtract two
+        // readings bracketing one request, so no cross-thread ordering
+        // is inferred from it.
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Tail-latency snapshot from [`SpmvService::latency`]: enqueue→publish
+/// per-request latencies in the injected [`Clock`]'s units
+/// (nanoseconds under a wall clock, ticks under [`LogicalClock`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySnapshot {
+    /// Requests measured (completed + solves + failed).
+    pub count: u64,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency.
+    pub p999_ns: u64,
+    /// Worst observed latency.
+    pub max_ns: u64,
+}
+
+/// One request parked in a lane queue.
+enum Pending {
+    Spmv {
+        id: u64,
+        key: MatrixKey,
+        x: Vec<f64>,
+        enqueued_at: u64,
+    },
+    Solve {
+        id: u64,
+        key: MatrixKey,
+        request: SolveRequest,
+        opts: SolveOptions,
+        enqueued_at: u64,
+    },
+}
+
+impl Pending {
+    fn id(&self) -> u64 {
+        match self {
+            Pending::Spmv { id, .. } | Pending::Solve { id, .. } => *id,
+        }
+    }
+
+    fn key(&self) -> MatrixKey {
+        match self {
+            Pending::Spmv { key, .. } | Pending::Solve { key, .. } => *key,
+        }
+    }
+}
+
+/// A published terminal state for one ticket.
+enum DoneEntry {
+    Spmv(Completed),
+    Solve(CompletedSolve),
+    /// The batch carrying this request panicked (or its lane was
+    /// quarantined while it was queued).
+    Failed {
+        key: MatrixKey,
+    },
+}
+
+/// Everything a lane guards: its bounded queue, the set of accepted but
+/// not-yet-published ticket ids, and its completion map. One short-held
+/// mutex per lane — cross-lane traffic never contends.
+struct LaneState {
+    queue: VecDeque<Pending>,
+    /// Ticket ids accepted into this lane and not yet published, so
+    /// `wait` can distinguish "still in flight" from "gone".
+    outstanding: HashSet<u64>,
+    /// Published results keyed by ticket id (monotone per lane), so
+    /// retention eviction drops the **oldest** first.
+    done: BTreeMap<u64, DoneEntry>,
+}
+
+struct Lane {
+    // nmpic-lint: allow(L7) — audited: the one lane lock; held only for queue push/pop and completion-map insert/remove, never across plan execution
+    state: Mutex<LaneState>,
+    /// Mirror of `queue.len()` maintained under the lock, so
+    /// [`SpmvService::pending`] needs no locks.
+    queued: AtomicUsize,
+    /// Set (never cleared) when a drain worker panics executing this
+    /// lane's batch; the lane fails its queue and refuses admission.
+    quarantined: AtomicBool,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            // nmpic-lint: allow(L7) — constructor for the audited `Lane::state` lock
+            state: Mutex::new(LaneState {
+                queue: VecDeque::new(),
+                outstanding: HashSet::new(),
+                done: BTreeMap::new(),
+            }),
+            queued: AtomicUsize::new(0),
+            quarantined: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LaneState> {
+        self.state
+            .lock()
+            // nmpic-lint: allow(L2) — invariant: no panic can unwind while this lock is held (queue and map ops only; plan execution happens outside it), so it is never poisoned
+            .expect("lane state lock")
+    }
+}
+
+/// A cached plan plus the shape echo used for collision checks and
+/// submission validation without touching the plan's own lock.
+struct PlanSlot {
     rows: usize,
     cols: usize,
     nnz: usize,
+    // nmpic-lint: allow(L7) — audited: per-plan execution lock so two lanes' drains of the same matrix serialize on the plan, not on each other's lanes
+    plan: Mutex<SpmvPlan>,
 }
 
-struct PendingReq {
-    ticket: Ticket,
-    key: MatrixKey,
-    x: Vec<f64>,
+type PlanMap = HashMap<u64, Arc<PlanSlot>>;
+
+/// Completion signal: waiters park here between checks; the drain
+/// notifies after every publish.
+struct Signal {
+    // nmpic-lint: allow(L7) — audited: condvar companion mutex guarding only a wakeup epoch; held for a handful of instructions
+    epoch: Mutex<u64>,
+    cv: Condvar,
 }
 
-struct PendingSolve {
-    ticket: Ticket,
-    key: MatrixKey,
-    request: SolveRequest,
-    opts: SolveOptions,
-}
-
-struct ServiceState {
-    plans: HashMap<u64, PlanEntry>,
-    pending: Vec<PendingReq>,
-    pending_solves: Vec<PendingSolve>,
-    /// Completed results awaiting [`SpmvService::take`], keyed by ticket
-    /// id. A `BTreeMap` so retention eviction can drop the **oldest**
-    /// unredeemed results first (ticket ids are monotone).
-    done: BTreeMap<u64, Completed>,
-    /// Completed solves awaiting [`SpmvService::take_solve`]; same
-    /// retention policy as `done`.
-    done_solves: BTreeMap<u64, CompletedSolve>,
-    next_ticket: u64,
-    stats: ServiceStats,
-}
-
-/// A concurrent multi-tenant SpMV service: one [`SpmvEngine`]
-/// configuration, a fingerprint-keyed plan cache, and a bounded batching
-/// submission queue. `&self` everywhere — share it across threads as
-/// `Arc<SpmvService>` or by reference from scoped threads.
-///
-/// Internally one mutex guards the whole serving state, so every public
-/// method is linearizable; [`SpmvService::collect`] holds it while
-/// executing, which is what makes concurrent `submit`/`collect`
-/// interleavings equivalent to *some* serial order — and every serial
-/// order produces byte-identical per-request results, because plan
-/// execution is deterministic and resets to a cold controller per run.
-///
-/// # Poisoning policy
-///
-/// A panic on a thread holding the state mutex (a plan's documented
-/// panic surfacing mid-`collect`, say) poisons it. The service
-/// **recovers** instead of cascading the panic to every other tenant:
-/// each mutation either completes under the lock or unwinds during plan
-/// execution — after the pending queues were already drained with
-/// `mem::take` — so the state a recovering tenant sees is internally
-/// consistent; at worst the panicking batch's results are absent, which
-/// the ticket API already models (`take` returns `None`). Availability
-/// for the surviving tenants beats amplifying one tenant's panic into a
-/// service-wide one.
-pub struct SpmvService {
-    engine: SpmvEngine,
-    queue_capacity: usize,
-    state: Mutex<ServiceState>,
-}
-
-/// Default bound on pending submissions.
-pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
-
-/// Unredeemed completed results are retained up to this multiple of the
-/// queue capacity; beyond that, [`SpmvService::collect`] evicts the
-/// oldest first (counted in [`ServiceStats::evicted`]).
-pub const RESULT_RETENTION_FACTOR: usize = 4;
-
-impl SpmvService {
-    /// A service over `engine` with the [`DEFAULT_QUEUE_CAPACITY`].
-    pub fn new(engine: SpmvEngine) -> Self {
-        Self::with_queue_capacity(engine, DEFAULT_QUEUE_CAPACITY)
+impl Signal {
+    fn new() -> Self {
+        Signal {
+            // nmpic-lint: allow(L7) — constructor for the audited `Signal::epoch` lock
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        }
     }
 
-    /// A service with an explicit pending-submission bound.
+    fn notify(&self) {
+        let mut e = self
+            .epoch
+            .lock()
+            // nmpic-lint: allow(L2) — invariant: only the two tiny methods of this type take the lock and neither can panic while holding it
+            .expect("signal lock");
+        *e = e.wrapping_add(1);
+        self.cv.notify_all();
+    }
+
+    /// Blocks for at most one wait slice (or until a notify).
+    fn wait_slice(&self) {
+        let guard = self
+            .epoch
+            .lock()
+            // nmpic-lint: allow(L2) — invariant: only the two tiny methods of this type take the lock and neither can panic while holding it
+            .expect("signal lock");
+        // A notify between the caller's condition check and this wait is
+        // lost, but the timeout bounds the stall to one slice.
+        let _ = self.cv.wait_timeout(guard, WAIT_SLICE);
+    }
+}
+
+const WAIT_SLICE: Duration = Duration::from_millis(5);
+/// `wait` safety valve: 12k slices × 5 ms = 60 s.
+const WAIT_SLICES: u32 = 12_000;
+
+/// Default number of submission lanes.
+pub const DEFAULT_LANES: usize = 16;
+
+/// Default per-lane admission quota (kept under its historical name:
+/// before the lane refactor this was the single global queue bound).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Most requests a drain worker pops from one lane per turn — the
+/// fairness bound that keeps a hub tenant from starving other lanes.
+pub const DEFAULT_DRAIN_BATCH: usize = 32;
+
+/// Unredeemed published results are retained per lane up to this
+/// multiple of the lane quota; beyond that the drain evicts the oldest
+/// first (counted in [`ServiceStats::evicted`]).
+pub const RESULT_RETENTION_FACTOR: usize = 4;
+
+/// Shared interior of a [`SpmvService`]: everything the drain workers
+/// and the public handle both touch.
+struct ServiceInner {
+    engine: SpmvEngine,
+    lanes: Vec<Lane>,
+    lane_quota: usize,
+    drain_batch: usize,
+    drain_workers: usize,
+    // nmpic-lint: allow(L7) — audited: plan-cache map lock; reads are short clone-an-Arc lookups, writes only on first preparation of a matrix
+    plans: RwLock<PlanMap>,
+    stats: AtomicStats,
+    latency: Histogram,
+    clock: Arc<dyn Clock>,
+    next_seq: AtomicU64,
+    /// Accepted requests not yet at a terminal state; `quiesce` waits
+    /// for this to reach zero.
+    in_flight: AtomicU64,
+    /// Round-robin start cursor so multiple drain workers spread over
+    /// the lanes instead of convoying on lane 0.
+    cursor: AtomicUsize,
+    /// Chaos hook: when armed, the drain panics before executing the
+    /// keyed matrix's next group (see
+    /// [`SpmvService::inject_batch_panic`]).
+    chaos_armed: AtomicBool,
+    chaos_key: AtomicU64,
+    signal: Signal,
+}
+
+/// Configures and builds a [`SpmvService`]; obtained from
+/// [`SpmvService::builder`].
+pub struct ServiceBuilder {
+    engine: SpmvEngine,
+    lanes: usize,
+    lane_quota: usize,
+    drain_workers: usize,
+    drain_batch: usize,
+    clock: Arc<dyn Clock>,
+}
+
+impl ServiceBuilder {
+    /// Number of submission lanes (1..=[`MAX_LANES`]); default
+    /// [`DEFAULT_LANES`]. More lanes = less cross-tenant contention.
     ///
     /// # Panics
     ///
-    /// Panics if `queue_capacity` is zero.
-    pub fn with_queue_capacity(engine: SpmvEngine, queue_capacity: usize) -> Self {
-        assert!(queue_capacity > 0, "queue capacity must be positive");
-        Self {
-            engine,
-            queue_capacity,
-            state: Mutex::new(ServiceState {
-                plans: HashMap::new(),
-                pending: Vec::new(),
-                pending_solves: Vec::new(),
-                done: BTreeMap::new(),
-                done_solves: BTreeMap::new(),
-                next_ticket: 0,
-                stats: ServiceStats::default(),
-            }),
+    /// Panics when `n` is zero or exceeds [`MAX_LANES`].
+    pub fn lanes(mut self, n: usize) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&n),
+            "lanes must be in 1..={MAX_LANES}"
+        );
+        self.lanes = n;
+        self
+    }
+
+    /// Per-lane admission quota; default [`DEFAULT_QUEUE_CAPACITY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn lane_quota(mut self, n: usize) -> Self {
+        assert!(n > 0, "lane quota must be positive");
+        self.lane_quota = n;
+        self
+    }
+
+    /// Background drain worker threads; default 1. `0` builds a
+    /// **synchronous** service: nothing executes until a caller drives
+    /// [`SpmvService::drain_now`] (or blocks in `wait`/`quiesce`, which
+    /// drive it for them) — the deterministic mode for tests.
+    pub fn drain_workers(mut self, n: usize) -> Self {
+        self.drain_workers = n;
+        self
+    }
+
+    /// Most requests the drain pops from one lane per turn; default
+    /// [`DEFAULT_DRAIN_BATCH`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn drain_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "drain batch must be positive");
+        self.drain_batch = n;
+        self
+    }
+
+    /// Injects the latency time source; default [`LogicalClock`].
+    /// Benchmarks inject the wall clock from `nmpic_bench::timing`.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Builds the service and spawns its drain workers.
+    pub fn build(self) -> SpmvService {
+        let inner = Arc::new(ServiceInner {
+            engine: self.engine,
+            lanes: (0..self.lanes).map(|_| Lane::new()).collect(),
+            lane_quota: self.lane_quota,
+            drain_batch: self.drain_batch,
+            drain_workers: self.drain_workers,
+            // nmpic-lint: allow(L7) — constructor for the audited `ServiceInner::plans` lock
+            plans: RwLock::new(HashMap::new()),
+            stats: AtomicStats::default(),
+            latency: Histogram::new(),
+            clock: self.clock,
+            next_seq: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            cursor: AtomicUsize::new(0),
+            chaos_armed: AtomicBool::new(false),
+            chaos_key: AtomicU64::new(0),
+            signal: Signal::new(),
+        });
+        let workers = (0..self.drain_workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                BackgroundWorker::spawn(&format!("nmpic-drain-{i}"), move || inner.drain_tick())
+            })
+            .collect();
+        SpmvService { inner, workers }
+    }
+}
+
+/// A concurrent multi-tenant SpMV service: one [`SpmvEngine`]
+/// configuration, a fingerprint-keyed plan cache, sharded per-tenant
+/// submission lanes, and a background drain. `&self` everywhere — share
+/// it across threads as `Arc<SpmvService>` or by reference from scoped
+/// threads.
+///
+/// There is no global serving lock. Submission touches only the
+/// tenant's lane; the drain executes outside all lane locks and
+/// publishes under the one lane it drained; statistics are independent
+/// atomics. A drain-worker panic quarantines the one lane it was
+/// draining ([`ServiceError::LaneQuarantined`]) — the panic is caught,
+/// the lane's requests fail loudly, and every other lane keeps serving.
+///
+/// See the module-level docs for the migration table from the old
+/// single-mutex API.
+pub struct SpmvService {
+    inner: Arc<ServiceInner>,
+    /// Drain worker handles; dropping the service stops and joins them.
+    workers: Vec<BackgroundWorker>,
+}
+
+impl ServiceInner {
+    fn lane_index(&self, key: MatrixKey) -> usize {
+        // The fingerprint is already hash-quality; modulo spreads keys
+        // evenly over the lane array.
+        (key.0 % self.lanes.len() as u64) as usize
+    }
+
+    fn plans_read(&self) -> std::sync::RwLockReadGuard<'_, PlanMap> {
+        self.plans
+            .read()
+            // nmpic-lint: allow(L2) — invariant: prepare() catches any build panic before unwinding past the write guard, so the plan-cache lock is never poisoned
+            .expect("plan cache lock")
+    }
+
+    /// One fairness turn: every lane gets at most one bounded batch,
+    /// starting from a rotating cursor so concurrent workers spread
+    /// out. Returns `true` when any lane had work (the worker loops
+    /// again immediately).
+    fn drain_tick(&self) -> bool {
+        let n = self.lanes.len();
+        // Relaxed: the cursor is only a load-spreading hint; any
+        // interleaving of fetch_adds still visits every lane below.
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let mut did = false;
+        for off in 0..n {
+            did |= self.drain_lane((start + off) % n) > 0;
+        }
+        did
+    }
+
+    /// Pops one bounded batch from a lane and executes it, catching
+    /// panics into a lane quarantine. Returns the number of requests
+    /// popped (all of which reach a terminal state before return).
+    fn drain_lane(&self, li: usize) -> usize {
+        let lane = &self.lanes[li];
+        // Acquire pairs with the Release store in quarantine().
+        if lane.quarantined.load(Ordering::Acquire) {
+            return 0;
+        }
+        let batch: Vec<Pending> = {
+            let mut st = lane.lock();
+            let take = self.drain_batch.min(st.queue.len());
+            let batch: Vec<Pending> = st.queue.drain(..take).collect();
+            lane.queued.store(st.queue.len(), Ordering::Release);
+            batch
+        };
+        if batch.is_empty() {
+            return 0;
+        }
+        let n = batch.len();
+        // Identity metadata survives the batch being moved into the
+        // execution closure, so a panic mid-batch can still fail the
+        // exact tickets that were lost. `published[pos]` flips (under
+        // the lane lock) the moment item `pos`'s result is inserted.
+        let meta: Vec<(u64, MatrixKey)> = batch.iter().map(|p| (p.id(), p.key())).collect();
+        let published: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        // AssertUnwindSafe: on Err every touched structure is either
+        // lock-protected (poisoning is handled at each lock site) or
+        // repaired by quarantine() below.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            self.execute_batch(li, batch, &published)
+        }));
+        if run.is_err() {
+            self.quarantine(li, &meta, &published);
+        }
+        n
+    }
+
+    /// Executes one popped batch: same-matrix one-shot requests group
+    /// into a single `run_batch` (groups in first-appearance order),
+    /// then solves run in pop order. Everything here runs **outside**
+    /// the lane lock.
+    fn execute_batch(&self, li: usize, batch: Vec<Pending>, published: &[AtomicBool]) {
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: HashMap<u64, Vec<SpmvItemOwned>> = HashMap::new();
+        let mut solves: Vec<(usize, u64, MatrixKey, SolveRequest, SolveOptions, u64)> = Vec::new();
+        for (pos, p) in batch.into_iter().enumerate() {
+            match p {
+                Pending::Spmv {
+                    id,
+                    key,
+                    x,
+                    enqueued_at,
+                } => {
+                    if !groups.contains_key(&key.0) {
+                        order.push(key.0);
+                    }
+                    groups
+                        .entry(key.0)
+                        .or_default()
+                        .push((pos, id, x, enqueued_at, key));
+                }
+                Pending::Solve {
+                    id,
+                    key,
+                    request,
+                    opts,
+                    enqueued_at,
+                } => solves.push((pos, id, key, request, opts, enqueued_at)),
+            }
+        }
+        for k in order {
+            let items = groups
+                .remove(&k)
+                // nmpic-lint: allow(L2) — invariant: `order` holds exactly the keys inserted into `groups` by the loop above, each once
+                .expect("grouped above");
+            self.run_spmv_group(li, items, published);
+        }
+        for (pos, id, key, request, opts, enqueued_at) in solves {
+            self.run_solve(li, pos, id, key, request, opts, enqueued_at, published);
         }
     }
 
-    /// Locks the serving state, recovering from a poisoned mutex per the
-    /// type-level poisoning policy (see the [`SpmvService`] docs).
-    fn lock_state(&self) -> std::sync::MutexGuard<'_, ServiceState> {
-        match self.state.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
+    fn plan_slot(&self, key: MatrixKey) -> Arc<PlanSlot> {
+        self.plans_read()
+            .get(&key.0)
+            .cloned()
+            // nmpic-lint: allow(L2) — invariant: submit validated the key against the cache and plans are never evicted
+            .expect("plan resident while queued")
+    }
+
+    fn maybe_chaos(&self, key: MatrixKey) {
+        // Acquire pairs with the Release in inject_batch_panic().
+        if self.chaos_armed.load(Ordering::Acquire)
+            && self.chaos_key.load(Ordering::Acquire) == key.0
+        {
+            self.chaos_armed.store(false, Ordering::Release);
+            // nmpic-lint: allow(L2) — deliberate: the documented chaos-testing hook; fires only after an explicit inject_batch_panic() call
+            panic!("injected batch panic for {key} (chaos hook)");
         }
+    }
+
+    fn run_spmv_group(&self, li: usize, items: Vec<SpmvItemOwned>, published: &[AtomicBool]) {
+        let key = items[0].4;
+        self.maybe_chaos(key);
+        let slot = self.plan_slot(key);
+        let mut meta: Vec<(usize, u64, u64)> = Vec::with_capacity(items.len());
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(items.len());
+        for (pos, id, x, enq, _) in items {
+            meta.push((pos, id, enq));
+            xs.push(x);
+        }
+        let report = match slot.plan.lock() {
+            Ok(mut plan) => plan.run_batch(&xs),
+            // A poisoned plan means a previous panic unwound mid-run on
+            // another lane; its state is suspect, so this group fails
+            // instead of recovering the lock (the old `into_inner`
+            // policy is retired).
+            Err(_) => {
+                let failed: Vec<(u64, MatrixKey)> =
+                    meta.iter().map(|&(_, id, _)| (id, key)).collect();
+                let positions: Vec<usize> = meta.iter().map(|&(p, _, _)| p).collect();
+                self.fail_items(li, &failed, &positions, published);
+                return;
+            }
+        };
+        let n = meta.len();
+        let verified = report.verified;
+        let label = report.label.clone();
+        let cycles_per_vector = report.cycles_per_vector();
+        let now = self.clock.now_ns();
+        {
+            let mut st = self.lanes[li].lock();
+            for ((pos, id, enq), y) in meta.into_iter().zip(report.ys) {
+                st.outstanding.remove(&id);
+                st.done.insert(
+                    id,
+                    DoneEntry::Spmv(Completed {
+                        ticket: Ticket(id),
+                        key,
+                        y,
+                        verified,
+                        label: label.clone(),
+                        batched_with: n,
+                        cycles_per_vector,
+                    }),
+                );
+                // Relaxed: the flag is re-read only by this same thread's
+                // quarantine path after catch_unwind returns.
+                published[pos].store(true, Ordering::Relaxed);
+                self.latency.record(now.saturating_sub(enq).max(1));
+            }
+            self.evict_overflow(&mut st);
+        }
+        self.stats.batches.bump();
+        self.stats.completed.add(n as u64);
+        self.in_flight.fetch_sub(n as u64, Ordering::AcqRel);
+        self.signal.notify();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_solve(
+        &self,
+        li: usize,
+        pos: usize,
+        id: u64,
+        key: MatrixKey,
+        request: SolveRequest,
+        opts: SolveOptions,
+        enqueued_at: u64,
+        published: &[AtomicBool],
+    ) {
+        self.maybe_chaos(key);
+        let slot = self.plan_slot(key);
+        let report = match slot.plan.lock() {
+            Ok(mut plan) => match &request {
+                SolveRequest::Cg { b } => Solver::cg(&mut plan, b, &opts),
+                SolveRequest::PowerIteration => Solver::power_iteration(&mut plan, &opts),
+            },
+            // Same policy as run_spmv_group: a poisoned plan fails the
+            // request instead of being recovered.
+            Err(_) => {
+                self.fail_items(li, &[(id, key)], &[pos], published);
+                return;
+            }
+        };
+        let now = self.clock.now_ns();
+        {
+            let mut st = self.lanes[li].lock();
+            st.outstanding.remove(&id);
+            st.done.insert(
+                id,
+                DoneEntry::Solve(CompletedSolve {
+                    ticket: Ticket(id),
+                    key,
+                    report,
+                }),
+            );
+            // Relaxed: the flag is re-read only by this same thread's
+            // quarantine path after catch_unwind returns.
+            published[pos].store(true, Ordering::Relaxed);
+            self.latency.record(now.saturating_sub(enqueued_at).max(1));
+            self.evict_overflow(&mut st);
+        }
+        self.stats.solves_completed.bump();
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.signal.notify();
+    }
+
+    /// Publishes `Failed` terminal states for requests whose execution
+    /// could not run (poisoned plan lock), without quarantining the
+    /// lane.
+    fn fail_items(
+        &self,
+        li: usize,
+        items: &[(u64, MatrixKey)],
+        positions: &[usize],
+        published: &[AtomicBool],
+    ) {
+        {
+            let mut st = self.lanes[li].lock();
+            for (&(id, key), &pos) in items.iter().zip(positions) {
+                st.outstanding.remove(&id);
+                st.done.insert(id, DoneEntry::Failed { key });
+                // Relaxed: re-read only by this thread after catch_unwind.
+                published[pos].store(true, Ordering::Relaxed);
+            }
+            self.evict_overflow(&mut st);
+        }
+        self.stats.failed.add(items.len() as u64);
+        self.in_flight
+            .fetch_sub(items.len() as u64, Ordering::AcqRel);
+        self.signal.notify();
+    }
+
+    /// A drain panic landed while executing this lane's batch: mark the
+    /// lane quarantined, fail every not-yet-published request of the
+    /// batch, and fail everything still queued — every accepted ticket
+    /// reaches a terminal state (exact conservation), and other lanes
+    /// keep serving.
+    fn quarantine(&self, li: usize, meta: &[(u64, MatrixKey)], published: &[AtomicBool]) {
+        let lane = &self.lanes[li];
+        // Release pairs with the Acquire loads in submit/drain_lane.
+        lane.quarantined.store(true, Ordering::Release);
+        let mut failed = 0u64;
+        {
+            let mut st = lane.lock();
+            for (pos, &(id, key)) in meta.iter().enumerate() {
+                // Relaxed: set by this same thread before the panic.
+                if !published[pos].load(Ordering::Relaxed) {
+                    st.outstanding.remove(&id);
+                    st.done.insert(id, DoneEntry::Failed { key });
+                    failed += 1;
+                }
+            }
+            while let Some(p) = st.queue.pop_front() {
+                let (id, key) = (p.id(), p.key());
+                st.outstanding.remove(&id);
+                st.done.insert(id, DoneEntry::Failed { key });
+                failed += 1;
+            }
+            lane.queued.store(0, Ordering::Release);
+            self.evict_overflow(&mut st);
+        }
+        self.stats.failed.add(failed);
+        self.in_flight.fetch_sub(failed, Ordering::AcqRel);
+        self.signal.notify();
+    }
+
+    /// Drops the oldest published entries beyond the per-lane retention
+    /// window. Called under the lane lock by every publish path.
+    fn evict_overflow(&self, st: &mut LaneState) {
+        let retention = RESULT_RETENTION_FACTOR * self.lane_quota;
+        while st.done.len() > retention && st.done.pop_first().is_some() {
+            self.stats.evicted.bump();
+        }
+    }
+}
+
+/// Alias for the tuple `execute_batch` hands `run_spmv_group`; kept out
+/// of the signature for readability.
+type SpmvItemOwned = (usize, u64, Vec<f64>, u64, MatrixKey);
+
+impl SpmvService {
+    /// A builder over `engine` with the defaults: [`DEFAULT_LANES`]
+    /// lanes, a [`DEFAULT_QUEUE_CAPACITY`] per-lane quota, one drain
+    /// worker, and the deterministic [`LogicalClock`].
+    pub fn builder(engine: SpmvEngine) -> ServiceBuilder {
+        ServiceBuilder {
+            engine,
+            lanes: DEFAULT_LANES,
+            lane_quota: DEFAULT_QUEUE_CAPACITY,
+            drain_workers: 1,
+            drain_batch: DEFAULT_DRAIN_BATCH,
+            clock: Arc::new(LogicalClock::default()),
+        }
+    }
+
+    /// A service over `engine` with the builder defaults.
+    pub fn new(engine: SpmvEngine) -> Self {
+        Self::builder(engine).build()
     }
 
     /// The engine every cached plan was prepared by.
     pub fn engine(&self) -> &SpmvEngine {
-        &self.engine
+        &self.inner.engine
     }
 
-    /// The bound on pending submissions.
-    pub fn queue_capacity(&self) -> usize {
-        self.queue_capacity
+    /// Number of submission lanes.
+    pub fn lane_count(&self) -> usize {
+        self.inner.lanes.len()
+    }
+
+    /// The per-lane admission quota.
+    pub fn lane_quota(&self) -> usize {
+        self.inner.lane_quota
+    }
+
+    /// The lane a key's requests queue on — stable for the service's
+    /// lifetime, exposed for tests and operational introspection.
+    pub fn lane_of(&self, key: MatrixKey) -> usize {
+        self.inner.lane_index(key)
     }
 
     /// Ensures a plan for `csr` is resident and returns its key.
@@ -375,106 +1140,118 @@ impl SpmvService {
     /// The key is the matrix's content fingerprint: preparing the same
     /// matrix again (any clone with identical content) is a cache hit
     /// that costs one hash of the arrays instead of a layout rebuild.
+    /// Concurrent first preparations of the same matrix serialize on
+    /// the cache's write lock — the second tenant waits and hits.
     ///
     /// # Panics
     ///
     /// Panics where [`SpmvEngine::prepare`] does (e.g. an empty matrix
-    /// on the sharded engine), and on a 64-bit fingerprint collision —
-    /// a cache hit whose resident matrix has a different shape than the
-    /// one being prepared. Collisions between real matrices are
-    /// astronomically unlikely; failing loudly beats silently serving
-    /// one tenant another tenant's plan.
+    /// on the sharded engine) — the panic is re-raised on the calling
+    /// thread *after* the cache lock is released, so a bad prepare no
+    /// longer takes the service down with it — and on a 64-bit
+    /// fingerprint collision (a cache hit whose resident matrix has a
+    /// different shape than the one being prepared): failing loudly
+    /// beats silently serving one tenant another tenant's plan.
     pub fn prepare(&self, csr: &Csr) -> MatrixKey {
         let key = MatrixKey(csr.fingerprint());
-        let mut st = self.lock_state();
-        let st = &mut *st;
-        match st.plans.entry(key.0) {
-            std::collections::hash_map::Entry::Occupied(hit) => {
-                let e = hit.get();
-                assert!(
-                    (e.rows, e.cols, e.nnz) == (csr.rows(), csr.cols(), csr.nnz()),
-                    "fingerprint collision on {key}: resident plan is {}x{} ({} nnz), \
-                     prepared matrix is {}x{} ({} nnz)",
-                    e.rows,
-                    e.cols,
-                    e.nnz,
-                    csr.rows(),
-                    csr.cols(),
-                    csr.nnz()
-                );
-                st.stats.plan_cache_hits += 1;
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                // Preparing inside the lock serializes concurrent first
-                // preparations of the same matrix — by design: the second
-                // tenant must wait and hit, not rebuild a duplicate image.
-                slot.insert(PlanEntry {
-                    plan: self.engine.prepare(csr),
-                    rows: csr.rows(),
-                    cols: csr.cols(),
-                    nnz: csr.nnz(),
-                });
-                st.stats.plans_prepared += 1;
+        {
+            let plans = self.inner.plans_read();
+            if let Some(slot) = plans.get(&key.0) {
+                check_collision(slot, csr, key);
+                self.inner.stats.plan_cache_hits.bump();
+                return key;
             }
         }
-        key
+        let mut plans = self
+            .inner
+            .plans
+            .write()
+            // nmpic-lint: allow(L2) — invariant: the build panic below is caught before it can unwind past this guard, so the lock is never poisoned
+            .expect("plan cache lock");
+        if let Some(slot) = plans.get(&key.0) {
+            check_collision(slot, csr, key);
+            self.inner.stats.plan_cache_hits.bump();
+            return key;
+        }
+        // Build under the write lock so a concurrent duplicate first
+        // prepare waits and hits; catch a build panic so it unwinds on
+        // the caller without poisoning the cache for other tenants.
+        match catch_unwind(AssertUnwindSafe(|| self.inner.engine.prepare(csr))) {
+            Ok(plan) => {
+                plans.insert(
+                    key.0,
+                    Arc::new(PlanSlot {
+                        rows: csr.rows(),
+                        cols: csr.cols(),
+                        nnz: csr.nnz(),
+                        // nmpic-lint: allow(L7) — constructor for the audited `PlanSlot::plan` lock
+                        plan: Mutex::new(plan),
+                    }),
+                );
+                self.inner.stats.plans_prepared.bump();
+                key
+            }
+            Err(payload) => {
+                drop(plans);
+                resume_unwind(payload);
+            }
+        }
     }
 
     /// `true` when `key` names a resident plan.
     pub fn contains(&self, key: MatrixKey) -> bool {
-        self.lock_state().plans.contains_key(&key.0)
+        self.inner.plans_read().contains_key(&key.0)
     }
 
-    /// Enqueues one request (`y = A·x` for the keyed matrix) and returns
-    /// the ticket its result will be redeemable under after the next
-    /// [`SpmvService::collect`].
+    /// Enqueues one request (`y = A·x` for the keyed matrix) on the
+    /// key's lane and returns the ticket its result will be redeemable
+    /// under once the background drain publishes it.
     ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownMatrix`] for an unprepared key,
-    /// [`ServiceError::WrongVectorLength`] for a mis-sized vector, and
-    /// [`ServiceError::QueueFull`] once `queue_capacity` requests are
-    /// pending.
+    /// [`ServiceError::WrongVectorLength`] for a mis-sized vector,
+    /// [`ServiceError::LaneQuarantined`] when the key's lane was
+    /// quarantined by a drain panic, and
+    /// [`ServiceError::TenantQuotaExceeded`] once the lane holds its
+    /// quota of pending requests.
     pub fn submit(&self, key: MatrixKey, x: Vec<f64>) -> Result<Ticket, ServiceError> {
-        let mut st = self.lock_state();
-        let Some(entry) = st.plans.get(&key.0) else {
-            return Err(ServiceError::UnknownMatrix(key));
+        let cols = {
+            let plans = self.inner.plans_read();
+            let Some(slot) = plans.get(&key.0) else {
+                return Err(ServiceError::UnknownMatrix(key));
+            };
+            slot.cols
         };
-        if x.len() != entry.cols {
+        if x.len() != cols {
             return Err(ServiceError::WrongVectorLength {
-                expected: entry.cols,
+                expected: cols,
                 got: x.len(),
             });
         }
-        if st.pending.len() + st.pending_solves.len() >= self.queue_capacity {
-            st.stats.rejected += 1;
-            return Err(ServiceError::QueueFull {
-                capacity: self.queue_capacity,
-            });
-        }
-        let ticket = Ticket(st.next_ticket);
-        st.next_ticket += 1;
-        st.pending.push(PendingReq { ticket, key, x });
-        st.stats.submitted += 1;
-        Ok(ticket)
+        let li = self.inner.lane_index(key);
+        self.admit(li, key, |id, enqueued_at| Pending::Spmv {
+            id,
+            key,
+            x,
+            enqueued_at,
+        })
     }
 
-    /// Enqueues one iterative solve against the keyed matrix, sharing
-    /// the bounded queue with one-shot SpMV submissions — a tenant's CG
-    /// system solve and another tenant's single multiply queue side by
-    /// side and both execute at the next [`SpmvService::collect`]. The
-    /// result is redeemed with [`SpmvService::take_solve`].
+    /// Enqueues one iterative solve against the keyed matrix on the same
+    /// lane as its one-shot SpMVs (they share the lane quota). The
+    /// result is redeemed with [`SpmvService::take_solve`] /
+    /// [`SpmvService::wait_solve`].
     ///
     /// # Errors
     ///
-    /// [`ServiceError::UnknownMatrix`] for an unprepared key,
+    /// [`ServiceError::InvalidDamping`] for a damping factor outside
+    /// `(0, 1]`, [`ServiceError::UnknownMatrix`] for an unprepared key,
     /// [`ServiceError::NotSquare`] when the keyed matrix cannot be
-    /// iterated (`rows != cols`),
-    /// [`ServiceError::WrongVectorLength`] when a CG right-hand side is
-    /// mis-sized, [`ServiceError::InvalidDamping`] when the options
-    /// carry a damping factor outside `(0, 1]`, and
-    /// [`ServiceError::QueueFull`] once the shared queue holds
-    /// `queue_capacity` pending requests.
+    /// iterated (`rows != cols`), [`ServiceError::WrongVectorLength`]
+    /// when a CG right-hand side is mis-sized,
+    /// [`ServiceError::LaneQuarantined`] for a quarantined lane, and
+    /// [`ServiceError::TenantQuotaExceeded`] once the lane is full.
     pub fn submit_solve(
         &self,
         key: MatrixKey,
@@ -484,166 +1261,272 @@ impl SpmvService {
         if !opts.damping.is_finite() || opts.damping <= 0.0 || opts.damping > 1.0 {
             return Err(ServiceError::InvalidDamping);
         }
-        let mut st = self.lock_state();
-        let Some(entry) = st.plans.get(&key.0) else {
-            return Err(ServiceError::UnknownMatrix(key));
-        };
-        if entry.rows != entry.cols {
-            return Err(ServiceError::NotSquare {
-                rows: entry.rows,
-                cols: entry.cols,
-            });
-        }
-        if let SolveRequest::Cg { b } = &request {
-            if b.len() != entry.cols {
-                return Err(ServiceError::WrongVectorLength {
-                    expected: entry.cols,
-                    got: b.len(),
+        {
+            let plans = self.inner.plans_read();
+            let Some(slot) = plans.get(&key.0) else {
+                return Err(ServiceError::UnknownMatrix(key));
+            };
+            if slot.rows != slot.cols {
+                return Err(ServiceError::NotSquare {
+                    rows: slot.rows,
+                    cols: slot.cols,
                 });
             }
+            if let SolveRequest::Cg { b } = &request {
+                if b.len() != slot.cols {
+                    return Err(ServiceError::WrongVectorLength {
+                        expected: slot.cols,
+                        got: b.len(),
+                    });
+                }
+            }
         }
-        if st.pending.len() + st.pending_solves.len() >= self.queue_capacity {
-            st.stats.rejected += 1;
-            return Err(ServiceError::QueueFull {
-                capacity: self.queue_capacity,
-            });
-        }
-        let ticket = Ticket(st.next_ticket);
-        st.next_ticket += 1;
-        st.pending_solves.push(PendingSolve {
-            ticket,
+        let li = self.inner.lane_index(key);
+        self.admit(li, key, |id, enqueued_at| Pending::Solve {
+            id,
             key,
             request,
             opts,
-        });
-        st.stats.submitted += 1;
+            enqueued_at,
+        })
+    }
+
+    /// Shared admission path: quarantine check, per-lane quota, ticket
+    /// allocation, enqueue, and worker wakeup.
+    fn admit(
+        &self,
+        li: usize,
+        key: MatrixKey,
+        make: impl FnOnce(u64, u64) -> Pending,
+    ) -> Result<Ticket, ServiceError> {
+        let inner = &self.inner;
+        let lane = &inner.lanes[li];
+        // Acquire pairs with the Release store in quarantine().
+        if lane.quarantined.load(Ordering::Acquire) {
+            return Err(ServiceError::LaneQuarantined { key });
+        }
+        // Relaxed: the sequence counter only needs uniqueness and
+        // per-thread monotonicity for ticket ids.
+        let seq = inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let enqueued_at = inner.clock.now_ns();
+        let mut st = lane.lock();
+        if st.queue.len() >= inner.lane_quota {
+            drop(st);
+            inner.stats.rejected.bump();
+            return Err(ServiceError::TenantQuotaExceeded {
+                key,
+                quota: inner.lane_quota,
+            });
+        }
+        let pending = make(0, enqueued_at);
+        let is_solve = matches!(pending, Pending::Solve { .. });
+        let ticket = Ticket::new(seq, li, is_solve);
+        let pending = match pending {
+            Pending::Spmv {
+                key,
+                x,
+                enqueued_at,
+                ..
+            } => Pending::Spmv {
+                id: ticket.0,
+                key,
+                x,
+                enqueued_at,
+            },
+            Pending::Solve {
+                key,
+                request,
+                opts,
+                enqueued_at,
+                ..
+            } => Pending::Solve {
+                id: ticket.0,
+                key,
+                request,
+                opts,
+                enqueued_at,
+            },
+        };
+        st.queue.push_back(pending);
+        st.outstanding.insert(ticket.0);
+        lane.queued.store(st.queue.len(), Ordering::Release);
+        drop(st);
+        inner.stats.submitted.bump();
+        inner.in_flight.fetch_add(1, Ordering::AcqRel);
+        for w in &self.workers {
+            w.unpark();
+        }
         Ok(ticket)
     }
 
-    /// Executes every pending request and returns the tickets completed,
-    /// in execution order.
-    ///
-    /// Requests are grouped by matrix key (groups ordered by each key's
-    /// first pending appearance, submissions ordered within a group) and
-    /// each group runs as **one** [`SpmvPlan::run_batch`] call on the
-    /// cached plan — same-matrix tenants share the batch's amortized
-    /// stream fetches. Results become redeemable via
-    /// [`SpmvService::take`].
-    ///
-    /// Completed-result retention is bounded like the queue: at most
-    /// [`RESULT_RETENTION_FACTOR`]` × queue_capacity` unredeemed results
-    /// are kept, evicting the **oldest** first — a tenant that abandons
-    /// its tickets cannot grow the service without limit.
-    pub fn collect(&self) -> Vec<Ticket> {
-        let mut st = self.lock_state();
-        let pending = std::mem::take(&mut st.pending);
-        let solves = std::mem::take(&mut st.pending_solves);
-        if pending.is_empty() && solves.is_empty() {
-            return Vec::new();
-        }
-        // Group by key, preserving first-appearance order.
-        let mut order: Vec<MatrixKey> = Vec::new();
-        let mut groups: HashMap<u64, Vec<PendingReq>> = HashMap::new();
-        for req in pending {
-            if !groups.contains_key(&req.key.0) {
-                order.push(req.key);
+    /// Drives the drain on the calling thread until every lane is
+    /// empty, returning the number of requests brought to a terminal
+    /// state. This is *the* execution path in synchronous mode
+    /// ([`ServiceBuilder::drain_workers`]`(0)`); with background
+    /// workers it is a way to donate the caller's thread to the drain.
+    pub fn drain_now(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let mut round = 0;
+            for li in 0..self.inner.lanes.len() {
+                round += self.inner.drain_lane(li);
             }
-            groups.entry(req.key.0).or_default().push(req);
-        }
-        let mut finished = Vec::new();
-        for key in order {
-            // nmpic-lint: allow(L2) — invariant: `order` holds exactly the keys inserted into `groups` by the loop above, each once
-            let group = groups.remove(&key.0).expect("grouped above");
-            let (tickets, xs): (Vec<Ticket>, Vec<Vec<f64>>) =
-                group.into_iter().map(|r| (r.ticket, r.x)).unzip();
-            let batch = xs.len();
-            let entry = st
-                .plans
-                .get_mut(&key.0)
-                // nmpic-lint: allow(L2) — invariant: submit() verifies the key names a resident plan and plans are never evicted
-                .expect("plan resident while queued");
-            let report = entry.plan.run_batch(&xs);
-            let cycles_per_vector = report.cycles_per_vector();
-            let verified = report.verified;
-            let label = report.label.clone();
-            for (ticket, y) in tickets.into_iter().zip(report.ys) {
-                st.done.insert(
-                    ticket.0,
-                    Completed {
-                        ticket,
-                        key,
-                        y,
-                        verified,
-                        label: label.clone(),
-                        batched_with: batch,
-                        cycles_per_vector,
-                    },
-                );
-                finished.push(ticket);
+            if round == 0 {
+                return total;
             }
-            st.stats.batches += 1;
-            st.stats.completed += batch as u64;
+            total += round;
         }
-        // Iterative solves run after the one-shot batches, in submission
-        // order, each against its resident plan's warm memory image.
-        for solve in solves {
-            let entry = st
-                .plans
-                .get_mut(&solve.key.0)
-                // nmpic-lint: allow(L2) — invariant: submit_solve() verifies the key names a resident plan and plans are never evicted
-                .expect("plan resident while queued");
-            let report = match &solve.request {
-                SolveRequest::Cg { b } => Solver::cg(&mut entry.plan, b, &solve.opts),
-                SolveRequest::PowerIteration => {
-                    Solver::power_iteration(&mut entry.plan, &solve.opts)
-                }
-            };
-            st.done_solves.insert(
-                solve.ticket.0,
-                CompletedSolve {
-                    ticket: solve.ticket,
-                    key: solve.key,
-                    report,
-                },
-            );
-            finished.push(solve.ticket);
-            st.stats.solves_completed += 1;
-        }
-        let retention = RESULT_RETENTION_FACTOR * self.queue_capacity;
-        while st.done.len() > retention && st.done.pop_first().is_some() {
-            st.stats.evicted += 1;
-        }
-        while st.done_solves.len() > retention && st.done_solves.pop_first().is_some() {
-            st.stats.evicted += 1;
-        }
-        finished
     }
 
-    /// Redeems a ticket, removing the result from the service. `None`
-    /// until a [`SpmvService::collect`] has executed the request, if the
-    /// ticket was already taken, or if the result aged out of the
-    /// bounded retention window (see [`SpmvService::collect`]).
+    /// Blocks until every accepted request has reached a terminal
+    /// state (published, failed, or evicted-after-publish). In
+    /// synchronous mode this drives the drain itself.
+    pub fn quiesce(&self) {
+        // Acquire pairs with the AcqRel decrements on the publish paths.
+        while self.inner.in_flight.load(Ordering::Acquire) > 0 {
+            if self.inner.drain_workers == 0 {
+                self.drain_now();
+            } else {
+                self.inner.signal.wait_slice();
+            }
+        }
+    }
+
+    /// Non-blocking redemption: removes and returns the completed
+    /// result. `None` while the request is queued or executing, for a
+    /// solve ticket, after the result was already taken or evicted, and
+    /// for a failed request (use [`SpmvService::wait`] to observe the
+    /// failure as an error).
     pub fn take(&self, ticket: Ticket) -> Option<Completed> {
-        self.lock_state().done.remove(&ticket.0)
+        if ticket.is_solve() {
+            return None;
+        }
+        let lane = self.inner.lanes.get(ticket.lane())?;
+        let mut st = lane.lock();
+        match st.done.get(&ticket.0) {
+            Some(DoneEntry::Spmv(_)) => match st.done.remove(&ticket.0) {
+                Some(DoneEntry::Spmv(c)) => {
+                    drop(st);
+                    self.inner.stats.taken.bump();
+                    Some(c)
+                }
+                _ => None,
+            },
+            _ => None,
+        }
     }
 
-    /// Redeems a solve ticket, removing the result from the service.
-    /// `None` until a [`SpmvService::collect`] has executed the solve,
-    /// if the ticket was already taken, or if the result aged out of the
-    /// bounded retention window.
+    /// Non-blocking redemption of a solve ticket; mirror of
+    /// [`SpmvService::take`].
     pub fn take_solve(&self, ticket: Ticket) -> Option<CompletedSolve> {
-        self.lock_state().done_solves.remove(&ticket.0)
+        if !ticket.is_solve() {
+            return None;
+        }
+        let lane = self.inner.lanes.get(ticket.lane())?;
+        let mut st = lane.lock();
+        match st.done.get(&ticket.0) {
+            Some(DoneEntry::Solve(_)) => match st.done.remove(&ticket.0) {
+                Some(DoneEntry::Solve(c)) => {
+                    drop(st);
+                    self.inner.stats.taken.bump();
+                    Some(c)
+                }
+                _ => None,
+            },
+            _ => None,
+        }
     }
 
-    /// Convenience for a single solve: submit, collect (which may also
-    /// execute other tenants' pending work), and take.
+    /// Blocks until the ticket's result is published, then removes and
+    /// returns it. In synchronous mode this drives the drain itself.
     ///
     /// # Errors
     ///
-    /// Propagates [`SpmvService::submit_solve`] errors, and returns
-    /// [`ServiceError::ResultEvicted`] in the pathological concurrent
-    /// case where other tenants' `collect()` traffic ages the executed
-    /// result out of the retention window before it is taken.
+    /// [`ServiceError::WrongTicketKind`] for a solve ticket,
+    /// [`ServiceError::ExecutionFailed`] when the request's batch
+    /// panicked, [`ServiceError::ResultEvicted`] when the result is
+    /// gone (already taken, aged out, or the ticket was never issued),
+    /// and [`ServiceError::WaitTimeout`] after the 60 s safety valve.
+    pub fn wait(&self, ticket: Ticket) -> Result<Completed, ServiceError> {
+        if ticket.is_solve() {
+            return Err(ServiceError::WrongTicketKind);
+        }
+        match self.wait_entry(ticket)? {
+            DoneEntry::Spmv(c) => Ok(c),
+            // wait_entry only returns the matching-kind or Failed entry.
+            _ => Err(ServiceError::ResultEvicted),
+        }
+    }
+
+    /// Blocks until the solve ticket's result is published; mirror of
+    /// [`SpmvService::wait`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SpmvService::wait`], with [`ServiceError::WrongTicketKind`]
+    /// for a non-solve ticket.
+    pub fn wait_solve(&self, ticket: Ticket) -> Result<CompletedSolve, ServiceError> {
+        if !ticket.is_solve() {
+            return Err(ServiceError::WrongTicketKind);
+        }
+        match self.wait_entry(ticket)? {
+            DoneEntry::Solve(c) => Ok(c),
+            _ => Err(ServiceError::ResultEvicted),
+        }
+    }
+
+    /// Core of `wait`/`wait_solve`: polls the ticket's lane between
+    /// completion signals, consuming the terminal entry.
+    fn wait_entry(&self, ticket: Ticket) -> Result<DoneEntry, ServiceError> {
+        let Some(lane) = self.inner.lanes.get(ticket.lane()) else {
+            return Err(ServiceError::ResultEvicted);
+        };
+        for _ in 0..WAIT_SLICES {
+            if self.inner.drain_workers == 0 {
+                self.drain_now();
+            }
+            {
+                let mut st = lane.lock();
+                if st.done.contains_key(&ticket.0) {
+                    let entry = match st.done.remove(&ticket.0) {
+                        Some(e) => e,
+                        None => return Err(ServiceError::ResultEvicted),
+                    };
+                    drop(st);
+                    self.inner.stats.taken.bump();
+                    if let DoneEntry::Failed { key } = entry {
+                        return Err(ServiceError::ExecutionFailed { key });
+                    }
+                    return Ok(entry);
+                }
+                if !st.outstanding.contains(&ticket.0) {
+                    // Not published and not in flight: taken, evicted,
+                    // or never issued.
+                    return Err(ServiceError::ResultEvicted);
+                }
+            }
+            self.inner.signal.wait_slice();
+        }
+        Err(ServiceError::WaitTimeout)
+    }
+
+    /// Convenience for a single request: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpmvService::submit`] and [`SpmvService::wait`]
+    /// errors.
+    pub fn run(&self, key: MatrixKey, x: Vec<f64>) -> Result<Completed, ServiceError> {
+        let ticket = self.submit(key, x)?;
+        self.wait(ticket)
+    }
+
+    /// Convenience for a single solve: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpmvService::submit_solve`] and
+    /// [`SpmvService::wait_solve`] errors.
     pub fn solve(
         &self,
         key: MatrixKey,
@@ -651,36 +1534,90 @@ impl SpmvService {
         opts: SolveOptions,
     ) -> Result<CompletedSolve, ServiceError> {
         let ticket = self.submit_solve(key, request, opts)?;
-        self.collect();
-        self.take_solve(ticket).ok_or(ServiceError::ResultEvicted)
+        self.wait_solve(ticket)
     }
 
-    /// Convenience for a single request: submit, collect (which may also
-    /// execute other tenants' pending work), and take.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`SpmvService::submit`] errors, and returns
-    /// [`ServiceError::ResultEvicted`] in the pathological concurrent
-    /// case where other tenants' `collect()` traffic ages the executed
-    /// result out of the retention window before it is taken.
-    pub fn run(&self, key: MatrixKey, x: Vec<f64>) -> Result<Completed, ServiceError> {
-        let ticket = self.submit(key, x)?;
-        self.collect();
-        self.take(ticket).ok_or(ServiceError::ResultEvicted)
-    }
-
-    /// Number of requests (one-shot SpMVs **and** solves — they share
-    /// the bounded queue) waiting for the next [`SpmvService::collect`].
+    /// Requests currently queued across all lanes (excludes batches a
+    /// drain worker has already popped).
     pub fn pending(&self) -> usize {
-        let st = self.lock_state();
-        st.pending.len() + st.pending_solves.len()
+        self.inner
+            .lanes
+            .iter()
+            // Acquire pairs with the Release stores under the lane lock.
+            .map(|l| l.queued.load(Ordering::Acquire))
+            .sum()
     }
 
-    /// Snapshot of the serving counters.
-    pub fn stats(&self) -> ServiceStats {
-        self.lock_state().stats
+    /// Published results currently retained (un-taken) across all
+    /// lanes. Bounded by `lane_count × `[`RESULT_RETENTION_FACTOR`]` ×
+    /// lane_quota`.
+    pub fn retained(&self) -> usize {
+        self.inner.lanes.iter().map(|l| l.lock().done.len()).sum()
     }
+
+    /// Number of lanes currently quarantined by drain panics.
+    pub fn quarantined_lanes(&self) -> usize {
+        self.inner
+            .lanes
+            .iter()
+            // Acquire pairs with quarantine()'s Release store.
+            .filter(|l| l.quarantined.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Snapshot of the serving counters (lock-free).
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Tail-latency snapshot of every enqueue→publish interval recorded
+    /// so far, in the injected [`Clock`]'s units.
+    pub fn latency(&self) -> LatencySnapshot {
+        let h = &self.inner.latency;
+        LatencySnapshot {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.50),
+            p99_ns: h.quantile(0.99),
+            p999_ns: h.quantile(0.999),
+            max_ns: h.max(),
+        }
+    }
+
+    /// Discards recorded latencies (e.g. warmup samples before a timed
+    /// burst). Call only at quiescent moments — samples recorded
+    /// concurrently with the reset may be partially lost.
+    pub fn reset_latency(&self) {
+        self.inner.latency.reset();
+    }
+
+    /// Chaos-testing hook: the next drain execution for `key` panics
+    /// before touching the plan, exercising the lane-quarantine path
+    /// end to end (the hook the quarantine robustness tests use). One
+    /// shot: the hook disarms when it fires.
+    pub fn inject_batch_panic(&self, key: MatrixKey) {
+        self.inner.chaos_key.store(key.0, Ordering::Release);
+        // Release pairs with maybe_chaos()'s Acquire load; armed is
+        // stored after the key so an armed observer sees the key.
+        self.inner.chaos_armed.store(true, Ordering::Release);
+    }
+}
+
+/// Shape cross-check on every cache hit so a 64-bit fingerprint
+/// collision between different matrices fails loudly instead of
+/// silently serving one tenant another tenant's plan.
+fn check_collision(slot: &PlanSlot, csr: &Csr, key: MatrixKey) {
+    assert!(
+        (slot.rows, slot.cols, slot.nnz) == (csr.rows(), csr.cols(), csr.nnz()),
+        "fingerprint collision on {key}: resident plan is {}x{} ({} nnz), \
+         prepared matrix is {}x{} ({} nnz)",
+        slot.rows,
+        slot.cols,
+        slot.nnz,
+        csr.rows(),
+        csr.cols(),
+        csr.nnz()
+    );
 }
 
 // The whole point of the type: it is shared across submitting threads.
@@ -704,6 +1641,27 @@ mod tests {
 
     fn service(kind: SystemKind) -> SpmvService {
         SpmvService::new(SpmvEngine::builder().system(kind).build())
+    }
+
+    /// Synchronous-mode service: no background workers, callers drive
+    /// the drain — the deterministic harness for accounting tests.
+    fn sync_service(kind: SystemKind) -> SpmvService {
+        SpmvService::builder(SpmvEngine::builder().system(kind).build())
+            .drain_workers(0)
+            .build()
+    }
+
+    #[test]
+    fn tickets_encode_kind_lane_and_sequence() {
+        let t = Ticket::new(5, 3, true);
+        assert_eq!(t.lane(), 3);
+        assert!(t.is_solve());
+        assert_eq!(t.seq(), 5);
+        assert_eq!(t.to_string(), "ticket:5@lane3");
+        let t = Ticket::new(1 << 40, MAX_LANES - 1, false);
+        assert_eq!(t.lane(), MAX_LANES - 1);
+        assert!(!t.is_solve());
+        assert_eq!(t.seq(), 1 << 40);
     }
 
     #[test]
@@ -739,6 +1697,7 @@ mod tests {
             let svc = service(kind.clone());
             let key = svc.prepare(&csr);
             let x = x_for(&csr, 0);
+            // run() blocks on the background drain worker.
             let done = svc.run(key, x.clone()).unwrap();
             assert!(done.verified, "{kind}");
             let mut plan = svc.engine().clone().prepare(&csr);
@@ -756,65 +1715,63 @@ mod tests {
     fn same_matrix_requests_share_one_batch() {
         let csr = banded_fem(128, 6, 16, 5);
         let other = banded_fem(64, 4, 8, 9);
-        let svc = service(SystemKind::Pack(AdapterConfig::mlp(64)));
+        let svc = sync_service(SystemKind::Pack(AdapterConfig::mlp(64)));
         let k1 = svc.prepare(&csr);
         let k2 = svc.prepare(&other);
         let t1 = svc.submit(k1, x_for(&csr, 1)).unwrap();
         let t2 = svc.submit(k2, x_for(&other, 2)).unwrap();
         let t3 = svc.submit(k1, x_for(&csr, 3)).unwrap();
         assert_eq!(svc.pending(), 3);
-        let finished = svc.collect();
+        assert_eq!(svc.drain_now(), 3);
         assert_eq!(svc.pending(), 0);
-        // Group order is first appearance: k1's pair batches together,
-        // then k2's single.
-        assert_eq!(finished, vec![t1, t3, t2]);
         let s = svc.stats();
-        assert_eq!(s.batches, 2);
+        assert_eq!(s.batches, 2, "k1's pair shares one run_batch");
         assert_eq!(s.completed, 3);
         assert_eq!(svc.take(t1).unwrap().batched_with, 2);
         assert_eq!(svc.take(t3).unwrap().batched_with, 2);
         assert_eq!(svc.take(t2).unwrap().batched_with, 1);
         // Tickets are single-use.
         assert!(svc.take(t1).is_none());
+        assert_eq!(svc.wait(t1).unwrap_err(), ServiceError::ResultEvicted);
     }
 
     #[test]
     fn queue_is_bounded_and_rejections_counted() {
         let csr = banded_fem(64, 4, 8, 1);
-        let svc = SpmvService::with_queue_capacity(
-            SpmvEngine::builder().system(SystemKind::Base).build(),
-            2,
-        );
+        let svc = SpmvService::builder(SpmvEngine::builder().system(SystemKind::Base).build())
+            .drain_workers(0)
+            .lane_quota(2)
+            .build();
         let key = svc.prepare(&csr);
         let x = x_for(&csr, 0);
         svc.submit(key, x.clone()).unwrap();
         svc.submit(key, x.clone()).unwrap();
         assert_eq!(
             svc.submit(key, x.clone()),
-            Err(ServiceError::QueueFull { capacity: 2 })
+            Err(ServiceError::TenantQuotaExceeded { key, quota: 2 })
         );
         assert_eq!(svc.stats().rejected, 1);
-        // Draining the queue reopens it.
-        svc.collect();
+        // Draining the lane reopens it.
+        svc.drain_now();
         svc.submit(key, x).unwrap();
     }
 
-    /// The poisoning policy in action: a panic under the state mutex
-    /// (here, the engine's empty-matrix assert firing inside `prepare`)
-    /// used to poison it permanently — every later call from any tenant
-    /// then panicked on `lock().expect(..)`. The service now recovers
-    /// and keeps serving.
+    /// The old single-mutex service needed a poisoned-mutex recovery
+    /// policy because a panicking `engine.prepare` (e.g. the empty-matrix
+    /// assert) unwound while holding the global state lock. The lane
+    /// design retires that policy: the build panic is caught, the cache
+    /// lock is released cleanly, and the panic re-raises on the caller —
+    /// every other tenant keeps serving.
     #[test]
-    fn service_recovers_from_a_poisoned_state_mutex() {
+    fn prepare_panics_propagate_without_poisoning_the_cache() {
         let svc = service(SystemKind::Base);
         let empty = Csr::from_parts(4, 4, vec![0; 5], vec![], vec![]).unwrap();
-        let panicked =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.prepare(&empty)));
+        let panicked = catch_unwind(AssertUnwindSafe(|| svc.prepare(&empty)));
         assert!(
             panicked.is_err(),
             "empty matrix must trip the engine assert"
         );
-        // The mutex was poisoned while held; surviving tenants carry on.
+        // Surviving tenants carry on against an unpoisoned cache.
         let csr = banded_fem(64, 4, 8, 1);
         let key = svc.prepare(&csr);
         let x = x_for(&csr, 0);
@@ -822,6 +1779,53 @@ mod tests {
         assert!(done.verified);
         assert_eq!(done.y, csr.spmv(&x));
         assert_eq!(svc.stats().completed, 1);
+    }
+
+    /// Port of `service_recovers_from_a_poisoned_state_mutex` to the
+    /// lane design: a drain panicking **mid-batch** quarantines exactly
+    /// the lane it was draining. Its tickets fail loudly, its tenants
+    /// get `LaneQuarantined` on resubmission, and every other lane keeps
+    /// serving byte-identical results.
+    #[test]
+    fn drain_panic_quarantines_only_the_panicking_lane() {
+        let svc = sync_service(SystemKind::Base);
+        // Two matrices that land on different lanes (fingerprints spread
+        // over 16 lanes; scan a few seeds for a differing pair).
+        let a = banded_fem(64, 4, 8, 1);
+        let ka = svc.prepare(&a);
+        let (b, kb) = (2..64)
+            .map(|seed| {
+                let b = banded_fem(64, 4, 8, seed);
+                let kb = svc.prepare(&b);
+                (b, kb)
+            })
+            .find(|(_, kb)| svc.lane_of(*kb) != svc.lane_of(ka))
+            .expect("some seed lands on another lane");
+        let ta = svc.submit(ka, x_for(&a, 0)).unwrap();
+        let tb = svc.submit(kb, x_for(&b, 0)).unwrap();
+        svc.inject_batch_panic(ka);
+        // The caller driving the drain survives the injected panic.
+        svc.drain_now();
+        // Lane A: its ticket failed, the lane refuses new work.
+        assert_eq!(
+            svc.wait(ta).unwrap_err(),
+            ServiceError::ExecutionFailed { key: ka }
+        );
+        assert_eq!(
+            svc.submit(ka, x_for(&a, 1)),
+            Err(ServiceError::LaneQuarantined { key: ka })
+        );
+        assert_eq!(svc.quarantined_lanes(), 1);
+        // Lane B: untouched, bytes still equal the serial plan.
+        let done = svc.wait(tb).expect("other lanes keep serving");
+        assert!(done.verified);
+        assert_eq!(done.y, b.spmv(&x_for(&b, 0)));
+        let s = svc.stats();
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.completed, 1);
+        // Conservation: both accepted requests reached a terminal state.
+        svc.quiesce();
+        assert_eq!(s.submitted, 2);
     }
 
     #[test]
@@ -849,41 +1853,45 @@ mod tests {
     #[test]
     fn unredeemed_results_are_bounded_and_evicted_oldest_first() {
         let csr = banded_fem(48, 3, 6, 1);
-        // Capacity 1 → retention window of RESULT_RETENTION_FACTOR (4).
-        let svc = SpmvService::with_queue_capacity(
-            SpmvEngine::builder().system(SystemKind::Base).build(),
-            1,
-        );
+        // Quota 1 → retention window of RESULT_RETENTION_FACTOR (4).
+        let svc = SpmvService::builder(SpmvEngine::builder().system(SystemKind::Base).build())
+            .drain_workers(0)
+            .lane_quota(1)
+            .build();
         let key = svc.prepare(&csr);
         let x = x_for(&csr, 0);
         let tickets: Vec<Ticket> = (0..6)
             .map(|_| {
                 let t = svc.submit(key, x.clone()).unwrap();
-                svc.collect();
+                svc.drain_now();
                 t
             })
             .collect();
         assert_eq!(svc.stats().evicted, 2, "two oldest results aged out");
+        assert_eq!(svc.retained(), RESULT_RETENTION_FACTOR);
         assert!(svc.take(tickets[0]).is_none());
-        assert!(svc.take(tickets[1]).is_none());
+        assert_eq!(
+            svc.wait(tickets[1]).unwrap_err(),
+            ServiceError::ResultEvicted
+        );
         for t in &tickets[2..] {
             assert!(svc.take(*t).is_some(), "{t} must survive retention");
         }
     }
 
     #[test]
-    fn collect_on_empty_queue_is_a_noop() {
-        let svc = service(SystemKind::Base);
-        assert!(svc.collect().is_empty());
+    fn drain_on_empty_lanes_is_a_noop() {
+        let svc = sync_service(SystemKind::Base);
+        assert_eq!(svc.drain_now(), 0);
         assert_eq!(svc.stats().batches, 0);
+        svc.quiesce(); // nothing in flight — returns immediately
     }
 
     #[test]
     fn solves_queue_next_to_one_shot_spmvs() {
-        use crate::solve::SolveOptions;
         use nmpic_sparse::gen::spd;
         let a = spd(96, 6, 8, 3);
-        let svc = service(SystemKind::Base);
+        let svc = sync_service(SystemKind::Base);
         let key = svc.prepare(&a);
         let b: Vec<f64> = (0..96).map(golden_x).collect();
         // One tenant queues a plain multiply, another a CG solve.
@@ -895,19 +1903,19 @@ mod tests {
                 SolveOptions::default(),
             )
             .unwrap();
-        assert_eq!(svc.pending(), 2, "solves share the queue accounting");
-        let finished = svc.collect();
-        assert_eq!(finished, vec![t_mul, t_cg]);
-        assert_eq!(svc.pending(), 0);
-        // Each redeems through its own channel.
-        assert!(svc.take(t_mul).is_some());
+        assert_eq!(svc.pending(), 2, "solves share the lane accounting");
+        assert_eq!(svc.drain_now(), 2);
+        // Each redeems through its own channel; the ticket kind bit
+        // keeps a solve from ever answering a multiply redemption.
         assert!(svc.take(t_cg).is_none(), "solve tickets are not multiplies");
+        assert_eq!(svc.wait(t_cg).unwrap_err(), ServiceError::WrongTicketKind);
+        assert!(svc.take(t_mul).is_some());
         let done = svc.take_solve(t_cg).expect("solved");
         assert!(done.report.converged && done.report.residual <= 1e-10);
         assert_eq!(done.key, key);
         // The served solution equals the single-tenant Solver's, bitwise.
         let mut plan = svc.engine().clone().prepare(&a);
-        let want = crate::solve::Solver::cg(&mut plan, &b, &SolveOptions::default());
+        let want = Solver::cg(&mut plan, &b, &SolveOptions::default());
         assert_eq!(
             done.report
                 .x
@@ -925,14 +1933,13 @@ mod tests {
 
     #[test]
     fn solve_submissions_validate_eagerly_and_share_the_bound() {
-        use crate::solve::SolveOptions;
         use nmpic_sparse::gen::{random_uniform, spd};
         let a = spd(64, 4, 6, 1);
         let rect = random_uniform(8, 16, 2, 1);
-        let svc = SpmvService::with_queue_capacity(
-            SpmvEngine::builder().system(SystemKind::Base).build(),
-            2,
-        );
+        let svc = SpmvService::builder(SpmvEngine::builder().system(SystemKind::Base).build())
+            .drain_workers(0)
+            .lane_quota(2)
+            .build();
         let key = svc.prepare(&a);
         let rect_key = svc.prepare(&rect);
         // Unknown key, non-square matrix and mis-sized rhs all reject
@@ -965,7 +1972,7 @@ mod tests {
             })
         );
         // Out-of-range damping rejects at submission — the solver would
-        // otherwise panic inside collect() under the service mutex.
+        // otherwise panic inside a drain worker and quarantine the lane.
         for damping in [0.0, -0.5, 1.5, f64::NAN] {
             assert_eq!(
                 svc.submit_solve(
@@ -981,18 +1988,18 @@ mod tests {
             );
         }
         assert_eq!(svc.pending(), 0);
-        // A multiply plus a solve fill the capacity-2 queue: the next
-        // submission of either kind is rejected.
+        // A multiply plus a solve fill the tenant's quota-2 lane: the
+        // next submission of either kind is rejected, naming the tenant.
         svc.submit(key, vec![1.0; 64]).unwrap();
         svc.submit_solve(key, SolveRequest::PowerIteration, SolveOptions::default())
             .unwrap();
         assert_eq!(
             svc.submit(key, vec![1.0; 64]),
-            Err(ServiceError::QueueFull { capacity: 2 })
+            Err(ServiceError::TenantQuotaExceeded { key, quota: 2 })
         );
         assert_eq!(
             svc.submit_solve(key, SolveRequest::PowerIteration, SolveOptions::default()),
-            Err(ServiceError::QueueFull { capacity: 2 })
+            Err(ServiceError::TenantQuotaExceeded { key, quota: 2 })
         );
         assert_eq!(svc.stats().rejected, 2);
         assert!(ServiceError::NotSquare { rows: 8, cols: 16 }
@@ -1001,11 +2008,10 @@ mod tests {
     }
 
     #[test]
-    fn solve_convenience_runs_power_iteration() {
-        use crate::solve::SolveOptions;
+    fn solve_convenience_runs_power_iteration_through_the_background_drain() {
         use nmpic_sparse::gen::spd;
         let a = spd(64, 4, 6, 5);
-        let svc = service(SystemKind::Base);
+        let svc = service(SystemKind::Base); // default: one drain worker
         let key = svc.prepare(&a);
         let done = svc
             .solve(
@@ -1024,9 +2030,96 @@ mod tests {
     }
 
     #[test]
+    fn latency_is_recorded_per_request_in_clock_units() {
+        let csr = banded_fem(64, 4, 8, 1);
+        let svc = sync_service(SystemKind::Base);
+        let key = svc.prepare(&csr);
+        assert_eq!(svc.latency().count, 0);
+        for seed in 0..3 {
+            svc.submit(key, x_for(&csr, seed)).unwrap();
+        }
+        svc.drain_now();
+        let lat = svc.latency();
+        assert_eq!(lat.count, 3, "one sample per published request");
+        assert!(lat.p50_ns >= 1, "logical latencies are at least one tick");
+        assert!(lat.p50_ns <= lat.p99_ns && lat.p99_ns <= lat.p999_ns);
+        assert!(lat.max_ns >= lat.p999_ns && lat.mean_ns > 0.0);
+        svc.reset_latency();
+        assert_eq!(svc.latency().count, 0);
+    }
+
+    #[test]
+    fn wait_blocks_until_the_background_drain_publishes() {
+        let csr = banded_fem(96, 5, 12, 2);
+        let svc = service(SystemKind::Base); // background worker live
+        let key = svc.prepare(&csr);
+        let x = x_for(&csr, 7);
+        let t = svc.submit(key, x.clone()).unwrap();
+        let done = svc.wait(t).expect("published by the worker");
+        assert_eq!(done.y, csr.spmv(&x));
+        // wait consumed the entry: it cannot be redeemed twice.
+        assert!(svc.take(t).is_none());
+        assert_eq!(svc.wait(t).unwrap_err(), ServiceError::ResultEvicted);
+    }
+
+    #[test]
+    fn waiting_on_a_never_issued_ticket_reports_eviction() {
+        let svc = sync_service(SystemKind::Base);
+        // Lane index beyond the lane array (forged or corrupted ticket).
+        assert_eq!(
+            svc.wait(Ticket::new(7, 200, false)).unwrap_err(),
+            ServiceError::ResultEvicted
+        );
+        // Valid lane, but the ticket was never issued.
+        assert_eq!(
+            svc.wait(Ticket::new(99, 0, false)).unwrap_err(),
+            ServiceError::ResultEvicted
+        );
+    }
+
+    #[test]
+    fn conservation_invariants_hold_after_quiesce() {
+        use nmpic_sparse::gen::spd;
+        let a = spd(64, 4, 6, 2);
+        let b = banded_fem(80, 4, 8, 3);
+        let svc = SpmvService::builder(SpmvEngine::builder().system(SystemKind::Base).build())
+            .drain_workers(0)
+            .lane_quota(3)
+            .build();
+        let (ka, kb) = (svc.prepare(&a), svc.prepare(&b));
+        let tickets = [
+            svc.submit(ka, x_for(&a, 0)).unwrap(),
+            svc.submit(kb, x_for(&b, 1)).unwrap(),
+        ];
+        let ts = svc
+            .submit_solve(ka, SolveRequest::PowerIteration, SolveOptions::default())
+            .unwrap();
+        // Overflow one lane for a rejection.
+        svc.submit(ka, x_for(&a, 2)).unwrap();
+        svc.submit(ka, x_for(&a, 3)).unwrap_err();
+        svc.quiesce();
+        // Redeem some, leave the rest retained.
+        assert!(svc.take(tickets[0]).is_some());
+        assert!(svc.take_solve(ts).is_some());
+        let s = svc.stats();
+        assert_eq!(s.submitted, s.completed + s.solves_completed + s.failed);
+        assert_eq!(
+            s.completed + s.solves_completed + s.failed,
+            s.taken + s.evicted + svc.retained() as u64
+        );
+        assert_eq!(s.rejected, 1);
+        assert_eq!(svc.latency().count, s.completed + s.solves_completed);
+    }
+
+    #[test]
     fn errors_display_something_useful() {
-        let e = ServiceError::QueueFull { capacity: 4 };
+        let key = MatrixKey(0xabcd);
+        let e = ServiceError::TenantQuotaExceeded { key, quota: 4 };
         assert!(e.to_string().contains("4"));
+        assert!(
+            e.to_string().contains(&key.to_string()),
+            "quota errors name the rejecting tenant key"
+        );
         let e = ServiceError::WrongVectorLength {
             expected: 10,
             got: 3,
@@ -1035,5 +2128,28 @@ mod tests {
         assert!(ServiceError::UnknownMatrix(MatrixKey(1))
             .to_string()
             .contains("prepare"));
+        for e in [
+            ServiceError::LaneQuarantined { key },
+            ServiceError::ExecutionFailed { key },
+            ServiceError::ResultEvicted,
+            ServiceError::WaitTimeout,
+            ServiceError::WrongTicketKind,
+            ServiceError::InvalidDamping,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn lanes_spread_keys_and_lane_of_is_stable() {
+        let svc = sync_service(SystemKind::Base);
+        assert_eq!(svc.lane_count(), DEFAULT_LANES);
+        assert_eq!(svc.lane_quota(), DEFAULT_QUEUE_CAPACITY);
+        for fp in 0..64u64 {
+            let k = MatrixKey(fp);
+            let li = svc.lane_of(k);
+            assert!(li < svc.lane_count());
+            assert_eq!(svc.lane_of(k), li, "lane assignment is stable");
+        }
     }
 }

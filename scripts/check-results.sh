@@ -76,6 +76,38 @@ for file in "$@"; do
             bad=1
         fi
     fi
+    # Service results carry tail-latency columns; a zero (or NaN —
+    # caught above) p99 means the enqueue->publish latency pipeline
+    # never recorded a sample, and a "false" in the verified column
+    # means a served result diverged from its serial reference bytes.
+    if grep -q '"p99 us"' "$file"; then
+        if grep -qE '"p99 us": *0(\.0*)?[,}]' "$file"; then
+            echo "FAIL: $file contains a zero p99 latency (no samples recorded):" >&2
+            grep -nE '"p99 us": *0(\.0*)?[,}]' "$file" >&2
+            bad=1
+        fi
+        if grep -qiE '"verified": "?false"?' "$file"; then
+            echo "FAIL: $file contains unverified (byte-diverged) service results:" >&2
+            grep -niE '"verified": "?false"?' "$file" >&2
+            bad=1
+        fi
+    fi
+    # Soak results additionally carry ticket-conservation columns: a
+    # nonzero "lost" count means a ticket fell between the accounting
+    # cracks, a nonzero "failed" means a drain batch died, and a "false"
+    # retention verdict means the done-map outgrew its documented bound.
+    if grep -q '"lost"' "$file"; then
+        if grep -qE '"(lost|failed)": *[1-9]' "$file"; then
+            echo "FAIL: $file contains lost or failed tickets:" >&2
+            grep -nE '"(lost|failed)": *[1-9]' "$file" >&2
+            bad=1
+        fi
+        if grep -qiE '"retention ok": "?false"?' "$file"; then
+            echo "FAIL: $file contains unbounded result retention:" >&2
+            grep -niE '"retention ok": "?false"?' "$file" >&2
+            bad=1
+        fi
+    fi
     if [ "$bad" -eq 0 ]; then
         echo "OK: $file ($rows rows, all values finite)"
     else

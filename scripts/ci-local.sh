@@ -5,14 +5,16 @@
 #   lint        cargo fmt --check + clippy -D warnings + -D deprecated
 #               on the bench/tests/examples targets (legacy-API gate),
 #               then nmpic-lint (workspace invariant checker: casts,
-#               panic paths, unordered floats, unsafe, Relaxed, clocks)
+#               panic paths, unordered floats, unsafe, Relaxed, clocks,
+#               unaudited service locks)
 #   test        release build + quick-scale test suite (stable, plus the
 #               MSRV toolchain when rustup has it installed)
 #   bench-smoke scaling_units + scaling_channels + batched_spmv +
-#               analytic_validation +
-#               service_throughput + solver_convergence at NMPIC_QUICK=1,
-#               then gate the JSON results on zero rows / NaN values
-#               (plus zero iterations / non-convergence for the solver)
+#               analytic_validation + service_throughput + service_soak +
+#               solver_convergence at NMPIC_QUICK=1, then gate the JSON
+#               results on zero rows / NaN values (plus zero iterations /
+#               non-convergence for the solver, and lost tickets /
+#               unbounded retention / zero p99 for the service)
 #   doc         rustdoc with broken intra-doc links as errors
 #
 # Usage: scripts/ci-local.sh [lint|test|bench|doc]...  (default: all)
@@ -52,15 +54,16 @@ run_test() {
 }
 
 run_bench() {
-    step "bench-smoke: scaling_units + scaling_channels + batched_spmv + service_throughput + solver_convergence + analytic_validation (NMPIC_QUICK=1)"
+    step "bench-smoke: scaling_units + scaling_channels + batched_spmv + service_throughput + service_soak + solver_convergence + analytic_validation (NMPIC_QUICK=1)"
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_units
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin scaling_channels
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin batched_spmv
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin service_throughput
+    NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin service_soak
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin solver_convergence
     NMPIC_QUICK=1 cargo run --release -p nmpic-bench --bin analytic_validation
     step "bench-smoke: gating results"
-    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json results/batched_spmv.json results/service_throughput.json results/solver_convergence.json results/analytic_validation.json
+    ./scripts/check-results.sh results/scaling_units.json results/scaling_channels.json results/batched_spmv.json results/service_throughput.json results/service_soak.json results/solver_convergence.json results/analytic_validation.json
 }
 
 run_doc() {

@@ -1,8 +1,10 @@
 //! Concurrent-correctness tests for `SpmvService`: N threads submitting
-//! against one shared service must produce results **byte-identical** to
-//! serial single-tenant `SpmvPlan::run`, across every memory backend
-//! (ideal/hbm/hbm4/hbm8) and every `SystemKind` (base/pack/sharded),
-//! with the plan cache's hit/miss accounting intact.
+//! against one shared service with a live background drain must produce
+//! results **byte-identical** to serial single-tenant `SpmvPlan::run`,
+//! across every memory backend (ideal/hbm/hbm4/hbm8) and every
+//! `SystemKind` (base/pack/sharded), with the plan cache's hit/miss
+//! accounting intact and per-lane admission exact under racing
+//! submissions.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -42,8 +44,9 @@ fn request_x(csr: &Csr, thread: usize, req: usize) -> Vec<f64> {
 }
 
 /// The core property: for every backend × system kind, N submitting
-/// threads against one shared service get exactly the bytes the serial
-/// single-tenant plan produces for their vector.
+/// threads against one shared service (background drain live) get
+/// exactly the bytes the serial single-tenant plan produces for their
+/// vector.
 #[test]
 fn concurrent_submissions_match_serial_plan_bytes() {
     const THREADS: usize = 4;
@@ -71,36 +74,21 @@ fn concurrent_submissions_match_serial_plan_bytes() {
 
             let service = SpmvService::new(engine);
             let key = service.prepare(&csr);
-            let collects = AtomicUsize::new(0);
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for t in 0..THREADS {
                     let service = &service;
                     let csr = &csr;
-                    let collects = &collects;
                     handles.push(s.spawn(move || {
                         let mut got = Vec::new();
                         for q in 0..REQS {
                             let x = request_x(csr, t, q);
-                            // Submit may race a full queue in principle;
-                            // the capacity (64) is ample here, so errors
-                            // are real failures.
-                            let ticket = service.submit(key, x).expect("queue has room");
-                            // Every thread may drive collection — the
-                            // service serializes execution internally.
-                            collects.fetch_add(service.collect().len(), Ordering::Relaxed);
-                            let done = loop {
-                                // Another thread's collect may have run
-                                // our request; take() is the only wait.
-                                match service.take(ticket) {
-                                    Some(done) => break done,
-                                    None => {
-                                        collects
-                                            .fetch_add(service.collect().len(), Ordering::Relaxed);
-                                        std::thread::yield_now();
-                                    }
-                                }
-                            };
+                            // Lane quotas (64) are ample for the burst,
+                            // so errors are real failures. The drain
+                            // worker executes in the background; wait()
+                            // blocks on publication.
+                            let ticket = service.submit(key, x).expect("lane has room");
+                            let done = service.wait(ticket).expect("drained in background");
                             assert!(done.verified);
                             got.push(done.y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>());
                         }
@@ -124,10 +112,11 @@ fn concurrent_submissions_match_serial_plan_bytes() {
             assert_eq!(stats.submitted, (THREADS * REQS) as u64);
             assert_eq!(stats.completed, (THREADS * REQS) as u64);
             assert_eq!(
-                collects.load(Ordering::Relaxed),
-                THREADS * REQS,
-                "every completion observed exactly once"
+                stats.taken,
+                (THREADS * REQS) as u64,
+                "every completion redeemed exactly once"
             );
+            assert_eq!(stats.failed, 0);
         }
     }
 }
@@ -161,15 +150,18 @@ fn plan_cache_accounting_is_exact_under_concurrent_prepares() {
     );
 }
 
-/// The bounded queue stays bounded under concurrent pressure: with a
-/// capacity of 1 and no collector, exactly one of the racing submissions
-/// wins and the rest are rejected with `QueueFull`.
+/// Per-lane admission stays exact under concurrent pressure: with a
+/// lane quota of 1 and no drain running (synchronous mode), exactly one
+/// of the racing submissions wins and the rest are rejected with
+/// `TenantQuotaExceeded` naming the tenant key.
 #[test]
-fn bounded_queue_rejects_concurrent_overflow() {
+fn bounded_lane_rejects_concurrent_overflow() {
     const THREADS: usize = 6;
     let csr = banded_fem(48, 3, 6, 1);
-    let service =
-        SpmvService::with_queue_capacity(SpmvEngine::builder().system(SystemKind::Base).build(), 1);
+    let service = SpmvService::builder(SpmvEngine::builder().system(SystemKind::Base).build())
+        .drain_workers(0)
+        .lane_quota(1)
+        .build();
     let key = service.prepare(&csr);
     let accepted = AtomicUsize::new(0);
     std::thread::scope(|s| {
@@ -181,7 +173,10 @@ fn bounded_queue_rejects_concurrent_overflow() {
                 Ok(_) => {
                     accepted.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(ServiceError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+                Err(ServiceError::TenantQuotaExceeded { key: k, quota }) => {
+                    assert_eq!(quota, 1);
+                    assert_eq!(k, key, "the rejection names the tenant");
+                }
                 Err(e) => panic!("unexpected error: {e}"),
             });
         }
@@ -191,10 +186,10 @@ fn bounded_queue_rejects_concurrent_overflow() {
     assert_eq!(stats.submitted, 1);
     assert_eq!(stats.rejected, (THREADS - 1) as u64);
     assert_eq!(service.pending(), 1);
-    // The accepted request still executes and verifies.
-    let tickets = service.collect();
-    assert_eq!(tickets.len(), 1);
-    assert!(service.take(tickets[0]).expect("completed").verified);
+    // The accepted request still executes and verifies once a caller
+    // drives the synchronous drain.
+    assert_eq!(service.drain_now(), 1);
+    assert_eq!(service.stats().completed, 1);
 }
 
 /// Sharded plans inside the service execute their shards in parallel;
@@ -223,5 +218,47 @@ fn service_results_are_worker_count_invariant() {
             None => reference = Some(bits),
             Some(want) => assert_eq!(&bits, want, "{workers} workers diverged"),
         }
+    }
+}
+
+/// The drain-worker axis is also byte-invariant: the same multi-tenant
+/// burst served by 1 or 3 background drain workers produces identical
+/// bytes and identical conservation accounting.
+#[test]
+fn service_results_are_drain_worker_count_invariant() {
+    const REQS: usize = 6;
+    let mats: Vec<Csr> = (0..3).map(|t| banded_fem(80, 4, 10, t as u64)).collect();
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for workers in [1usize, 3] {
+        let service = SpmvService::builder(SpmvEngine::builder().system(SystemKind::Base).build())
+            .drain_workers(workers)
+            .build();
+        let keys: Vec<_> = mats.iter().map(|m| service.prepare(m)).collect();
+        let tickets: Vec<_> = (0..REQS)
+            .map(|q| {
+                let t = q % mats.len();
+                (
+                    t,
+                    service.submit(keys[t], request_x(&mats[t], t, q)).unwrap(),
+                )
+            })
+            .collect();
+        service.quiesce();
+        let got: Vec<Vec<u64>> = tickets
+            .into_iter()
+            .map(|(_, ticket)| {
+                let done = service.take(ticket).expect("published by quiesce");
+                assert!(done.verified);
+                done.y.iter().map(|v| v.to_bits()).collect()
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{workers} drain workers diverged"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, REQS as u64);
+        assert_eq!(stats.completed, REQS as u64);
+        assert_eq!(stats.taken, REQS as u64);
     }
 }
